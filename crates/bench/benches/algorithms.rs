@@ -1,0 +1,50 @@
+//! Criterion wall-time benches of the three MST protocols on the
+//! simulator (E1/E2 runtime companion to the `table1` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphlib::generators;
+use mst_core::{run_always_awake, run_deterministic, run_randomized};
+
+fn bench_randomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_mst");
+    group.sample_size(10);
+    for &n in &[32usize, 128, 512] {
+        let g = generators::random_connected(n, 0.05, n as u64).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_randomized(g, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_deterministic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deterministic_mst");
+    group.sample_size(10);
+    for &n in &[16usize, 48, 96] {
+        let g = generators::random_connected(n, 0.08, n as u64).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_deterministic(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_always_awake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghs_always_awake");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        let g = generators::random_connected(n, 0.05, n as u64).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_always_awake(g, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_randomized,
+    bench_deterministic,
+    bench_always_awake
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion companion to the Theorem 4 `grc_tradeoff` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbound::grc::Grc;
+use lowerbound::reduction::{css_to_mst, mark_edges};
+use lowerbound::sd::SdInstance;
+use mst_core::run_randomized;
+
+fn bench_grc_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grc_build");
+    for &(r, cols) in &[(4usize, 32usize), (8, 96)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}x{cols}")),
+            &(r, cols),
+            |b, &(r, cols)| b.iter(|| Grc::build(r, cols, 1).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sd_encoded_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sd_encoded_mst");
+    group.sample_size(10);
+    let grc = Grc::build(6, 48, 2).unwrap();
+    let sd = SdInstance::random(grc.sd_bits(), 3);
+    let weighted = css_to_mst(&grc.graph, &mark_edges(&grc, &sd));
+    group.bench_function("randomized_on_grc", |b| {
+        b.iter(|| run_randomized(&weighted, 4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grc_build, bench_sd_encoded_mst);
+criterion_main!(benches);

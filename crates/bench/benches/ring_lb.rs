@@ -1,0 +1,31 @@
+//! Criterion companion to the Theorem 3 `ring_lb` binary: simulation cost
+//! of the ring experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbound::ring;
+use mst_core::run_randomized;
+
+fn bench_ring_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_randomized_mst");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let g = ring::instance(n, 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| run_randomized(g, 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_separation_sampling(c: &mut Criterion) {
+    c.bench_function("heaviest_separation_n1024", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ring::heaviest_separation_sample(1024, seed).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_ring_runs, bench_separation_sampling);
+criterion_main!(benches);

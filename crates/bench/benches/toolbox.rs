@@ -1,0 +1,33 @@
+//! Micro-benches of the substrates: sequential reference MSTs and the raw
+//! simulator event loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphlib::{generators, mst};
+use netsim::{flood, SimConfig, Simulator};
+
+fn bench_reference_msts(c: &mut Criterion) {
+    let g = generators::random_connected(1024, 0.01, 5).unwrap();
+    let mut group = c.benchmark_group("reference_mst_n1024");
+    group.bench_function("kruskal", |b| b.iter(|| mst::kruskal(&g)));
+    group.bench_function("prim", |b| b.iter(|| mst::prim(&g)));
+    group.bench_function("boruvka", |b| b.iter(|| mst::boruvka(&g)));
+    group.finish();
+}
+
+fn bench_simulator_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_flood");
+    for &n in &[256usize, 1024] {
+        let g = generators::ring(n, 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                Simulator::new(g, SimConfig::default())
+                    .run(|ctx| flood::Flood::new(ctx.node.raw() == 0))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference_msts, bench_simulator_flood);
+criterion_main!(benches);

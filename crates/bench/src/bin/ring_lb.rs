@@ -1,0 +1,91 @@
+//! Regenerates the **Theorem 3** experiment: the `Ω(log n)` awake lower
+//! bound on rings, with the matching upper bound measured.
+//!
+//! Three panels:
+//!
+//! 1. the construction's premise — separation of the two heaviest edges
+//!    grows linearly in `n` with constant probability;
+//! 2. awake complexity of `Randomized-MST` on the same rings, normalized
+//!    by `log₂ n` (flat ⇒ the algorithm meets the bound);
+//! 3. the same for `Deterministic-MST` at smaller sizes.
+
+use bench::mean;
+use lowerbound::knowledge::{awake_floor, knowledge_sizes};
+use lowerbound::ring;
+use mst_core::randomized::RandomizedMst;
+use mst_core::{run_deterministic, run_randomized};
+use netsim::{SimConfig, Simulator};
+
+fn main() {
+    println!("## Premise: two heaviest ring edges are Ω(n) apart (50 seeds each)\n");
+    println!("| n    | mean sep | mean sep / n | P(sep >= n/8) |");
+    println!("|------|----------|--------------|---------------|");
+    for &n in &[32usize, 64, 128, 256, 512, 1024] {
+        let seps: Vec<f64> = (0..50)
+            .map(|s| ring::heaviest_separation_sample(n, s).unwrap() as f64)
+            .collect();
+        let far = seps.iter().filter(|&&s| s >= (n / 8) as f64).count() as f64 / seps.len() as f64;
+        println!(
+            "| {n:<4} | {:>8.1} | {:>12.3} | {far:>13.2} |",
+            mean(&seps),
+            mean(&seps) / n as f64
+        );
+    }
+
+    println!("\n## Randomized-MST on rings: awake/log2(n) flatness (3 seeds each)\n");
+    println!("| n    | awake max | awake/log2(n) | rounds    |");
+    println!("|------|-----------|---------------|-----------|");
+    for &n in &[32usize, 64, 128, 256, 512, 1024] {
+        let mut awake = Vec::new();
+        let mut rounds = Vec::new();
+        for s in 0..3 {
+            let g = ring::instance(n, s).unwrap();
+            let out = run_randomized(&g, s + 11).unwrap();
+            awake.push(out.stats.awake_max() as f64);
+            rounds.push(out.stats.rounds as f64);
+        }
+        println!(
+            "| {n:<4} | {:>9.0} | {:>13.1} | {:>9.0} |",
+            mean(&awake),
+            mean(&awake) / (n as f64).log2(),
+            mean(&rounds)
+        );
+    }
+
+    println!("\n## Deterministic-MST on rings\n");
+    println!("| n    | awake max | awake/log2(n) | rounds    |");
+    println!("|------|-----------|---------------|-----------|");
+    for &n in &[16usize, 32, 64, 128] {
+        let g = ring::instance(n, 1).unwrap();
+        let out = run_deterministic(&g).unwrap();
+        println!(
+            "| {n:<4} | {:>9} | {:>13.1} | {:>9} |",
+            out.stats.awake_max(),
+            out.stats.awake_max() as f64 / (n as f64).log2(),
+            out.stats.rounds
+        );
+    }
+    println!("\n## Lemma 11 measured: knowledge spread vs the awake floor\n");
+    println!("| n    | max |K(v)| | floor log3(n) | awake of that node | slack |");
+    println!("|------|-----------|---------------|--------------------|-------|");
+    for &n in &[32usize, 64, 128, 256] {
+        let g = ring::instance(n, 2).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_trace().with_seed(4))
+            .run(RandomizedMst::new)
+            .unwrap();
+        let sizes = knowledge_sizes(&g, &out.trace);
+        let (v, &k) = sizes.iter().enumerate().max_by_key(|&(_, &k)| k).unwrap();
+        let floor = awake_floor(k, 2);
+        let awake = out.stats.awake_by_node[v];
+        println!(
+            "| {n:<4} | {k:>9} | {floor:>13} | {awake:>18} | {:>4.1}x |",
+            awake as f64 / floor.max(1) as f64
+        );
+    }
+    println!(
+        "\nShape: panel 1 justifies the Ω(log n) bound's premise; panels 2–3\n\
+         show both algorithms matching it (flat awake/log2 n); the last panel\n\
+         replays each execution's information flow and confirms every run\n\
+         obeys the awake ≥ log_{{Δ+1}}|K| floor that proves Theorem 3."
+    );
+}

@@ -1,0 +1,40 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary regenerates one of the paper's artifacts (see
+//! `EXPERIMENTS.md` at the repository root):
+//!
+//! * `table1` — Table 1: awake/run time of both algorithms across `n`;
+//! * `ring_lb` — Theorem 3: the ring lower-bound family;
+//! * `grc_tradeoff` — Theorem 4 + Figure 1: awake × round products and
+//!   `I`-node congestion on `G_rc`;
+//! * `ablations` — the design-choice ablations listed in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+
+/// Simple fixed-width markdown row printing.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Geometric mean of a nonempty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean of a nonempty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! Always-awake baselines: the traditional-model comparators.
+//!
+//! In the traditional CONGEST model a node is active for the entire run,
+//! so its awake complexity *is* the round complexity. [`AlwaysAwake`]
+//! wraps any sleeping protocol and keeps the node awake in every round
+//! until the wrapped protocol halts, which models exactly that cost
+//! profile while reusing the same algorithm logic — the comparison in the
+//! awake-vs-round trade-off benches (Theorem 4) is then apples-to-apples:
+//! identical messages and rounds, maximal awake cost.
+//!
+//! [`GhsAlwaysAwake`] is the concrete baseline used in the paper-shaped
+//! experiments: GHS-style MST (our randomized variant) with the sleeping
+//! optimization disabled.
+
+use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+
+use crate::randomized::RandomizedMst;
+
+/// Wraps a sleeping protocol and stays awake every round until it halts.
+///
+/// Rounds the inner protocol would have slept through become awake no-ops
+/// (no sends, inbox discarded — the schedule guarantees nothing addressed
+/// to the node arrives in those rounds anyway).
+#[derive(Debug, Clone)]
+pub struct AlwaysAwake<P> {
+    inner: P,
+    /// The inner protocol's next scheduled activity.
+    inner_wake: Option<Round>,
+}
+
+impl<P> AlwaysAwake<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        AlwaysAwake {
+            inner,
+            inner_wake: None,
+        }
+    }
+
+    /// Read access to the wrapped protocol state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Protocol> Protocol for AlwaysAwake<P> {
+    type Msg = P::Msg;
+
+    fn init(&mut self, ctx: &NodeCtx) -> NextWake {
+        match self.inner.init(ctx) {
+            NextWake::Halt => NextWake::Halt,
+            NextWake::At(r) => {
+                self.inner_wake = Some(r);
+                NextWake::At(1)
+            }
+        }
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<P::Msg>> {
+        if self.inner_wake == Some(round) {
+            self.inner.send(ctx, round)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deliver(&mut self, ctx: &NodeCtx, round: Round, inbox: &[Envelope<P::Msg>]) -> NextWake {
+        if self.inner_wake == Some(round) {
+            match self.inner.deliver(ctx, round, inbox) {
+                NextWake::Halt => return NextWake::Halt,
+                NextWake::At(r) => self.inner_wake = Some(r),
+            }
+        }
+        NextWake::At(round + 1)
+    }
+}
+
+/// The GHS-style always-awake MST baseline: the merging logic of
+/// [`RandomizedMst`] with every node awake for the whole run.
+pub type GhsAlwaysAwake = AlwaysAwake<RandomizedMst>;
+
+/// Convenience constructor matching the simulator factory signature.
+pub fn ghs_always_awake(ctx: &NodeCtx) -> GhsAlwaysAwake {
+    AlwaysAwake::new(RandomizedMst::new(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::collect_mst_edges;
+    use graphlib::{generators, mst};
+    use netsim::{SimConfig, Simulator};
+
+    #[test]
+    fn baseline_computes_the_same_mst() {
+        let g = generators::random_connected(20, 0.2, 3).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_seed(5))
+            .run(ghs_always_awake)
+            .unwrap();
+        let edges = collect_mst_edges(&g, &out.states, |s| s.inner().mst_ports());
+        assert_eq!(edges, mst::kruskal(&g).edges);
+    }
+
+    #[test]
+    fn baseline_awake_equals_rounds_for_the_last_node() {
+        let g = generators::ring(12, 7).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_seed(2))
+            .run(ghs_always_awake)
+            .unwrap();
+        // Some node is awake from round 1 to the very end.
+        assert_eq!(out.stats.awake_max(), out.stats.rounds);
+    }
+
+    #[test]
+    fn baseline_is_far_more_awake_than_sleeping_version() {
+        let g = generators::random_connected(32, 0.1, 9).unwrap();
+        let sleeping = Simulator::new(&g, SimConfig::default().with_seed(1))
+            .run(RandomizedMst::new)
+            .unwrap();
+        let awake = Simulator::new(&g, SimConfig::default().with_seed(1))
+            .run(ghs_always_awake)
+            .unwrap();
+        // Identical seeds → identical coin flips → identical rounds.
+        assert_eq!(sleeping.stats.rounds, awake.stats.rounds);
+        assert!(awake.stats.awake_max() > 20 * sleeping.stats.awake_max());
+    }
+
+    #[test]
+    fn sleeping_runs_lose_no_messages() {
+        // The transmission schedule guarantees every message finds its
+        // receiver awake; the baseline must not change deliveries either.
+        let g = generators::random_connected(24, 0.2, 4).unwrap();
+        let sleeping = Simulator::new(&g, SimConfig::default().with_seed(8))
+            .run(RandomizedMst::new)
+            .unwrap();
+        assert_eq!(sleeping.stats.messages_lost, 0);
+        let awake = Simulator::new(&g, SimConfig::default().with_seed(8))
+            .run(ghs_always_awake)
+            .unwrap();
+        assert_eq!(
+            awake.stats.messages_delivered,
+            sleeping.stats.messages_delivered
+        );
+    }
+}

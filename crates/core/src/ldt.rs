@@ -1,0 +1,312 @@
+//! Labeled Distance Trees: the structural invariant both algorithms
+//! maintain between phases.
+//!
+//! A **Labeled Distance Tree (LDT)** is a rooted spanning tree of a
+//! fragment in which every node knows (a) its fragment id — the external
+//! id of the root, (b) its hop distance from the root, and (c) which of
+//! its ports lead to its parent and children. A **Forest of LDTs (FLDT)**
+//! partitions the whole graph. [`check_forest`] verifies the invariant
+//! globally and is run at phase boundaries by the test suites.
+
+use std::collections::BTreeSet;
+
+use graphlib::{Port, WeightedGraph};
+
+/// A read-only snapshot of one node's LDT bookkeeping, extracted from a
+/// protocol state for invariant checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdtView {
+    /// Fragment id (external id of the fragment root).
+    pub fragment: u64,
+    /// Hop distance from the fragment root.
+    pub level: u64,
+    /// Port leading to the parent (`None` at the root).
+    pub parent: Option<Port>,
+    /// Ports leading to children.
+    pub children: BTreeSet<Port>,
+}
+
+impl LdtView {
+    /// `true` if this node believes it is a fragment root.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+/// Verifies the FLDT invariant over the whole graph.
+///
+/// Checks, for every node `v` with view `w`:
+///
+/// 1. root iff `level == 0`, and a root's fragment id is its own external id;
+/// 2. parent/child pointers are symmetric across each tree edge;
+/// 3. a child's level is its parent's level plus one;
+/// 4. both endpoints of a tree edge agree on the fragment id;
+/// 5. each fragment has exactly one root (no cycles, counted via edges).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated condition.
+pub fn check_forest(graph: &WeightedGraph, views: &[LdtView]) -> Result<(), String> {
+    let n = graph.node_count();
+    if views.len() != n {
+        return Err(format!("expected {n} views, got {}", views.len()));
+    }
+
+    let mut tree_edges = 0usize;
+    let mut roots_per_fragment = std::collections::HashMap::new();
+
+    for v in graph.nodes() {
+        let w = &views[v.index()];
+        if w.is_root() {
+            if w.level != 0 {
+                return Err(format!("{v} is a root but has level {}", w.level));
+            }
+            if w.fragment != graph.external_id(v) {
+                return Err(format!(
+                    "{v} is a root but its fragment id {} is not its external id {}",
+                    w.fragment,
+                    graph.external_id(v)
+                ));
+            }
+            *roots_per_fragment.entry(w.fragment).or_insert(0usize) += 1;
+        } else if w.level == 0 {
+            return Err(format!("{v} has level 0 but a parent"));
+        }
+
+        if let Some(p) = w.parent {
+            if p.index() >= graph.degree(v) {
+                return Err(format!("{v} parent port {p} out of range"));
+            }
+            if w.children.contains(&p) {
+                return Err(format!("{v} lists port {p} as both parent and child"));
+            }
+            let parent_node = graph.port_entry(v, p).neighbor;
+            let pw = &views[parent_node.index()];
+            let back = graph
+                .port_to(parent_node, v)
+                .expect("adjacency is symmetric");
+            if !pw.children.contains(&back) {
+                return Err(format!("{parent_node} does not list {v} as a child"));
+            }
+            if pw.level + 1 != w.level {
+                return Err(format!(
+                    "{v} level {} is not parent {parent_node} level {} + 1",
+                    w.level, pw.level
+                ));
+            }
+            if pw.fragment != w.fragment {
+                return Err(format!(
+                    "{v} fragment {} differs from parent {parent_node} fragment {}",
+                    w.fragment, pw.fragment
+                ));
+            }
+            tree_edges += 1;
+        }
+
+        for &c in &w.children {
+            if c.index() >= graph.degree(v) {
+                return Err(format!("{v} child port {c} out of range"));
+            }
+            let child_node = graph.port_entry(v, c).neighbor;
+            let cw = &views[child_node.index()];
+            let back = graph
+                .port_to(child_node, v)
+                .expect("adjacency is symmetric");
+            if cw.parent != Some(back) {
+                return Err(format!("{child_node} does not list {v} as its parent"));
+            }
+        }
+    }
+
+    // Each fragment with k nodes contributes k-1 parent edges and 1 root.
+    let fragments: BTreeSet<u64> = views.iter().map(|w| w.fragment).collect();
+    for f in &fragments {
+        match roots_per_fragment.get(f) {
+            Some(1) => {}
+            Some(k) => return Err(format!("fragment {f} has {k} roots")),
+            None => return Err(format!("fragment {f} has no root")),
+        }
+    }
+    let node_total = views.len();
+    if tree_edges + fragments.len() != node_total {
+        return Err(format!(
+            "forest accounting broken: {tree_edges} tree edges + {} fragments != {node_total} nodes",
+            fragments.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Number of distinct fragments in a forest snapshot.
+pub fn fragment_count(views: &[LdtView]) -> usize {
+    views
+        .iter()
+        .map(|w| w.fragment)
+        .collect::<BTreeSet<u64>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::GraphBuilder;
+
+    fn path3() -> WeightedGraph {
+        GraphBuilder::new(3)
+            .edge(0, 1, 1)
+            .edge(1, 2, 2)
+            .build()
+            .unwrap()
+    }
+
+    fn singleton_views(graph: &WeightedGraph) -> Vec<LdtView> {
+        graph
+            .nodes()
+            .map(|v| LdtView {
+                fragment: graph.external_id(v),
+                level: 0,
+                parent: None,
+                children: BTreeSet::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_singleton_forest_is_valid() {
+        let g = path3();
+        assert_eq!(check_forest(&g, &singleton_views(&g)), Ok(()));
+        assert_eq!(fragment_count(&singleton_views(&g)), 3);
+    }
+
+    #[test]
+    fn valid_single_tree() {
+        // Root node 1 (external id 2); children 0 and 2.
+        let g = path3();
+        let views = vec![
+            LdtView {
+                fragment: 2,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 0,
+                parent: None,
+                children: [Port::new(0), Port::new(1)].into_iter().collect(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+        ];
+        assert_eq!(check_forest(&g, &views), Ok(()));
+        assert_eq!(fragment_count(&views), 1);
+    }
+
+    #[test]
+    fn detects_level_mismatch() {
+        let g = path3();
+        let views = vec![
+            LdtView {
+                fragment: 2,
+                level: 2,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 0,
+                parent: None,
+                children: [Port::new(0), Port::new(1)].into_iter().collect(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+        ];
+        let err = check_forest(&g, &views).unwrap_err();
+        assert!(err.contains("level"), "{err}");
+    }
+
+    #[test]
+    fn detects_asymmetric_pointers() {
+        let g = path3();
+        let views = vec![
+            // Node 0 claims node 1 as parent, but node 1 has no children.
+            LdtView {
+                fragment: 2,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 0,
+                parent: None,
+                children: BTreeSet::new(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+        ];
+        let err = check_forest(&g, &views).unwrap_err();
+        assert!(err.contains("child"), "{err}");
+    }
+
+    #[test]
+    fn detects_wrong_root_fragment_id() {
+        let g = path3();
+        let mut views = singleton_views(&g);
+        views[0].fragment = 99;
+        let err = check_forest(&g, &views).unwrap_err();
+        assert!(err.contains("external id"), "{err}");
+    }
+
+    #[test]
+    fn detects_missing_root() {
+        let g = path3();
+        let mut views = singleton_views(&g);
+        // Node 0 joins fragment 2 without any tree edge: fragment 1 loses
+        // its root and the edge accounting breaks.
+        views[0].fragment = 2;
+        views[0].level = 1;
+        views[0].parent = Some(Port::new(0));
+        let err = check_forest(&g, &views).unwrap_err();
+        assert!(err.contains("child") || err.contains("root"), "{err}");
+    }
+
+    #[test]
+    fn detects_fragment_disagreement_across_tree_edge() {
+        let g = path3();
+        let views = vec![
+            LdtView {
+                fragment: 7,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 0,
+                parent: None,
+                children: [Port::new(0), Port::new(1)].into_iter().collect(),
+            },
+            LdtView {
+                fragment: 2,
+                level: 1,
+                parent: Some(Port::new(0)),
+                children: BTreeSet::new(),
+            },
+        ];
+        let err = check_forest(&g, &views).unwrap_err();
+        assert!(err.contains("fragment"), "{err}");
+    }
+}

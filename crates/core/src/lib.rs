@@ -1,0 +1,56 @@
+//! Awake-optimal distributed MST algorithms in the sleeping model.
+//!
+//! This crate implements the paper's primary contributions on top of the
+//! [`netsim`] simulator:
+//!
+//! * [`randomized::RandomizedMst`] — Section 2.2's randomized algorithm:
+//!   `O(log n)` awake complexity w.h.p., `O(n log n)` rounds;
+//! * the LDT toolbox the algorithms are assembled from —
+//!   [`schedule`] (`Transmission-Schedule`), [`timeline`] (the global block
+//!   grid), and the block implementations inside the algorithm modules
+//!   (`Fragment-Broadcast`, `Upcast-Min`, `Transmit-Adjacent`,
+//!   `Merging-Fragments`);
+//! * [`ldt`] — the Labeled Distance Tree invariant and its checker.
+//!
+//! The deterministic algorithm, the log\*-coloring variant, and the
+//! always-awake baseline live in sibling modules ([`deterministic`],
+//! [`deterministic::ColoringMode::ColeVishkin`], [`baseline`], [`prim`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graphlib::{generators, mst};
+//! use mst_core::runner::run_randomized;
+//!
+//! let graph = generators::random_connected(32, 0.2, 1)?;
+//! let outcome = run_randomized(&graph, 7)?;
+//! assert_eq!(outcome.edges, mst::kruskal(&graph).edges);
+//! println!(
+//!     "awake {} rounds, run time {} rounds",
+//!     outcome.stats.awake_max(),
+//!     outcome.stats.rounds
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fragment;
+
+pub mod baseline;
+pub mod deterministic;
+pub mod ldt;
+pub mod msg;
+pub mod prim;
+pub mod radio_toolbox;
+pub mod randomized;
+pub mod runner;
+pub mod schedule;
+pub mod timeline;
+pub mod toolbox;
+
+pub use runner::{
+    collect_mst_edges, run_always_awake, run_deterministic, run_deterministic_with, run_logstar,
+    run_prim, run_randomized, run_randomized_with, run_spanning_tree, MstOutcome,
+};

@@ -1,0 +1,280 @@
+//! High-level entry points: run an algorithm on a graph, collect the MST
+//! edge set and the complexity metrics.
+
+use graphlib::{EdgeId, Port, WeightedGraph};
+use netsim::{RunStats, SimConfig, SimError, Simulator};
+
+use crate::baseline::ghs_always_awake;
+use crate::deterministic::{DeterministicConfig, DeterministicMst};
+use crate::randomized::{RandomizedConfig, RandomizedMst};
+
+/// The result of one distributed MST execution.
+#[derive(Debug, Clone)]
+pub struct MstOutcome {
+    /// MST edge ids, sorted ascending. For a connected graph this is the
+    /// unique MST; for a disconnected one, the minimum spanning forest.
+    pub edges: Vec<EdgeId>,
+    /// Simulator metrics: awake complexity, run time, messages, bits.
+    pub stats: RunStats,
+    /// Merge phases completed (max over nodes).
+    pub phases: u64,
+}
+
+/// Collects the distributed output ("every node knows which of its
+/// incident edges are in the MST") into a global edge set, checking that
+/// the two endpoints of every edge agree.
+///
+/// # Panics
+///
+/// Panics if the endpoints of some edge disagree — that would be an
+/// algorithm bug, not an input condition.
+pub fn collect_mst_edges<P>(
+    graph: &WeightedGraph,
+    states: &[P],
+    ports_of: impl Fn(&P) -> &[bool],
+) -> Vec<EdgeId> {
+    let mut marked = vec![false; graph.edge_count()];
+    for v in graph.nodes() {
+        for (i, &m) in ports_of(&states[v.index()]).iter().enumerate() {
+            if m {
+                let entry = graph.port_entry(v, Port::new(i as u32));
+                marked[entry.edge.index()] = true;
+            }
+        }
+    }
+    // Endpoint agreement.
+    for (idx, &m) in marked.iter().enumerate() {
+        if m {
+            let e = graph.edge(EdgeId::new(idx as u32));
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let p = graph.port_to(a, b).expect("edge endpoints adjacent");
+                assert!(
+                    ports_of(&states[a.index()])[p.index()],
+                    "endpoint {a} does not mark MST edge {idx}"
+                );
+            }
+        }
+    }
+    marked
+        .iter()
+        .enumerate()
+        .filter(|&(_i, &m)| m)
+        .map(|(i, &_m)| EdgeId::new(i as u32))
+        .collect()
+}
+
+/// Runs `Randomized-MST` with the paper's parameters.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]); a correct run on a valid
+/// graph does not produce any.
+pub fn run_randomized(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, SimError> {
+    run_randomized_with(graph, seed, RandomizedConfig::default())
+}
+
+/// Runs `Randomized-MST` with ablation overrides.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_randomized_with(
+    graph: &WeightedGraph,
+    seed: u64,
+    config: RandomizedConfig,
+) -> Result<MstOutcome, SimError> {
+    let out = Simulator::new(graph, SimConfig::default().with_seed(seed))
+        .run(|ctx| RandomizedMst::with_config(ctx, config.clone()))?;
+    let edges = collect_mst_edges(graph, &out.states, |s| s.mst_ports());
+    let phases = out
+        .states
+        .iter()
+        .map(RandomizedMst::phases)
+        .max()
+        .unwrap_or(0);
+    Ok(MstOutcome {
+        edges,
+        stats: out.stats,
+        phases,
+    })
+}
+
+/// Runs `Deterministic-MST` with the paper's parameters.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_deterministic(graph: &WeightedGraph) -> Result<MstOutcome, SimError> {
+    run_deterministic_with(graph, DeterministicConfig::default())
+}
+
+/// Runs `Deterministic-MST` with ablation overrides.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_deterministic_with(
+    graph: &WeightedGraph,
+    config: DeterministicConfig,
+) -> Result<MstOutcome, SimError> {
+    let out = Simulator::new(graph, SimConfig::default())
+        .run(|ctx| DeterministicMst::with_config(ctx, config.clone()))?;
+    let edges = collect_mst_edges(graph, &out.states, |s| s.mst_ports());
+    let phases = out
+        .states
+        .iter()
+        .map(DeterministicMst::phases)
+        .max()
+        .unwrap_or(0);
+    Ok(MstOutcome {
+        edges,
+        stats: out.stats,
+        phases,
+    })
+}
+
+/// Runs the arbitrary-spanning-tree variant: the same LDT merging with
+/// lowest-port (instead of minimum-weight) outgoing edges. Same `O(log n)`
+/// awake complexity, but the output is only *some* spanning tree — the
+/// executable version of the paper's contrast with Barenboim–Maimon's
+/// spanning-tree construction.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_spanning_tree(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, SimError> {
+    run_randomized_with(
+        graph,
+        seed,
+        RandomizedConfig {
+            selection: crate::randomized::EdgeSelection::MinPort,
+            ..RandomizedConfig::default()
+        },
+    )
+}
+
+/// Runs the Corollary 1 variant: `Deterministic-MST` with Cole–Vishkin
+/// coloring — `O(log n log* n)` awake, `O(n log n log* n)` rounds.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_logstar(graph: &WeightedGraph) -> Result<MstOutcome, SimError> {
+    run_deterministic_with(
+        graph,
+        DeterministicConfig {
+            coloring: crate::deterministic::ColoringMode::ColeVishkin,
+            ..DeterministicConfig::default()
+        },
+    )
+}
+
+/// Runs the Prim-style sequential baseline: the fragment of external id
+/// `leader` absorbs one node per phase. Produces the MST with `Θ(n)` awake
+/// complexity — the counterexample showing sleep states alone are not
+/// enough; the paper's parallel merging is what achieves `O(log n)`.
+///
+/// # Panics
+///
+/// Panics if `graph` is disconnected: unlike the paper's algorithms (which
+/// finish per fragment), Prim's non-leader components never find the DONE
+/// signal and the run would spin forever.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_prim(graph: &WeightedGraph, leader: u64) -> Result<MstOutcome, SimError> {
+    assert!(
+        graphlib::traversal::is_connected(graph),
+        "run_prim requires a connected graph (non-leader components never terminate)"
+    );
+    let out = Simulator::new(graph, SimConfig::default())
+        .run(|ctx| crate::prim::PrimMst::new(ctx, leader))?;
+    let edges = collect_mst_edges(graph, &out.states, |s| s.mst_ports());
+    let phases = out
+        .states
+        .iter()
+        .map(crate::prim::PrimMst::phases)
+        .max()
+        .unwrap_or(0);
+    Ok(MstOutcome {
+        edges,
+        stats: out.stats,
+        phases,
+    })
+}
+
+/// Runs the always-awake GHS baseline (traditional-model cost profile).
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SimError`]).
+pub fn run_always_awake(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, SimError> {
+    let out = Simulator::new(graph, SimConfig::default().with_seed(seed)).run(ghs_always_awake)?;
+    let edges = collect_mst_edges(graph, &out.states, |s| s.inner().mst_ports());
+    let phases = out
+        .states
+        .iter()
+        .map(|s| s.inner().phases())
+        .max()
+        .unwrap_or(0);
+    Ok(MstOutcome {
+        edges,
+        stats: out.stats,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::{generators, mst};
+
+    #[test]
+    fn run_randomized_matches_kruskal() {
+        let g = generators::random_connected(26, 0.15, 4).unwrap();
+        let out = run_randomized(&g, 9).unwrap();
+        assert_eq!(out.edges, mst::kruskal(&g).edges);
+        assert!(out.phases >= 1);
+        assert!(out.stats.rounds > 0);
+    }
+
+    #[test]
+    fn outcome_total_weight_matches_reference() {
+        let g = generators::complete(12, 8).unwrap();
+        let out = run_randomized(&g, 2).unwrap();
+        assert_eq!(
+            g.total_weight(out.edges.iter().copied()),
+            mst::kruskal(&g).total_weight
+        );
+    }
+
+    #[test]
+    fn spanning_tree_variant_spans_but_is_not_minimum() {
+        let g = generators::complete(14, 3).unwrap();
+        let st = run_spanning_tree(&g, 5).unwrap();
+        // It is a spanning tree…
+        assert_eq!(st.edges.len(), 13);
+        let mut uf = graphlib::UnionFind::new(14);
+        for &e in &st.edges {
+            let edge = g.edge(e);
+            assert!(uf.union(edge.u.index(), edge.v.index()), "cycle in output");
+        }
+        assert_eq!(uf.set_count(), 1);
+        // …but (on a complete graph with random weights) almost surely not
+        // the minimum one.
+        let reference = mst::kruskal(&g);
+        assert!(
+            g.total_weight(st.edges.iter().copied()) > reference.total_weight,
+            "min-port tree accidentally minimal; change the seed"
+        );
+    }
+
+    #[test]
+    fn spanning_tree_variant_keeps_awake_logarithmic() {
+        let g = generators::random_connected(64, 0.1, 4).unwrap();
+        let st = run_spanning_tree(&g, 1).unwrap();
+        assert_eq!(st.edges.len(), 63);
+        assert!((st.stats.awake_max() as f64) < 60.0 * (64f64).log2());
+    }
+}

@@ -1,0 +1,160 @@
+//! The `Transmission-Schedule` of Appendix B.
+//!
+//! A *block* is a window of `2n + 1` consecutive rounds in which one tree
+//! procedure (broadcast, upcast, side exchange, or merge sweep) runs. A
+//! node at distance `i` from its fragment root wakes only at a handful of
+//! named offsets inside the block; the offsets are arranged so that a
+//! parent's `Down-Send` coincides with its children's `Down-Receive`, a
+//! child's `Up-Send` with its parent's `Up-Receive`, and every node's
+//! `Side-Send-Receive` falls in the same round network-wide.
+//!
+//! Offsets here are **0-based within the block** (the paper's rounds are
+//! 1-based; subtract one).
+
+/// Length in rounds of one transmission-schedule block for an `n`-node
+/// network.
+pub fn block_len(n: usize) -> u64 {
+    2 * n as u64 + 1
+}
+
+/// The named wake offsets of one node inside a block.
+///
+/// `None` fields do not exist for that node (the root neither receives
+/// from above nor sends upward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsOffsets {
+    /// Root: absent. Non-root at distance `i`: offset `i - 1`, where the
+    /// parent's [`TsOffsets::down_send`] lands.
+    pub down_receive: Option<u64>,
+    /// Offset `i` for a node at distance `i` (the root sends at offset 0).
+    pub down_send: u64,
+    /// Offset `n` for every node — the network-wide simultaneous exchange
+    /// used by `Transmit-Adjacent`.
+    pub side: u64,
+    /// Offset `2n - i` for a node at distance `i`, where its children's
+    /// [`TsOffsets::up_send`] lands.
+    pub up_receive: u64,
+    /// Root: absent. Non-root at distance `i`: offset `2n - i + 1`.
+    pub up_send: Option<u64>,
+}
+
+/// Computes the schedule for a node at hop distance `distance` from its
+/// fragment root, in an `n`-node network.
+///
+/// # Panics
+///
+/// Panics if `distance >= n` (levels in a labeled distance tree are always
+/// at most `n - 1`).
+pub fn ts_offsets(n: usize, distance: u64) -> TsOffsets {
+    assert!(
+        distance < n as u64 || (n == 0 && distance == 0),
+        "distance {distance} out of range for n = {n}"
+    );
+    let n = n as u64;
+    if distance == 0 {
+        TsOffsets {
+            down_receive: None,
+            down_send: 0,
+            side: n,
+            up_receive: 2 * n,
+            up_send: None,
+        }
+    } else {
+        TsOffsets {
+            down_receive: Some(distance - 1),
+            down_send: distance,
+            side: n,
+            up_receive: 2 * n - distance,
+            up_send: Some(2 * n - distance + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_len_is_2n_plus_1() {
+        assert_eq!(block_len(1), 3);
+        assert_eq!(block_len(8), 17);
+    }
+
+    #[test]
+    fn parent_child_down_offsets_align() {
+        let n = 10;
+        for i in 1..n as u64 {
+            let parent = ts_offsets(n, i - 1);
+            let child = ts_offsets(n, i);
+            assert_eq!(Some(parent.down_send), child.down_receive, "distance {i}");
+        }
+    }
+
+    #[test]
+    fn parent_child_up_offsets_align() {
+        let n = 10;
+        for i in 1..n as u64 {
+            let parent = ts_offsets(n, i - 1);
+            let child = ts_offsets(n, i);
+            assert_eq!(Some(parent.up_receive), child.up_send, "distance {i}");
+        }
+    }
+
+    #[test]
+    fn side_offset_is_global() {
+        let n = 10;
+        for i in 0..n as u64 {
+            assert_eq!(ts_offsets(n, i).side, 10);
+        }
+    }
+
+    #[test]
+    fn all_offsets_fit_in_block() {
+        let n = 10;
+        let len = block_len(n);
+        for i in 0..n as u64 {
+            let o = ts_offsets(n, i);
+            let mut all = vec![o.down_send, o.side, o.up_receive];
+            all.extend(o.down_receive);
+            all.extend(o.up_send);
+            assert!(all.iter().all(|&x| x < len), "distance {i}: {all:?}");
+        }
+    }
+
+    #[test]
+    fn per_node_offsets_are_distinct_except_boundary_cases() {
+        // For every distance, the five offsets a node might use in the
+        // *same* block are pairwise distinct (so one wake has one meaning).
+        let n = 10;
+        for i in 0..n as u64 {
+            let o = ts_offsets(n, i);
+            let mut all = vec![o.down_send, o.side, o.up_receive];
+            all.extend(o.down_receive);
+            all.extend(o.up_send);
+            let uniq: std::collections::HashSet<u64> = all.iter().copied().collect();
+            assert_eq!(uniq.len(), all.len(), "distance {i} collides: {all:?}");
+        }
+    }
+
+    #[test]
+    fn matches_paper_for_root_and_distance_one() {
+        // Paper (1-based): root Down-Send=1, Side=n+1, Up-Receive=2n+1.
+        let n = 7;
+        let root = ts_offsets(n, 0);
+        assert_eq!(root.down_send, 0);
+        assert_eq!(root.side, 7);
+        assert_eq!(root.up_receive, 14);
+        // Distance 1 (1-based: i=1, i+1=2, n+1, 2n, 2n+1).
+        let one = ts_offsets(n, 1);
+        assert_eq!(one.down_receive, Some(0));
+        assert_eq!(one.down_send, 1);
+        assert_eq!(one.up_receive, 13);
+        assert_eq!(one.up_send, Some(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_distance_beyond_n() {
+        ts_offsets(4, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Global round arithmetic: phases, blocks, offsets.
+//!
+//! Both sleeping algorithms run on a *global block timeline*: round 1
+//! starts phase 0, block 0, offset 0; each block is [`block_len`] rounds;
+//! each phase is a fixed number of blocks. Because every node knows `n`
+//! (and `N`), every node derives the same timeline locally, which is what
+//! lets sleeping nodes re-synchronize purely from the round number.
+
+use netsim::Round;
+
+use crate::schedule::block_len;
+
+/// Position of a round on the block timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Position {
+    /// Phase index (0-based).
+    pub phase: u64,
+    /// Block index within the phase (0-based).
+    pub block: u64,
+    /// Offset within the block (0-based, `< block_len`).
+    pub offset: u64,
+}
+
+/// The timeline geometry of one algorithm on an `n`-node network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeline {
+    n: usize,
+    blocks_per_phase: u64,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given number of blocks per phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_phase` is zero.
+    pub fn new(n: usize, blocks_per_phase: u64) -> Self {
+        assert!(blocks_per_phase > 0, "a phase needs at least one block");
+        Timeline {
+            n,
+            blocks_per_phase,
+        }
+    }
+
+    /// Network size this timeline was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds per block (`2n + 1`).
+    pub fn block_len(&self) -> u64 {
+        block_len(self.n)
+    }
+
+    /// Blocks per phase.
+    pub fn blocks_per_phase(&self) -> u64 {
+        self.blocks_per_phase
+    }
+
+    /// Rounds per phase.
+    pub fn phase_len(&self) -> u64 {
+        self.blocks_per_phase * self.block_len()
+    }
+
+    /// Maps a 1-based round number to its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round == 0` (rounds are numbered from 1).
+    pub fn position(&self, round: Round) -> Position {
+        assert!(round > 0, "rounds are numbered from 1");
+        let z = round - 1;
+        let phase = z / self.phase_len();
+        let in_phase = z % self.phase_len();
+        Position {
+            phase,
+            block: in_phase / self.block_len(),
+            offset: in_phase % self.block_len(),
+        }
+    }
+
+    /// Maps a position back to its 1-based round number.
+    pub fn round(&self, pos: Position) -> Round {
+        1 + pos.phase * self.phase_len() + pos.block * self.block_len() + pos.offset
+    }
+
+    /// First round of a given (phase, block).
+    pub fn block_start(&self, phase: u64, block: u64) -> Round {
+        self.round(Position {
+            phase,
+            block,
+            offset: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_position_roundtrip() {
+        let t = Timeline::new(5, 7); // block_len 11, phase_len 77
+        for round in 1..500 {
+            let pos = t.position(round);
+            assert_eq!(t.round(pos), round);
+            assert!(pos.offset < t.block_len());
+            assert!(pos.block < t.blocks_per_phase());
+        }
+    }
+
+    #[test]
+    fn known_positions() {
+        let t = Timeline::new(5, 3); // block_len 11, phase 33
+        assert_eq!(
+            t.position(1),
+            Position {
+                phase: 0,
+                block: 0,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            t.position(11),
+            Position {
+                phase: 0,
+                block: 0,
+                offset: 10
+            }
+        );
+        assert_eq!(
+            t.position(12),
+            Position {
+                phase: 0,
+                block: 1,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            t.position(34),
+            Position {
+                phase: 1,
+                block: 0,
+                offset: 0
+            }
+        );
+        assert_eq!(t.block_start(1, 2), 1 + 33 + 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn round_zero_rejected() {
+        Timeline::new(5, 3).position(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        Timeline::new(5, 0);
+    }
+}

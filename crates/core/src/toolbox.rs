@@ -1,0 +1,389 @@
+//! Standalone single-procedure runs of the Appendix B toolbox.
+//!
+//! The MST algorithms interleave many procedure blocks on one timeline;
+//! this module runs **one** procedure on a fixed Labeled Distance Tree so
+//! the paper's per-procedure claims (Observations 2–4) can be tested and
+//! benchmarked in isolation:
+//!
+//! * [`Broadcast`] — `Fragment-Broadcast(n)`: root's message to every
+//!   node, `O(1)` awake, `O(n)` rounds;
+//! * [`UpcastMin`] — `Upcast-Min(n)`: minimum of all node values to the
+//!   root, `O(1)` awake, `O(n)` rounds;
+//! * [`TransmitAdjacent`] — `Transmit-Adjacent(n)`: every node swaps one
+//!   message with each neighbor, `O(1)` awake, `O(n)` rounds.
+//!
+//! Each protocol takes a [`TreeSpec`] describing the node's position in an
+//! (externally constructed) LDT; the simulator factory typically derives
+//! it from a reference spanning tree.
+
+use std::collections::BTreeSet;
+
+use graphlib::{NodeId, Port, WeightedGraph};
+use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+
+use crate::schedule::ts_offsets;
+
+/// One node's position in a fixed Labeled Distance Tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSpec {
+    /// Port to the parent (`None` at the root).
+    pub parent: Option<Port>,
+    /// Ports to the children.
+    pub children: BTreeSet<Port>,
+    /// Hop distance from the root.
+    pub level: u64,
+}
+
+impl TreeSpec {
+    /// Derives the specs of every node for the tree formed by `edges`
+    /// (edge ids into `graph`), rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges do not form a tree spanning `root`'s component.
+    pub fn from_tree_edges(
+        graph: &WeightedGraph,
+        edges: &[graphlib::EdgeId],
+        root: NodeId,
+    ) -> Vec<TreeSpec> {
+        let n = graph.node_count();
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &id in edges {
+            let e = graph.edge(id);
+            adj[e.u.index()].push(e.v);
+            adj[e.v.index()].push(e.u);
+        }
+        let mut specs: Vec<TreeSpec> = (0..n)
+            .map(|_| TreeSpec {
+                parent: None,
+                children: BTreeSet::new(),
+                level: 0,
+            })
+            .collect();
+        let mut seen = vec![false; n];
+        seen[root.index()] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u.index()] {
+                if seen[v.index()] {
+                    continue;
+                }
+                seen[v.index()] = true;
+                let up = graph.port_to(v, u).expect("tree edge endpoints adjacent");
+                let down = graph.port_to(u, v).expect("tree edge endpoints adjacent");
+                specs[v.index()].parent = Some(up);
+                specs[v.index()].level = specs[u.index()].level + 1;
+                specs[u.index()].children.insert(down);
+                queue.push_back(v);
+            }
+        }
+        specs
+    }
+}
+
+/// `Fragment-Broadcast(n)`: the root's value reaches every node in one
+/// block.
+#[derive(Debug, Clone)]
+pub struct Broadcast {
+    spec: TreeSpec,
+    /// The value held (pre-set at the root, received elsewhere).
+    pub value: Option<u64>,
+    phase: u8,
+}
+
+impl Broadcast {
+    /// Creates the per-node state; pass `Some(value)` at the root.
+    pub fn new(spec: TreeSpec, value: Option<u64>) -> Self {
+        Broadcast {
+            spec,
+            value,
+            phase: 0,
+        }
+    }
+}
+
+impl Protocol for Broadcast {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeCtx) -> NextWake {
+        let o = ts_offsets(ctx.n, self.spec.level);
+        match o.down_receive {
+            Some(dr) => NextWake::At(dr + 1),
+            None if !self.spec.children.is_empty() => NextWake::At(o.down_send + 1),
+            None => NextWake::Halt,
+        }
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<u64>> {
+        let sending = self.phase == 1 || (self.phase == 0 && self.spec.parent.is_none());
+        match (sending, self.value) {
+            (true, Some(v)) => self
+                .spec
+                .children
+                .iter()
+                .map(|&p| Envelope::new(p, v))
+                .collect(),
+            _ => {
+                let _ = ctx;
+                Vec::new()
+            }
+        }
+    }
+
+    fn deliver(&mut self, ctx: &NodeCtx, _round: Round, inbox: &[Envelope<u64>]) -> NextWake {
+        let o = ts_offsets(ctx.n, self.spec.level);
+        if self.phase == 0 && self.spec.parent.is_some() {
+            if let Some(env) = inbox.first() {
+                self.value = Some(env.msg);
+            }
+            self.phase = 1;
+            if self.spec.children.is_empty() {
+                return NextWake::Halt;
+            }
+            return NextWake::At(o.down_send + 1);
+        }
+        NextWake::Halt
+    }
+}
+
+/// `Upcast-Min(n)`: the minimum of all node values reaches the root in
+/// one block.
+#[derive(Debug, Clone)]
+pub struct UpcastMin {
+    spec: TreeSpec,
+    /// This node's own value going in; at the root, the tree minimum
+    /// coming out.
+    pub value: u64,
+    phase: u8,
+}
+
+impl UpcastMin {
+    /// Creates the per-node state with this node's input value.
+    pub fn new(spec: TreeSpec, value: u64) -> Self {
+        UpcastMin {
+            spec,
+            value,
+            phase: 0,
+        }
+    }
+}
+
+impl Protocol for UpcastMin {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeCtx) -> NextWake {
+        let o = ts_offsets(ctx.n, self.spec.level);
+        if !self.spec.children.is_empty() {
+            NextWake::At(o.up_receive + 1)
+        } else if let Some(up) = o.up_send {
+            NextWake::At(up + 1)
+        } else {
+            // Childless root: it already holds the minimum.
+            NextWake::Halt
+        }
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<u64>> {
+        let at_up_send = self.phase == 1 || (self.phase == 0 && self.spec.children.is_empty());
+        match (at_up_send, self.spec.parent) {
+            (true, Some(p)) => vec![Envelope::new(p, self.value)],
+            _ => {
+                let _ = ctx;
+                Vec::new()
+            }
+        }
+    }
+
+    fn deliver(&mut self, ctx: &NodeCtx, _round: Round, inbox: &[Envelope<u64>]) -> NextWake {
+        let o = ts_offsets(ctx.n, self.spec.level);
+        if self.phase == 0 && !self.spec.children.is_empty() {
+            for env in inbox {
+                self.value = self.value.min(env.msg);
+            }
+            self.phase = 1;
+            if let Some(up) = o.up_send {
+                return NextWake::At(up + 1);
+            }
+            return NextWake::Halt; // root folded its children
+        }
+        NextWake::Halt
+    }
+}
+
+/// `Transmit-Adjacent(n)`: every node exchanges one message with each
+/// neighbor (tree or not) in the network-wide `Side-Send-Receive` round.
+#[derive(Debug, Clone)]
+pub struct TransmitAdjacent {
+    spec: TreeSpec,
+    /// The value announced to all neighbors.
+    pub own: u64,
+    /// Values received, per port.
+    pub received: Vec<Option<u64>>,
+}
+
+impl TransmitAdjacent {
+    /// Creates the per-node state with this node's announcement.
+    pub fn new(spec: TreeSpec, own: u64, degree: usize) -> Self {
+        TransmitAdjacent {
+            spec,
+            own,
+            received: vec![None; degree],
+        }
+    }
+}
+
+impl Protocol for TransmitAdjacent {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeCtx) -> NextWake {
+        if ctx.degree() == 0 {
+            return NextWake::Halt;
+        }
+        NextWake::At(ts_offsets(ctx.n, self.spec.level).side + 1)
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<u64>> {
+        ctx.ports().map(|p| Envelope::new(p, self.own)).collect()
+    }
+
+    fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<u64>]) -> NextWake {
+        for env in inbox {
+            self.received[env.port.index()] = Some(env.msg);
+        }
+        NextWake::Halt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::{generators, mst};
+    use netsim::{SimConfig, Simulator};
+
+    fn tree_specs(graph: &WeightedGraph) -> Vec<TreeSpec> {
+        let t = mst::kruskal(graph);
+        TreeSpec::from_tree_edges(graph, &t.edges, NodeId::new(0))
+    }
+
+    #[test]
+    fn spec_derivation_produces_an_ldt() {
+        let g = generators::random_connected(20, 0.2, 3).unwrap();
+        let specs = tree_specs(&g);
+        assert_eq!(specs[0].parent, None);
+        assert_eq!(specs[0].level, 0);
+        // Levels increase by one along parent links.
+        for v in g.nodes().skip(1) {
+            let s = &specs[v.index()];
+            let p = g.port_entry(v, s.parent.unwrap()).neighbor;
+            assert_eq!(specs[p.index()].level + 1, s.level, "{v}");
+        }
+    }
+
+    #[test]
+    fn broadcast_observation_2() {
+        // O(n) running time, O(1) awake time, everyone informed.
+        let g = generators::random_connected(24, 0.15, 5).unwrap();
+        let specs = tree_specs(&g);
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| {
+                let spec = specs[ctx.node.index()].clone();
+                let payload = (ctx.node.raw() == 0).then_some(4242);
+                Broadcast::new(spec, payload)
+            })
+            .unwrap();
+        assert!(out.states.iter().all(|s| s.value == Some(4242)));
+        assert!(
+            out.stats.rounds <= 2 * 24 + 1,
+            "rounds {}",
+            out.stats.rounds
+        );
+        assert!(
+            out.stats.awake_max() <= 2,
+            "awake {}",
+            out.stats.awake_max()
+        );
+        assert_eq!(out.stats.messages_lost, 0);
+    }
+
+    #[test]
+    fn upcast_min_observation_3() {
+        let g = generators::random_connected(24, 0.15, 7).unwrap();
+        let specs = tree_specs(&g);
+        let values: Vec<u64> = (0..24).map(|i| 1000 - 7 * i as u64).collect();
+        let expected = *values.iter().min().unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| UpcastMin::new(specs[ctx.node.index()].clone(), values[ctx.node.index()]))
+            .unwrap();
+        assert_eq!(out.states[0].value, expected, "root learns the minimum");
+        assert!(out.stats.rounds <= 2 * 24 + 1);
+        assert!(out.stats.awake_max() <= 2);
+        assert_eq!(out.stats.messages_lost, 0);
+    }
+
+    #[test]
+    fn transmit_adjacent_observation_4() {
+        let g = generators::random_connected(24, 0.2, 9).unwrap();
+        let specs = tree_specs(&g);
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| {
+                TransmitAdjacent::new(
+                    specs[ctx.node.index()].clone(),
+                    u64::from(ctx.node.raw()) + 100,
+                    ctx.degree(),
+                )
+            })
+            .unwrap();
+        // Everyone heard every neighbor exactly once, in one awake round.
+        for v in g.nodes() {
+            for (i, entry) in g.ports(v).iter().enumerate() {
+                assert_eq!(
+                    out.states[v.index()].received[i],
+                    Some(u64::from(entry.neighbor.raw()) + 100),
+                    "{v} port {i}"
+                );
+            }
+        }
+        assert_eq!(out.stats.awake_max(), 1);
+        assert!(out.stats.rounds <= 2 * 24 + 1);
+        assert_eq!(out.stats.messages_lost, 0);
+    }
+
+    #[test]
+    fn broadcast_on_a_path_has_linear_rounds_but_constant_awake() {
+        // The schedule's signature behaviour on the worst-case topology.
+        let g = generators::path(40, 1).unwrap();
+        let specs = tree_specs(&g);
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| {
+                let spec = specs[ctx.node.index()].clone();
+                let payload = (ctx.node.raw() == 0).then_some(1);
+                Broadcast::new(spec, payload)
+            })
+            .unwrap();
+        assert!(out.states.iter().all(|s| s.value == Some(1)));
+        assert!(out.stats.rounds >= 39, "deep node informed late");
+        assert!(out.stats.awake_max() <= 2);
+    }
+
+    #[test]
+    fn single_node_procedures_are_trivial() {
+        let g = graphlib::GraphBuilder::new(1).build().unwrap();
+        let specs = [TreeSpec {
+            parent: None,
+            children: BTreeSet::new(),
+            level: 0,
+        }];
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Broadcast::new(specs[0].clone(), Some(9)))
+            .unwrap();
+        assert_eq!(out.states[0].value, Some(9));
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| UpcastMin::new(specs[0].clone(), 5))
+            .unwrap();
+        assert_eq!(out.states[0].value, 5);
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| TransmitAdjacent::new(specs[0].clone(), 1, 0))
+            .unwrap();
+        assert!(out.states[0].received.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or generating graphs.
+///
+/// Every constructor in this crate validates its input eagerly; a
+/// `GraphError` always describes a structural problem with the requested
+/// graph, never an internal failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A duplicate edge weight was supplied. The sleeping-model MST paper
+    /// assumes distinct weights (making the MST unique) and this crate
+    /// enforces that assumption.
+    DuplicateWeight {
+        /// The weight that appeared more than once.
+        weight: u64,
+    },
+    /// The same unordered node pair was given two edges (multigraphs are
+    /// not supported).
+    DuplicateEdge {
+        /// One endpoint of the repeated edge.
+        u: u32,
+        /// The other endpoint of the repeated edge.
+        v: u32,
+    },
+    /// An edge references a node index outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was supplied.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u32,
+    },
+    /// The generated or supplied graph is not connected, but the requested
+    /// construction requires connectivity.
+    Disconnected,
+    /// A generator was asked for an impossible size (for example a ring on
+    /// fewer than three nodes).
+    InvalidSize {
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateWeight { weight } => {
+                write!(
+                    f,
+                    "duplicate edge weight {weight} (weights must be distinct)"
+                )
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge between nodes {u} and {v}")
+            }
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidSize { reason } => write!(f, "invalid graph size: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::DuplicateWeight { weight: 7 };
+        assert!(e.to_string().contains("duplicate edge weight 7"));
+        let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::InvalidSize {
+            reason: "n must be >= 3".into(),
+        };
+        assert!(e.to_string().contains("n must be >= 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

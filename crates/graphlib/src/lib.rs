@@ -1,0 +1,40 @@
+//! Weighted-graph substrate for the sleeping-model MST reproduction.
+//!
+//! This crate provides everything the distributed layers need from the
+//! "graph world": a compact undirected weighted graph type with per-node
+//! port numbering ([`WeightedGraph`]), deterministic generators for the
+//! graph families used in the paper's experiments ([`generators`]),
+//! sequential reference MST algorithms used as ground truth
+//! ([`mst`]), and supporting structure such as a union-find
+//! ([`UnionFind`]) and BFS-based graph properties ([`traversal`]).
+//!
+//! The paper assumes all edge weights are **distinct**, which makes the MST
+//! unique; [`WeightedGraph`] enforces this at construction time so that any
+//! two MST algorithms (distributed or sequential) must produce the same edge
+//! set, which the test suites rely on heavily.
+//!
+//! # Example
+//!
+//! ```
+//! use graphlib::{generators, mst};
+//!
+//! let graph = generators::random_connected(32, 0.2, 7)?;
+//! let tree = mst::kruskal(&graph);
+//! assert_eq!(tree.edges.len(), graph.node_count() - 1);
+//! # Ok::<(), graphlib::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod union_find;
+
+pub mod generators;
+pub mod mst;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, GraphBuilder, NodeId, Port, WeightedGraph};
+pub use union_find::UnionFind;

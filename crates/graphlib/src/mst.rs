@@ -1,0 +1,332 @@
+//! Sequential reference MST algorithms.
+//!
+//! The distributed algorithms in `mst-core` are verified against these:
+//! because [`WeightedGraph`] enforces distinct weights, the MST is unique,
+//! so any correct algorithm must return exactly the same edge set.
+//!
+//! Three classical algorithms are provided — [`kruskal`], [`prim`], and
+//! [`boruvka`] — both as ground truth and as a cross-check on each other in
+//! the property-test suite.
+
+use std::collections::BinaryHeap;
+
+use crate::{EdgeId, NodeId, UnionFind, WeightedGraph};
+
+/// A spanning forest: the MST restricted to each connected component.
+///
+/// For a connected graph this is the unique MST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Edge ids of the forest, sorted ascending.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the forest.
+    pub total_weight: u64,
+}
+
+impl SpanningForest {
+    fn from_unsorted(graph: &WeightedGraph, mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        let total_weight = graph.total_weight(edges.iter().copied());
+        SpanningForest {
+            edges,
+            total_weight,
+        }
+    }
+
+    /// `true` if `edge` belongs to the forest.
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        self.edges.binary_search(&edge).is_ok()
+    }
+
+    /// Per-node incident forest edges, as a membership bitmap over
+    /// `(node, port)` pairs — the exact output format the paper requires of
+    /// a distributed MST ("every node knows which of its incident edges
+    /// belong to the MST").
+    pub fn incident_map(&self, graph: &WeightedGraph) -> Vec<Vec<bool>> {
+        let mut map: Vec<Vec<bool>> = graph
+            .nodes()
+            .map(|v| vec![false; graph.degree(v)])
+            .collect();
+        for &id in &self.edges {
+            let e = graph.edge(id);
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let p = graph
+                    .port_to(a, b)
+                    .expect("forest edge endpoints must be adjacent");
+                map[a.index()][p.index()] = true;
+            }
+        }
+        map
+    }
+}
+
+/// Kruskal's algorithm via sorting and union-find.
+///
+/// Runs in `O(m log m)`. Works on disconnected graphs (returns the minimum
+/// spanning forest).
+///
+/// # Example
+///
+/// ```
+/// use graphlib::{generators, mst};
+///
+/// let g = generators::ring(8, 42)?;
+/// let t = mst::kruskal(&g);
+/// assert_eq!(t.edges.len(), 7); // ring MST drops exactly one edge
+/// # Ok::<(), graphlib::GraphError>(())
+/// ```
+pub fn kruskal(graph: &WeightedGraph) -> SpanningForest {
+    let mut order: Vec<EdgeId> = (0..graph.edge_count() as u32).map(EdgeId::new).collect();
+    order.sort_unstable_by_key(|&id| graph.edge(id).weight);
+
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut picked = Vec::with_capacity(graph.node_count().saturating_sub(1));
+    for id in order {
+        let e = graph.edge(id);
+        if uf.union(e.u.index(), e.v.index()) {
+            picked.push(id);
+        }
+    }
+    SpanningForest::from_unsorted(graph, picked)
+}
+
+/// Prim's algorithm with a binary heap, restarted per component.
+///
+/// Runs in `O(m log n)`.
+pub fn prim(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.node_count();
+    let mut in_tree = vec![false; n];
+    let mut picked = Vec::with_capacity(n.saturating_sub(1));
+
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        in_tree[start] = true;
+        // Min-heap via Reverse ordering on (weight, edge).
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+        for entry in graph.ports(NodeId::new(start as u32)) {
+            heap.push(std::cmp::Reverse((
+                entry.weight,
+                entry.edge.raw(),
+                entry.neighbor.raw(),
+            )));
+        }
+        while let Some(std::cmp::Reverse((_, edge_raw, to_raw))) = heap.pop() {
+            let to = to_raw as usize;
+            if in_tree[to] {
+                continue;
+            }
+            in_tree[to] = true;
+            picked.push(EdgeId::new(edge_raw));
+            for entry in graph.ports(NodeId::new(to_raw)) {
+                if !in_tree[entry.neighbor.index()] {
+                    heap.push(std::cmp::Reverse((
+                        entry.weight,
+                        entry.edge.raw(),
+                        entry.neighbor.raw(),
+                    )));
+                }
+            }
+        }
+    }
+    SpanningForest::from_unsorted(graph, picked)
+}
+
+/// Borůvka's algorithm: repeated minimum-outgoing-edge contraction.
+///
+/// This is the sequential skeleton of the distributed GHS algorithm the
+/// paper builds on — each round every fragment selects its minimum outgoing
+/// edge (MOE) and fragments merge along selected edges. Useful both as a
+/// reference MST and as an oracle for per-phase fragment counts.
+pub fn boruvka(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    let mut picked = Vec::new();
+    if n == 0 {
+        return SpanningForest::from_unsorted(graph, picked);
+    }
+
+    loop {
+        // best[f] = cheapest edge leaving fragment with representative f.
+        let mut best: Vec<Option<EdgeId>> = vec![None; n];
+        let mut any = false;
+        for (i, e) in graph.edges().iter().enumerate() {
+            let (ru, rv) = (uf.find(e.u.index()), uf.find(e.v.index()));
+            if ru == rv {
+                continue;
+            }
+            any = true;
+            let id = EdgeId::new(i as u32);
+            for r in [ru, rv] {
+                let better = match best[r] {
+                    None => true,
+                    Some(cur) => graph.edge(cur).weight > e.weight,
+                };
+                if better {
+                    best[r] = Some(id);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        for id in best.into_iter().flatten() {
+            let e = graph.edge(id);
+            if uf.union(e.u.index(), e.v.index()) {
+                picked.push(id);
+            }
+        }
+    }
+    SpanningForest::from_unsorted(graph, picked)
+}
+
+/// Counts the Borůvka phases needed until one fragment remains — an oracle
+/// for the phase counts of the distributed algorithms.
+pub fn boruvka_phase_count(graph: &WeightedGraph) -> usize {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    let mut phases = 0;
+    loop {
+        let mut best: Vec<Option<EdgeId>> = vec![None; n];
+        let mut any = false;
+        for (i, e) in graph.edges().iter().enumerate() {
+            let (ru, rv) = (uf.find(e.u.index()), uf.find(e.v.index()));
+            if ru == rv {
+                continue;
+            }
+            any = true;
+            let id = EdgeId::new(i as u32);
+            for r in [ru, rv] {
+                let better = match best[r] {
+                    None => true,
+                    Some(cur) => graph.edge(cur).weight > e.weight,
+                };
+                if better {
+                    best[r] = Some(id);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        phases += 1;
+        for id in best.into_iter().flatten() {
+            let e = graph.edge(id);
+            uf.union(e.u.index(), e.v.index());
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    fn diamond() -> WeightedGraph {
+        // 0-1 (1), 1-2 (2), 2-3 (3), 3-0 (4), 0-2 (5)
+        GraphBuilder::new(4)
+            .edge(0, 1, 1)
+            .edge(1, 2, 2)
+            .edge(2, 3, 3)
+            .edge(3, 0, 4)
+            .edge(0, 2, 5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kruskal_picks_cheapest_spanning_set() {
+        let g = diamond();
+        let t = kruskal(&g);
+        assert_eq!(
+            t.edges,
+            vec![EdgeId::new(0), EdgeId::new(1), EdgeId::new(2)]
+        );
+        assert_eq!(t.total_weight, 6);
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_on_diamond() {
+        let g = diamond();
+        let k = kruskal(&g);
+        assert_eq!(k, prim(&g));
+        assert_eq!(k, boruvka(&g));
+    }
+
+    #[test]
+    fn all_three_agree_on_random_graphs() {
+        for seed in 0..10 {
+            let g = generators::random_connected(40, 0.15, seed).unwrap();
+            let k = kruskal(&g);
+            assert_eq!(k, prim(&g), "prim disagrees at seed {seed}");
+            assert_eq!(k, boruvka(&g), "boruvka disagrees at seed {seed}");
+            assert_eq!(k.edges.len(), 39);
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        // Two components: {0,1,2} triangle and {3,4} edge.
+        let g = GraphBuilder::new(5)
+            .edge(0, 1, 1)
+            .edge(1, 2, 2)
+            .edge(0, 2, 3)
+            .edge(3, 4, 4)
+            .build()
+            .unwrap();
+        for t in [kruskal(&g), prim(&g), boruvka(&g)] {
+            assert_eq!(t.edges.len(), 3);
+            assert_eq!(t.total_weight, 1 + 2 + 4);
+        }
+    }
+
+    #[test]
+    fn incident_map_marks_both_endpoints() {
+        let g = diamond();
+        let t = kruskal(&g);
+        let map = t.incident_map(&g);
+        // Edge (0,1) is in the MST: port 0 of node 0 and port 0 of node 1.
+        let p01 = g.port_to(NodeId::new(0), NodeId::new(1)).unwrap();
+        let p10 = g.port_to(NodeId::new(1), NodeId::new(0)).unwrap();
+        assert!(map[0][p01.index()]);
+        assert!(map[1][p10.index()]);
+        // Edge (0,2) (weight 5) is not.
+        let p02 = g.port_to(NodeId::new(0), NodeId::new(2)).unwrap();
+        assert!(!map[0][p02.index()]);
+    }
+
+    #[test]
+    fn contains_uses_sorted_edges() {
+        let g = diamond();
+        let t = kruskal(&g);
+        assert!(t.contains(EdgeId::new(0)));
+        assert!(!t.contains(EdgeId::new(4)));
+    }
+
+    #[test]
+    fn single_node_and_empty_graphs() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert!(kruskal(&g).edges.is_empty());
+        assert!(prim(&g).edges.is_empty());
+        assert!(boruvka(&g).edges.is_empty());
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(boruvka(&g).edges.is_empty());
+    }
+
+    #[test]
+    fn boruvka_phase_count_is_logarithmic_on_paths() {
+        let g = generators::path(64, 3).unwrap();
+        let phases = boruvka_phase_count(&g);
+        assert!(phases <= 7, "expected <= log2(64)+1 phases, got {phases}");
+        assert!(phases >= 3);
+    }
+
+    #[test]
+    fn boruvka_phase_count_zero_for_singleton() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(boruvka_phase_count(&g), 0);
+    }
+}

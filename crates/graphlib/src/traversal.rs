@@ -1,0 +1,175 @@
+//! BFS-based structural queries: connectivity, components, distances, and
+//! hop diameter.
+//!
+//! The paper's statements are all in terms of the *hop* (unweighted)
+//! diameter `D`; [`diameter`] computes it exactly with one BFS per node,
+//! which is fine at the simulation sizes used here, and
+//! [`diameter_double_sweep`] gives a cheap lower bound for larger graphs.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, WeightedGraph};
+
+/// BFS hop distances from `source`; `None` for unreachable nodes.
+pub fn bfs_distances(graph: &WeightedGraph, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; graph.node_count()];
+    if graph.node_count() == 0 {
+        return dist;
+    }
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for entry in graph.ports(u) {
+            let v = entry.neighbor;
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// `true` if every node is reachable from node 0 (vacuously true for `n <= 1`).
+pub fn is_connected(graph: &WeightedGraph) -> bool {
+    if graph.node_count() <= 1 {
+        return true;
+    }
+    bfs_distances(graph, NodeId::new(0))
+        .iter()
+        .all(Option::is_some)
+}
+
+/// Connected-component label per node, labels numbered from zero in
+/// discovery order.
+pub fn components(graph: &WeightedGraph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0;
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = next;
+        let mut queue = VecDeque::from([NodeId::new(s as u32)]);
+        while let Some(u) = queue.pop_front() {
+            for entry in graph.ports(u) {
+                let v = entry.neighbor;
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Exact hop eccentricity of `source` (longest BFS distance), or `None` if
+/// some node is unreachable.
+pub fn eccentricity(graph: &WeightedGraph, source: NodeId) -> Option<u32> {
+    let dist = bfs_distances(graph, source);
+    dist.into_iter().try_fold(0, |acc, d| d.map(|d| acc.max(d)))
+}
+
+/// Exact hop diameter via all-pairs BFS (`O(n·m)`), or `None` if the graph
+/// is disconnected or empty.
+pub fn diameter(graph: &WeightedGraph) -> Option<u32> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in graph.nodes() {
+        best = best.max(eccentricity(graph, v)?);
+    }
+    Some(best)
+}
+
+/// Double-sweep diameter estimate: BFS from node 0, then BFS from the
+/// farthest node found. Always a lower bound on the true diameter, exact on
+/// trees. Returns `None` on disconnected or empty graphs.
+pub fn diameter_double_sweep(graph: &WeightedGraph) -> Option<u32> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let first = bfs_distances(graph, NodeId::new(0));
+    let mut far = NodeId::new(0);
+    let mut far_d = 0;
+    for (i, d) in first.iter().enumerate() {
+        let d = (*d)?;
+        if d > far_d {
+            far_d = d;
+            far = NodeId::new(i as u32);
+        }
+    }
+    eccentricity(graph, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5, 0).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn connectivity_detects_split() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 1)
+            .edge(2, 3, 2)
+            .build()
+            .unwrap();
+        assert!(!is_connected(&g));
+        assert_eq!(components(&g), vec![0, 0, 1, 1]);
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(diameter(&generators::path(6, 0).unwrap()), Some(5));
+        assert_eq!(diameter(&generators::ring(6, 0).unwrap()), Some(3));
+        assert_eq!(diameter(&generators::ring(7, 0).unwrap()), Some(3));
+        assert_eq!(diameter(&generators::star(9, 0).unwrap()), Some(2));
+        assert_eq!(diameter(&generators::complete(5, 0).unwrap()), Some(1));
+        assert_eq!(diameter(&generators::grid(3, 4, 0).unwrap()), Some(5));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected_or_empty() {
+        let g = GraphBuilder::new(3).edge(0, 1, 1).build().unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), None);
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(diameter_double_sweep(&g), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees_and_bounded_elsewhere() {
+        let tree = generators::random_connected(50, 0.0, 8).unwrap();
+        assert_eq!(diameter_double_sweep(&tree), diameter(&tree));
+        for seed in 0..5 {
+            let g = generators::random_connected(40, 0.1, seed).unwrap();
+            let exact = diameter(&g).unwrap();
+            let est = diameter_double_sweep(&g).unwrap();
+            assert!(est <= exact);
+            assert!(est * 2 >= exact, "double sweep is a 2-approximation");
+        }
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoints_and_middle() {
+        let g = generators::path(7, 0).unwrap();
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(6));
+        assert_eq!(eccentricity(&g, NodeId::new(3)), Some(3));
+    }
+}

@@ -1,0 +1,151 @@
+/// Disjoint-set forest with union by rank and path halving.
+///
+/// Used by the sequential Kruskal/Borůvka reference algorithms and by test
+/// oracles that track fragment merges.
+///
+/// # Example
+///
+/// ```
+/// use graphlib::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert_eq!(uf.set_count(), 2);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the representative of `x`'s set, halving the path on the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count_once() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 4));
+        assert!(uf.union(4, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert!(uf.connected(0, 2));
+        assert!(uf.connected(3, 4));
+        assert!(!uf.connected(2, 3));
+        assert!(!uf.connected(5, 0));
+    }
+
+    #[test]
+    fn chain_unions_collapse_to_one_set() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            assert!(uf.union(i - 1, i));
+        }
+        assert_eq!(uf.set_count(), 1);
+        let root = uf.find(0);
+        for i in 0..n {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

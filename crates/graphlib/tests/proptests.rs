@@ -1,0 +1,110 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use graphlib::{generators, mst, traversal, GraphBuilder, NodeId, UnionFind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kruskal, Prim, and Borůvka agree on arbitrary random connected graphs.
+    #[test]
+    fn mst_algorithms_agree(n in 2usize..60, p in 0.0f64..0.5, seed in 0u64..1000) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let k = mst::kruskal(&g);
+        prop_assert_eq!(&k, &mst::prim(&g));
+        prop_assert_eq!(&k, &mst::boruvka(&g));
+        prop_assert_eq!(k.edges.len(), n - 1);
+    }
+
+    /// The MST is a spanning connected acyclic subgraph of minimum weight:
+    /// swapping any non-tree edge in for the heaviest cycle edge can't help.
+    #[test]
+    fn mst_respects_cycle_property(n in 3usize..40, seed in 0u64..500) {
+        let g = generators::random_connected(n, 0.2, seed).unwrap();
+        let t = mst::kruskal(&g);
+        // Every non-tree edge must be the heaviest edge on the cycle it
+        // closes; verify via the path in the tree between its endpoints.
+        let mut tree_adj = vec![Vec::new(); n];
+        for &id in &t.edges {
+            let e = g.edge(id);
+            tree_adj[e.u.index()].push((e.v.index(), e.weight));
+            tree_adj[e.v.index()].push((e.u.index(), e.weight));
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            if t.contains(graphlib::EdgeId::new(i as u32)) {
+                continue;
+            }
+            // BFS path max-weight from e.u to e.v in the tree.
+            let mut best = vec![None; n];
+            best[e.u.index()] = Some(0u64);
+            let mut queue = std::collections::VecDeque::from([e.u.index()]);
+            while let Some(x) = queue.pop_front() {
+                for &(y, w) in &tree_adj[x] {
+                    if best[y].is_none() {
+                        best[y] = Some(best[x].unwrap().max(w));
+                        queue.push_back(y);
+                    }
+                }
+            }
+            let path_max = best[e.v.index()].expect("tree spans the graph");
+            prop_assert!(e.weight > path_max,
+                "non-tree edge lighter than tree path: {} <= {}", e.weight, path_max);
+        }
+    }
+
+    /// Union-find connectivity matches BFS component labels.
+    #[test]
+    fn union_find_matches_components(n in 1usize..40, edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80)) {
+        let mut b = GraphBuilder::new(n);
+        let mut weight = 1u64;
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                continue;
+            }
+            b.edge(u, v, weight);
+            weight += 1;
+        }
+        let g = b.build().unwrap();
+        let labels = traversal::components(&g);
+        let mut uf = UnionFind::new(n);
+        for e in g.edges() {
+            uf.union(e.u.index(), e.v.index());
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(uf.connected(i, j), labels[i] == labels[j]);
+            }
+        }
+    }
+
+    /// Generated rings: removing the heaviest edge gives the MST.
+    #[test]
+    fn ring_mst_drops_heaviest_edge(n in 3usize..100, seed in 0u64..200) {
+        let g = generators::ring(n, seed).unwrap();
+        let t = mst::kruskal(&g);
+        let heaviest = g
+            .edges()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.weight)
+            .map(|(i, _)| graphlib::EdgeId::new(i as u32))
+            .unwrap();
+        prop_assert!(!t.contains(heaviest));
+        prop_assert_eq!(t.edges.len(), n - 1);
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distance_is_1_lipschitz_on_edges(n in 2usize..50, p in 0.0f64..0.3, seed in 0u64..200) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let d = traversal::bfs_distances(&g, NodeId::new(0));
+        for e in g.edges() {
+            let du = d[e.u.index()].unwrap() as i64;
+            let dv = d[e.v.index()].unwrap() as i64;
+            prop_assert!((du - dv).abs() <= 1);
+        }
+    }
+}

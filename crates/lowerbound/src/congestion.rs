@@ -1,0 +1,108 @@
+//! Congestion measurements for Lemma 8's argument.
+//!
+//! Lemma 8 lower-bounds awake time through congestion: if `B` bits of an
+//! execution must cross into the `O(log n)` internal tree nodes `I`, then
+//! some node of `I` receives `Ω(B / log n)` bits, and a node that receives
+//! `b` bits over constant-degree links with `O(log n)`-bit messages must
+//! be awake `Ω(b / log n)` rounds. These helpers extract exactly those
+//! quantities from a [`RunStats`].
+
+use netsim::RunStats;
+
+use crate::grc::Grc;
+
+/// Traffic through the internal tree nodes `I` of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalTraffic {
+    /// Total bits received by nodes of `I`.
+    pub total_bits: u64,
+    /// Bits received by the busiest node of `I`.
+    pub max_bits: u64,
+    /// Awake rounds of the busiest (most awake) node of `I`.
+    pub max_awake: u64,
+    /// `|I|`.
+    pub node_count: usize,
+}
+
+/// Measures the `I`-node traffic of a run on `grc`.
+///
+/// # Panics
+///
+/// Panics if the stats were produced on a graph of a different size.
+pub fn internal_traffic(grc: &Grc, stats: &RunStats) -> InternalTraffic {
+    assert_eq!(
+        stats.bits_received_by_node.len(),
+        grc.n(),
+        "stats do not match this G_rc instance"
+    );
+    let mut total_bits = 0;
+    let mut max_bits = 0;
+    let mut max_awake = 0;
+    for &node in &grc.internal {
+        let bits = stats.bits_received_by_node[node.index()];
+        total_bits += bits;
+        max_bits = max_bits.max(bits);
+        max_awake = max_awake.max(stats.awake_by_node[node.index()]);
+    }
+    InternalTraffic {
+        total_bits,
+        max_bits,
+        max_awake,
+        node_count: grc.internal.len(),
+    }
+}
+
+/// Lemma 8's chain made checkable on measured data: a node that received
+/// `b` bits in messages of at most `msg_bits` bits over `degree` links
+/// must have been awake at least `⌈b / (degree · msg_bits)⌉` rounds.
+pub fn awake_floor_from_bits(bits: u64, degree: u64, msg_bits: u64) -> u64 {
+    if degree == 0 || msg_bits == 0 {
+        return 0;
+    }
+    bits.div_ceil(degree * msg_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::NodeId;
+
+    #[test]
+    fn awake_floor_rounds_up() {
+        assert_eq!(awake_floor_from_bits(100, 3, 10), 4);
+        assert_eq!(awake_floor_from_bits(90, 3, 10), 3);
+        assert_eq!(awake_floor_from_bits(0, 3, 10), 0);
+        assert_eq!(awake_floor_from_bits(100, 0, 10), 0);
+    }
+
+    #[test]
+    fn internal_traffic_sums_only_internal_nodes() {
+        let grc = Grc::build(3, 16, 1).unwrap();
+        let mut stats = RunStats {
+            bits_received_by_node: vec![0; grc.n()],
+            awake_by_node: vec![0; grc.n()],
+            ..Default::default()
+        };
+        // Give every node 5 bits and 2 awake rounds; internal nodes 50/7.
+        for v in 0..grc.n() {
+            stats.bits_received_by_node[v] = 5;
+            stats.awake_by_node[v] = 2;
+        }
+        let i0: NodeId = grc.internal[0];
+        stats.bits_received_by_node[i0.index()] = 50;
+        stats.awake_by_node[i0.index()] = 7;
+        let t = internal_traffic(&grc, &stats);
+        assert_eq!(t.node_count, grc.internal.len());
+        assert_eq!(t.max_bits, 50);
+        assert_eq!(t.max_awake, 7);
+        assert_eq!(t.total_bits, 50 + 5 * (grc.internal.len() as u64 - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn size_mismatch_panics() {
+        let grc = Grc::build(3, 16, 1).unwrap();
+        let stats = RunStats::default();
+        internal_traffic(&grc, &stats);
+    }
+}

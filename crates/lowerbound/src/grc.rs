@@ -1,0 +1,280 @@
+//! The `G_rc` lower-bound graph of Figure 1.
+//!
+//! `G_rc` consists of `r` parallel paths ("rows") of `c` nodes each; the
+//! bottom row `p_1` contains the two players — **Alice** (first node) and
+//! **Bob** (last node) — who attach to the first and last node of every
+//! other row. A set `X` of `Θ(log n)` equally spaced nodes of `p_1`
+//! (cardinality a power of two, containing both endpoints) sends "spoke"
+//! edges to the same positions of every other row, and a balanced binary
+//! tree with leaf set `X` is added on top; its internal nodes are the set
+//! `I`. The tree plus the spokes make the diameter `Θ(c / log n)` while
+//! keeping `|I| = O(log n)` — every fast protocol must squeeze `Ω(r)` bits
+//! through those few nodes, which is what Lemma 8 exploits.
+
+use graphlib::{generators, GraphBuilder, GraphError, NodeId, WeightedGraph};
+
+/// How an edge of `G_rc` is used by the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// Consecutive nodes of one row (0-based row index).
+    Path {
+        /// The row, `0` = `p_1`.
+        row: usize,
+    },
+    /// Alice to the first node of a row `>= 1`.
+    AliceAttach {
+        /// The attached row.
+        row: usize,
+    },
+    /// Bob to the last node of a row `>= 1`.
+    BobAttach {
+        /// The attached row.
+        row: usize,
+    },
+    /// An `X` node to the same position in another row.
+    Spoke,
+    /// A balanced-binary-tree edge over the leaf set `X`.
+    Tree,
+}
+
+/// The constructed graph plus all the structural metadata the experiments
+/// need.
+#[derive(Debug, Clone)]
+pub struct Grc {
+    /// The weighted graph (distinct random weights).
+    pub graph: WeightedGraph,
+    /// Number of rows `r`.
+    pub rows: usize,
+    /// Nodes per row `c`.
+    pub cols: usize,
+    /// Alice: first node of `p_1`.
+    pub alice: NodeId,
+    /// Bob: last node of `p_1`.
+    pub bob: NodeId,
+    /// The leaf set `X` (nodes of `p_1`), in position order.
+    pub x_nodes: Vec<NodeId>,
+    /// Column positions of the `X` nodes.
+    pub x_positions: Vec<usize>,
+    /// The internal binary-tree nodes `I`.
+    pub internal: Vec<NodeId>,
+    /// Edge class of every edge, indexed by [`graphlib::EdgeId`].
+    pub classes: Vec<EdgeClass>,
+}
+
+impl Grc {
+    /// Builds `G_rc` with `rows` parallel paths of `cols` nodes.
+    ///
+    /// The leaf count `|X|` is the smallest power of two that is at least
+    /// `log₂(rows·cols)` (and at least 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] if `rows == 0`, `cols < 2`, or
+    /// `cols` is too small to host `|X|` distinct positions.
+    pub fn build(rows: usize, cols: usize, seed: u64) -> Result<Grc, GraphError> {
+        if rows == 0 || cols < 2 {
+            return Err(GraphError::InvalidSize {
+                reason: format!("G_rc needs rows >= 1 and cols >= 2, got {rows}x{cols}"),
+            });
+        }
+        let base = rows * cols;
+        let x_count = x_count_for(base);
+        if cols < x_count {
+            return Err(GraphError::InvalidSize {
+                reason: format!("cols {cols} cannot host {x_count} distinct X positions"),
+            });
+        }
+
+        // Equally spaced X positions including both endpoints.
+        let x_positions: Vec<usize> = (0..x_count)
+            .map(|k| k * (cols - 1) / (x_count - 1))
+            .collect();
+        debug_assert!(x_positions.windows(2).all(|w| w[0] < w[1]));
+
+        let at = |row: usize, col: usize| (row * cols + col) as u32;
+        let internal_base = base as u32;
+        let internal_count = x_count - 1;
+        let n = base + internal_count;
+
+        // Edges in construction order, with classes recorded side by side.
+        let mut pairs: Vec<(u32, u32, EdgeClass)> = Vec::new();
+        for row in 0..rows {
+            for col in 0..cols - 1 {
+                pairs.push((at(row, col), at(row, col + 1), EdgeClass::Path { row }));
+            }
+        }
+        for row in 1..rows {
+            pairs.push((at(0, 0), at(row, 0), EdgeClass::AliceAttach { row }));
+            pairs.push((
+                at(0, cols - 1),
+                at(row, cols - 1),
+                EdgeClass::BobAttach { row },
+            ));
+        }
+        for &j in &x_positions {
+            for row in 1..rows {
+                // Skip duplicates of the Alice/Bob attachment edges.
+                if j == 0 || j == cols - 1 {
+                    continue;
+                }
+                pairs.push((at(0, j), at(row, j), EdgeClass::Spoke));
+            }
+        }
+
+        // Balanced binary tree over X: internal nodes allocated bottom-up.
+        let mut next_internal = internal_base;
+        let mut internal = Vec::with_capacity(internal_count);
+        let mut frontier: Vec<u32> = x_positions.iter().map(|&j| at(0, j)).collect();
+        while frontier.len() > 1 {
+            let mut above = Vec::with_capacity(frontier.len() / 2);
+            for pair in frontier.chunks(2) {
+                let parent = next_internal;
+                next_internal += 1;
+                internal.push(NodeId::new(parent));
+                pairs.push((parent, pair[0], EdgeClass::Tree));
+                pairs.push((parent, pair[1], EdgeClass::Tree));
+                above.push(parent);
+            }
+            frontier = above;
+        }
+        debug_assert_eq!(internal.len(), internal_count);
+
+        let weights =
+            generators::distinct_weights(pairs.len(), (n as u64).pow(3).max(1 << 16), seed)?;
+        let mut b = GraphBuilder::new(n);
+        let mut classes = Vec::with_capacity(pairs.len());
+        for (k, (u, v, class)) in pairs.into_iter().enumerate() {
+            b.edge(u, v, weights[k]);
+            classes.push(class);
+        }
+
+        Ok(Grc {
+            graph: b.build()?,
+            rows,
+            cols,
+            alice: NodeId::new(0),
+            bob: NodeId::new(at(0, cols - 1)),
+            x_nodes: x_positions.iter().map(|&j| NodeId::new(at(0, j))).collect(),
+            x_positions,
+            internal,
+            classes,
+        })
+    }
+
+    /// Total node count `n = r·c + |I|`.
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// `true` if `node` is one of the internal tree nodes `I`.
+    pub fn is_internal(&self, node: NodeId) -> bool {
+        node.index() >= self.rows * self.cols
+    }
+
+    /// The length of Alice's and Bob's SD input strings: one bit per row
+    /// `p_ℓ`, `2 ≤ ℓ ≤ r` (0-based rows `1..rows`).
+    pub fn sd_bits(&self) -> usize {
+        self.rows.saturating_sub(1)
+    }
+}
+
+/// Smallest power of two ≥ `max(2, ⌈log₂ base⌉)`.
+fn x_count_for(base: usize) -> usize {
+    let target = (usize::BITS - base.max(2).leading_zeros()) as usize; // ≈ ⌈log2⌉
+    target.max(2).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::traversal;
+
+    #[test]
+    fn x_count_is_a_power_of_two_of_log_scale() {
+        assert_eq!(x_count_for(4), 4);
+        assert_eq!(x_count_for(1024), 16);
+        assert!(x_count_for(1 << 20).is_power_of_two());
+        assert!(x_count_for(2) >= 2);
+    }
+
+    #[test]
+    fn build_small_grc() {
+        let g = Grc::build(4, 16, 1).unwrap();
+        assert_eq!(g.rows, 4);
+        assert_eq!(g.cols, 16);
+        assert!(g.x_nodes.len().is_power_of_two());
+        assert_eq!(g.internal.len(), g.x_nodes.len() - 1);
+        assert_eq!(g.n(), 4 * 16 + g.internal.len());
+        assert_eq!(g.classes.len(), g.graph.edge_count());
+        assert!(traversal::is_connected(&g.graph));
+    }
+
+    #[test]
+    fn alice_and_bob_attach_to_every_row() {
+        let g = Grc::build(5, 16, 2).unwrap();
+        // Alice: path edge + (rows-1) attachments + spokes/tree as X node.
+        let alice_attach = g
+            .classes
+            .iter()
+            .filter(|c| matches!(c, EdgeClass::AliceAttach { .. }))
+            .count();
+        let bob_attach = g
+            .classes
+            .iter()
+            .filter(|c| matches!(c, EdgeClass::BobAttach { .. }))
+            .count();
+        assert_eq!(alice_attach, 4);
+        assert_eq!(bob_attach, 4);
+    }
+
+    #[test]
+    fn tree_spans_x_with_internal_nodes() {
+        let g = Grc::build(3, 32, 3).unwrap();
+        let tree_edges = g
+            .classes
+            .iter()
+            .filter(|c| matches!(c, EdgeClass::Tree))
+            .count();
+        // A binary tree over |X| leaves with |X|-1 internal nodes has
+        // 2(|X|-1) edges.
+        assert_eq!(tree_edges, 2 * (g.x_nodes.len() - 1));
+        for &i in &g.internal {
+            assert!(g.is_internal(i));
+            assert!(g.graph.degree(i) >= 2);
+        }
+    }
+
+    #[test]
+    fn diameter_scales_with_c_over_log_n() {
+        // The X spacing is about c/(|X|-1); the tree adds O(log |X|) hops.
+        let g = Grc::build(4, 64, 4).unwrap();
+        let d = traversal::diameter(&g.graph).unwrap() as usize;
+        let spacing = g.cols / (g.x_nodes.len() - 1);
+        assert!(
+            d <= 2 * spacing + 4 * g.x_nodes.len().ilog2() as usize + 8,
+            "diameter {d} too large for spacing {spacing}"
+        );
+        assert!(d >= spacing / 2, "diameter {d} suspiciously small");
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Grc::build(0, 16, 0).is_err());
+        assert!(Grc::build(4, 1, 0).is_err());
+        assert!(Grc::build(4, 2, 0).is_err()); // cols can't host X
+    }
+
+    #[test]
+    fn sd_bits_is_rows_minus_one() {
+        let g = Grc::build(6, 16, 5).unwrap();
+        assert_eq!(g.sd_bits(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Grc::build(4, 16, 9).unwrap();
+        let b = Grc::build(4, 16, 9).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.x_positions, b.x_positions);
+    }
+}

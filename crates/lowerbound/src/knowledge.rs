@@ -1,0 +1,222 @@
+//! The information-dissemination argument behind Theorem 3 (Lemma 11),
+//! measured on real executions.
+//!
+//! In any execution, a node's *knowledge set* `K(v)` — the set of nodes
+//! whose initial state could have influenced `v` — grows by at most a
+//! factor `Δ + 1` per awake round: when `v` wakes once, it can absorb at
+//! most the knowledge of its `Δ` neighbors (as of their last transmission)
+//! plus its own. Hence
+//!
+//! ```text
+//! awake(v) ≥ log_{Δ+1} |K(v)|.
+//! ```
+//!
+//! Deciding MST requires some node to aggregate knowledge spanning the
+//! whole graph (on a ring, the comparison of the two far-apart heaviest
+//! edges; in our algorithms, the final root's DONE decision), so some node
+//! has `|K(v)| = n` and the awake complexity is at least
+//! `log_{Δ+1} n = Ω(log n)` — Theorem 3's bound, checkable per run.
+//!
+//! [`knowledge_sizes`] replays a [`Trace`] and returns `|K(v)|` for every
+//! node; the tests and the integration suite assert the inequality on
+//! every traced execution.
+
+use graphlib::WeightedGraph;
+use netsim::{Round, RunStats, Trace, TraceEvent};
+
+/// Replays `trace` and returns the final knowledge-set size of each node.
+///
+/// Knowledge only flows along recorded deliveries: `K(v) ∪= K(u)` when a
+/// message from `u` reaches `v`. Deliveries within one round use the
+/// senders' knowledge from *before* the round (synchronous semantics).
+///
+/// # Panics
+///
+/// Panics if the trace references nodes outside the graph.
+pub fn knowledge_sizes(graph: &WeightedGraph, trace: &Trace) -> Vec<usize> {
+    let n = graph.node_count();
+    let words = n.div_ceil(64);
+    // Bitset per node.
+    let mut know: Vec<Vec<u64>> = (0..n)
+        .map(|v| {
+            let mut bits = vec![0u64; words];
+            bits[v / 64] |= 1 << (v % 64);
+            bits
+        })
+        .collect();
+
+    let mut round_events: Vec<(usize, usize)> = Vec::new();
+    let mut current_round: Option<Round> = None;
+
+    let flush = |events: &mut Vec<(usize, usize)>, know: &mut Vec<Vec<u64>>| {
+        // Apply all of one round's deliveries against pre-round snapshots.
+        let snapshots: Vec<Vec<u64>> = events.iter().map(|&(from, _)| know[from].clone()).collect();
+        for (&(_, to), snap) in events.iter().zip(&snapshots) {
+            for (w, bits) in know[to].iter_mut().zip(snap) {
+                *w |= bits;
+            }
+        }
+        events.clear();
+    };
+
+    for event in trace.events() {
+        if let TraceEvent::Delivered {
+            round, from, to, ..
+        } = event
+        {
+            assert!(
+                from.index() < n && to.index() < n,
+                "trace references unknown nodes"
+            );
+            if current_round != Some(*round) {
+                flush(&mut round_events, &mut know);
+                current_round = Some(*round);
+            }
+            round_events.push((from.index(), to.index()));
+        }
+    }
+    flush(&mut round_events, &mut know);
+
+    know.iter()
+        .map(|bits| bits.iter().map(|w| w.count_ones() as usize).sum())
+        .collect()
+}
+
+/// The information-theoretic awake floor for a node that ended with
+/// knowledge of `k` nodes over degree-`delta` links:
+/// `⌈log_{delta+1} k⌉`.
+pub fn awake_floor(k: usize, delta: usize) -> u64 {
+    if k <= 1 || delta == 0 {
+        return 0;
+    }
+    // Smallest a with (delta + 1)^a >= k.
+    let base = (delta + 1) as u128;
+    let mut a = 0;
+    let mut reach: u128 = 1;
+    while reach < k as u128 {
+        reach = reach.saturating_mul(base);
+        a += 1;
+    }
+    a
+}
+
+/// Checks Lemma 11's inequality `awake(v) ≥ log_{Δ+1} |K(v)|` for every
+/// node of a traced run.
+///
+/// Returns the first violating node index, or `None` if the inequality
+/// holds everywhere (it must — a violation would mean the simulator let
+/// information teleport).
+pub fn find_violation(graph: &WeightedGraph, stats: &RunStats, trace: &Trace) -> Option<usize> {
+    let sizes = knowledge_sizes(graph, trace);
+    (0..graph.node_count()).find(|&v| {
+        let delta = graph.degree(graphlib::NodeId::new(v as u32));
+        stats.awake_by_node[v] < awake_floor(sizes[v], delta)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+    use mst_core::randomized::RandomizedMst;
+    use netsim::{SimConfig, Simulator};
+
+    #[test]
+    fn awake_floor_values() {
+        assert_eq!(awake_floor(1, 2), 0);
+        assert_eq!(awake_floor(3, 2), 1);
+        assert_eq!(awake_floor(4, 2), 2);
+        assert_eq!(awake_floor(9, 2), 2);
+        assert_eq!(awake_floor(10, 2), 3);
+        assert_eq!(awake_floor(27, 2), 3);
+    }
+
+    #[test]
+    fn knowledge_spreads_to_everyone_on_a_completed_mst_run() {
+        let g = generators::ring(24, 5).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_trace().with_seed(3))
+            .run(RandomizedMst::new)
+            .unwrap();
+        let sizes = knowledge_sizes(&g, &out.trace);
+        // The final root's DONE decision aggregates the whole ring.
+        assert_eq!(*sizes.iter().max().unwrap(), 24);
+        // Everyone heard the DONE broadcast, which carries the root's
+        // knowledge — so everyone ends knowing everyone.
+        assert!(sizes.iter().all(|&k| k == 24), "{sizes:?}");
+    }
+
+    #[test]
+    fn lemma_11_inequality_holds_on_every_traced_run() {
+        for (n, seed) in [(16usize, 1u64), (24, 2), (32, 3)] {
+            let g = generators::ring(n, seed).unwrap();
+            let out = Simulator::new(&g, SimConfig::default().with_trace().with_seed(seed))
+                .run(RandomizedMst::new)
+                .unwrap();
+            assert_eq!(
+                find_violation(&g, &out.stats, &out.trace),
+                None,
+                "information teleported at n={n}, seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_floor_is_logarithmic_on_rings() {
+        // Some node must aggregate the whole ring (degree 2), so the
+        // measured awake max is at least log_3(n) — the Ω(log n) bound on
+        // this very execution.
+        let n = 64;
+        let g = generators::ring(n, 7).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_trace().with_seed(1))
+            .run(RandomizedMst::new)
+            .unwrap();
+        let sizes = knowledge_sizes(&g, &out.trace);
+        let full = sizes
+            .iter()
+            .position(|&k| k == n)
+            .expect("someone knows everything");
+        let floor = awake_floor(n, 2);
+        assert!(floor >= 4, "log_3(64) rounds up to 4");
+        assert!(
+            out.stats.awake_by_node[full] >= floor,
+            "node {full} awake {} below the Ω(log n) floor {floor}",
+            out.stats.awake_by_node[full]
+        );
+    }
+
+    #[test]
+    fn knowledge_respects_synchronous_semantics() {
+        // Two deliveries in the same round must use pre-round knowledge:
+        // a→b and b→c in round r gives c only b's old knowledge, not a's.
+        use graphlib::GraphBuilder;
+        use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+
+        #[derive(Debug)]
+        struct Chain;
+        impl Protocol for Chain {
+            type Msg = ();
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::At(1)
+            }
+            fn send(&mut self, ctx: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
+                ctx.ports().map(|p| Envelope::new(p, ())).collect()
+            }
+            fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {
+                NextWake::Halt
+            }
+        }
+
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, 1)
+            .edge(1, 2, 2)
+            .build()
+            .unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_trace())
+            .run(|_| Chain)
+            .unwrap();
+        let sizes = knowledge_sizes(&g, &out.trace);
+        // One simultaneous exchange: ends know themselves + the middle;
+        // the middle knows all three; nobody learns across in one round.
+        assert_eq!(sizes, vec![2, 3, 2]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Lower-bound constructions from Section 3 of the paper, made executable.
+//!
+//! * [`ring`] — the random-weight ring family behind Theorem 3's
+//!   unconditional `Ω(log n)` awake lower bound;
+//! * [`grc`] — the `G_rc` graph of Figure 1 used by the awake × round
+//!   trade-off (Theorem 4);
+//! * [`sd`] — classical two-party set disjointness instances;
+//! * [`reduction`] — the SD → DSD → CSS → MST reduction chain
+//!   (Lemmas 8–10) as concrete instance transformations with sequential
+//!   checkers;
+//! * [`congestion`] — measurement helpers that read a simulator run's
+//!   per-node/per-edge traffic and extract the quantities Lemma 8's
+//!   argument bounds (bits through the `O(log n)` binary-tree nodes `I`).
+//!
+//! Lower bounds cannot be "run", but their *structures* can: the benches
+//! built on this crate reproduce the shape of each bound (awake/log n
+//! flatness on rings; awake × rounds ≥ Ω̃(n) on `G_rc`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod grc;
+pub mod knowledge;
+pub mod reduction;
+pub mod ring;
+pub mod sd;

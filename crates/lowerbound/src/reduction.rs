@@ -1,0 +1,195 @@
+//! The SD → DSD → CSS → MST reduction chain (Lemmas 8–10).
+//!
+//! * **SD → DSD**: an SD instance `(x, y)` becomes a *distributed* SD
+//!   instance on `G_rc` by marking edges: every row-path edge and every
+//!   tree edge is marked, and Alice's (Bob's) attachment edge to row `ℓ`
+//!   is marked iff `x_ℓ = 0` (`y_ℓ = 0`). See [`mark_edges`].
+//! * **DSD → CSS**: the marked subgraph is a connected spanning subgraph
+//!   of `G_rc` iff the sets are disjoint ([`css_spanning_connected`] and
+//!   the equivalence tests below).
+//! * **CSS → MST**: re-weight the graph so every marked edge is lighter
+//!   than every unmarked edge ([`css_to_mst`]); then the MST uses an
+//!   unmarked edge iff the marked subgraph was not spanning-connected
+//!   ([`mst_uses_unmarked`]).
+
+use graphlib::{mst, EdgeId, GraphBuilder, WeightedGraph};
+
+use crate::grc::{EdgeClass, Grc};
+use crate::sd::SdInstance;
+
+/// Marks `G_rc`'s edges for the DSD instance encoding `sd`.
+///
+/// Returns one flag per [`EdgeId`].
+///
+/// # Panics
+///
+/// Panics if `sd.len() != grc.sd_bits()` (one bit per row `2..=r`).
+pub fn mark_edges(grc: &Grc, sd: &SdInstance) -> Vec<bool> {
+    assert_eq!(
+        sd.len(),
+        grc.sd_bits(),
+        "SD instance must have one bit per non-player row"
+    );
+    grc.classes
+        .iter()
+        .map(|class| match *class {
+            EdgeClass::Path { .. } | EdgeClass::Tree => true,
+            EdgeClass::Spoke => false,
+            // Row `row` (1-based inside the classes, rows 1..r) is bit
+            // `row - 1` of the SD strings.
+            EdgeClass::AliceAttach { row } => !sd.x[row - 1],
+            EdgeClass::BobAttach { row } => !sd.y[row - 1],
+        })
+        .collect()
+}
+
+/// Sequential CSS oracle: do the marked edges form a connected spanning
+/// subgraph of `graph`?
+pub fn css_spanning_connected(graph: &WeightedGraph, marked: &[bool]) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut uf = graphlib::UnionFind::new(n);
+    for (i, e) in graph.edges().iter().enumerate() {
+        if marked[i] {
+            uf.union(e.u.index(), e.v.index());
+        }
+    }
+    uf.set_count() == 1
+}
+
+/// The CSS → MST re-weighting: marked edges get weights `1..=k` (in edge
+/// order), unmarked edges get weights above every marked one. The graph
+/// topology is unchanged, so [`EdgeId`]s carry over.
+pub fn css_to_mst(graph: &WeightedGraph, marked: &[bool]) -> WeightedGraph {
+    let m = graph.edge_count() as u64;
+    let mut b = GraphBuilder::new(graph.node_count());
+    let mut next_marked = 1u64;
+    let mut next_unmarked = m + 1;
+    for (i, e) in graph.edges().iter().enumerate() {
+        let w = if marked[i] {
+            let w = next_marked;
+            next_marked += 1;
+            w
+        } else {
+            let w = next_unmarked;
+            next_unmarked += 1;
+            w
+        };
+        b.edge(e.u.raw(), e.v.raw(), w);
+    }
+    b.build().expect("re-weighting preserves validity")
+}
+
+/// Does an MST edge set use any unmarked edge? By the cut property this is
+/// equivalent to the marked subgraph *not* being spanning-connected — the
+/// final link of the reduction.
+pub fn mst_uses_unmarked(marked: &[bool], mst_edges: &[EdgeId]) -> bool {
+    mst_edges.iter().any(|e| !marked[e.index()])
+}
+
+/// End-to-end sequential check of the whole chain: encode `sd` on `grc`,
+/// re-weight, compute the MST, and decode the SD answer from it.
+pub fn decide_sd_via_mst(grc: &Grc, sd: &SdInstance) -> bool {
+    let marked = mark_edges(grc, sd);
+    let weighted = css_to_mst(&grc.graph, &marked);
+    let tree = mst::kruskal(&weighted);
+    !mst_uses_unmarked(&marked, &tree.edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grc() -> Grc {
+        Grc::build(5, 16, 3).unwrap()
+    }
+
+    #[test]
+    fn marking_respects_classes() {
+        let g = grc();
+        let sd = SdInstance::new(
+            vec![true, false, true, false],
+            vec![false, true, false, true],
+        );
+        let marked = mark_edges(&g, &sd);
+        for (i, class) in g.classes.iter().enumerate() {
+            match *class {
+                EdgeClass::Path { .. } | EdgeClass::Tree => assert!(marked[i]),
+                EdgeClass::Spoke => assert!(!marked[i]),
+                EdgeClass::AliceAttach { row } => assert_eq!(marked[i], !sd.x[row - 1]),
+                EdgeClass::BobAttach { row } => assert_eq!(marked[i], !sd.y[row - 1]),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per")]
+    fn wrong_length_panics() {
+        mark_edges(&grc(), &SdInstance::new(vec![true], vec![false]));
+    }
+
+    #[test]
+    fn css_connected_iff_disjoint() {
+        let g = grc();
+        for seed in 0..30 {
+            let sd = SdInstance::random(g.sd_bits(), seed);
+            let marked = mark_edges(&g, &sd);
+            assert_eq!(
+                css_spanning_connected(&g.graph, &marked),
+                sd.disjoint(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn mst_decodes_sd() {
+        let g = grc();
+        for seed in 0..15 {
+            let sd = SdInstance::random(g.sd_bits(), seed);
+            assert_eq!(decide_sd_via_mst(&g, &sd), sd.disjoint(), "seed {seed}");
+        }
+        assert!(decide_sd_via_mst(
+            &g,
+            &SdInstance::random_disjoint(g.sd_bits(), 1)
+        ));
+        assert!(!decide_sd_via_mst(
+            &g,
+            &SdInstance::random_intersecting(g.sd_bits(), 1)
+        ));
+    }
+
+    #[test]
+    fn css_to_mst_orders_marked_below_unmarked() {
+        let g = grc();
+        let sd = SdInstance::random(g.sd_bits(), 4);
+        let marked = mark_edges(&g, &sd);
+        let w = css_to_mst(&g.graph, &marked);
+        let max_marked = w
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| marked[*i])
+            .map(|(_, e)| e.weight)
+            .max()
+            .unwrap();
+        let min_unmarked = w
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !marked[*i])
+            .map(|(_, e)| e.weight)
+            .min()
+            .unwrap();
+        assert!(max_marked < min_unmarked);
+        assert_eq!(w.edge_count(), g.graph.edge_count());
+    }
+
+    #[test]
+    fn empty_graph_css_is_vacuously_connected() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(css_spanning_connected(&g, &[]));
+    }
+}

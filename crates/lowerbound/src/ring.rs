@@ -1,0 +1,117 @@
+//! The Theorem 3 ring family.
+//!
+//! Theorem 3 considers a ring with i.i.d. random edge weights and argues
+//! that, with constant probability, the two heaviest edges are `Ω(n)` hops
+//! apart; deciding which of them leaves the MST forces communication along
+//! one of the two long arcs, and the information-dissemination argument
+//! (Lemma 11) turns that into an `Ω(log n)` awake bound. The helpers here
+//! expose exactly those structural quantities so the benches can verify
+//! both the premise (separation is linear in `n` with the right
+//! probability) and the conclusion's shape (measured awake complexity of
+//! our algorithms divided by `log₂ n` stays flat).
+
+use graphlib::{generators, EdgeId, GraphError, WeightedGraph};
+
+/// Builds the Theorem 3 instance: a ring of `n` nodes with distinct random
+/// weights from a `poly(n)` space.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSize`] if `n < 3`.
+pub fn instance(n: usize, seed: u64) -> Result<WeightedGraph, GraphError> {
+    generators::ring(n, seed)
+}
+
+/// The two heaviest edges of a graph, heaviest first.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two edges.
+pub fn two_heaviest(graph: &WeightedGraph) -> (EdgeId, EdgeId) {
+    assert!(graph.edge_count() >= 2, "need at least two edges");
+    let mut ids: Vec<EdgeId> = (0..graph.edge_count() as u32).map(EdgeId::new).collect();
+    ids.sort_unstable_by_key(|&id| std::cmp::Reverse(graph.edge(id).weight));
+    (ids[0], ids[1])
+}
+
+/// Hop separation of two edges on a ring: the smaller number of *edges*
+/// strictly between them along either arc.
+///
+/// On a ring built by [`instance`], edge `i` joins nodes `i` and `i+1`,
+/// so edges `i < j` are separated by `min(j - i, n - (j - i)) - 1`
+/// intermediate edges.
+pub fn ring_edge_separation(n: usize, a: EdgeId, b: EdgeId) -> usize {
+    let (i, j) = (a.index().min(b.index()), a.index().max(b.index()));
+    let around = (j - i).min(n - (j - i));
+    around.saturating_sub(1)
+}
+
+/// One sample of Theorem 3's premise: the hop separation between the two
+/// heaviest edges of a fresh random ring.
+pub fn heaviest_separation_sample(n: usize, seed: u64) -> Result<usize, GraphError> {
+    let g = instance(n, seed)?;
+    let (a, b) = two_heaviest(&g);
+    Ok(ring_edge_separation(n, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::GraphBuilder;
+
+    #[test]
+    fn two_heaviest_finds_the_top_pair() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 10)
+            .edge(1, 2, 40)
+            .edge(2, 3, 30)
+            .edge(3, 0, 20)
+            .build()
+            .unwrap();
+        let (a, b) = two_heaviest(&g);
+        assert_eq!(g.edge(a).weight, 40);
+        assert_eq!(g.edge(b).weight, 30);
+    }
+
+    #[test]
+    fn separation_on_small_ring() {
+        // Ring of 6: edges 0..5 around. Edges 0 and 1 are adjacent (0 apart);
+        // edges 0 and 3 are opposite (2 apart either way).
+        assert_eq!(ring_edge_separation(6, EdgeId::new(0), EdgeId::new(1)), 0);
+        assert_eq!(ring_edge_separation(6, EdgeId::new(0), EdgeId::new(3)), 2);
+        assert_eq!(ring_edge_separation(6, EdgeId::new(5), EdgeId::new(0)), 0);
+    }
+
+    #[test]
+    fn separation_is_symmetric() {
+        for (a, b) in [(0u32, 4u32), (2, 9), (1, 7)] {
+            assert_eq!(
+                ring_edge_separation(12, EdgeId::new(a), EdgeId::new(b)),
+                ring_edge_separation(12, EdgeId::new(b), EdgeId::new(a))
+            );
+        }
+    }
+
+    #[test]
+    fn linear_separation_happens_with_constant_probability() {
+        // Theorem 3 needs separation ≥ Ω(n) with constant probability; over
+        // many seeds at n = 64, at least a fifth of samples should exceed n/8.
+        let n = 64;
+        let trials = 200usize;
+        let far = (0..trials as u64)
+            .filter(|&s| heaviest_separation_sample(n, s).unwrap() >= n / 8)
+            .count();
+        assert!(
+            far * 5 >= trials,
+            "only {far}/{trials} samples were far apart"
+        );
+    }
+
+    #[test]
+    fn separation_bounded_by_half_ring() {
+        for seed in 0..20 {
+            let sep = heaviest_separation_sample(32, seed).unwrap();
+            assert!(sep <= 16);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Two-party set disjointness (SD) instances.
+//!
+//! Alice holds `x ∈ {0,1}^k`, Bob holds `y ∈ {0,1}^k`; they must decide
+//! whether there is no index `i` with `x_i = y_i = 1` (output 1 iff
+//! `⟨x, y⟩ = 0`). Randomized communication complexity is `Ω(k)` bits —
+//! the root of the paper's conditional awake lower bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One SD instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdInstance {
+    /// Alice's input.
+    pub x: Vec<bool>,
+    /// Bob's input.
+    pub y: Vec<bool>,
+}
+
+impl SdInstance {
+    /// Creates an instance from explicit bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(x: Vec<bool>, y: Vec<bool>) -> Self {
+        assert_eq!(x.len(), y.len(), "SD inputs must have equal length");
+        SdInstance { x, y }
+    }
+
+    /// Number of bits `k`.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The SD answer: `true` iff the sets are disjoint (`⟨x, y⟩ = 0`).
+    pub fn disjoint(&self) -> bool {
+        !self.x.iter().zip(&self.y).any(|(&a, &b)| a && b)
+    }
+
+    /// A uniformly random instance (each bit independently fair).
+    pub fn random(k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SdInstance {
+            x: (0..k).map(|_| rng.gen_bool(0.5)).collect(),
+            y: (0..k).map(|_| rng.gen_bool(0.5)).collect(),
+        }
+    }
+
+    /// A random *disjoint* instance: for each index, one of the four
+    /// non-intersecting patterns.
+    pub fn random_disjoint(k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ DISJOINT_SALT);
+        let mut x = Vec::with_capacity(k);
+        let mut y = Vec::with_capacity(k);
+        for _ in 0..k {
+            match rng.gen_range(0..3) {
+                0 => {
+                    x.push(false);
+                    y.push(false);
+                }
+                1 => {
+                    x.push(true);
+                    y.push(false);
+                }
+                _ => {
+                    x.push(false);
+                    y.push(true);
+                }
+            }
+        }
+        SdInstance { x, y }
+    }
+
+    /// A random *intersecting* instance: like [`SdInstance::random`] but
+    /// with one index forced to `(1, 1)`.
+    pub fn random_intersecting(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "an intersecting instance needs at least one bit");
+        let mut inst = SdInstance::random(k, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ INTERSECT_SALT);
+        let i = rng.gen_range(0..k);
+        inst.x[i] = true;
+        inst.y[i] = true;
+        inst
+    }
+
+    /// The bits exchanged by the trivial deterministic protocol (Alice
+    /// ships `x` to Bob): exactly `k`. Any protocol must exchange `Ω(k)`
+    /// bits, so this is optimal up to constants — the reference point the
+    /// congestion experiments compare against.
+    pub fn trivial_protocol_bits(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Seed salts so the three constructors draw independent streams.
+const DISJOINT_SALT: u64 = 0xd15a_101e;
+const INTERSECT_SALT: u64 = 0x1e5e_c7ed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjointness_detection() {
+        let d = SdInstance::new(vec![true, false, true], vec![false, true, false]);
+        assert!(d.disjoint());
+        let i = SdInstance::new(vec![true, false], vec![true, false]);
+        assert!(!i.disjoint());
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        SdInstance::new(vec![true], vec![true, false]);
+    }
+
+    #[test]
+    fn random_disjoint_is_disjoint() {
+        for seed in 0..50 {
+            assert!(SdInstance::random_disjoint(40, seed).disjoint());
+        }
+    }
+
+    #[test]
+    fn random_intersecting_is_not_disjoint() {
+        for seed in 0..50 {
+            assert!(!SdInstance::random_intersecting(40, seed).disjoint());
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(SdInstance::random(16, 7), SdInstance::random(16, 7));
+        assert_ne!(SdInstance::random(16, 7), SdInstance::random(16, 8));
+    }
+
+    #[test]
+    fn trivial_protocol_cost() {
+        assert_eq!(SdInstance::random(32, 0).trivial_protocol_bits(), 32);
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use graphlib::{NodeId, Port};
+
+use crate::Round;
+
+/// Errors raised while executing a protocol on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node sent through a port it does not have.
+    PortOutOfRange {
+        /// The sending node.
+        node: NodeId,
+        /// The invalid port.
+        port: Port,
+        /// The round of the send.
+        round: Round,
+    },
+    /// A message exceeded the configured CONGEST bit limit.
+    MessageTooLarge {
+        /// The sending node.
+        node: NodeId,
+        /// The round of the send.
+        round: Round,
+        /// Encoded size of the offending message.
+        bits: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A node asked to wake at a round that is not in the future.
+    WakeNotInFuture {
+        /// The offending node.
+        node: NodeId,
+        /// The round the request was made in.
+        round: Round,
+        /// The requested (invalid) wake round.
+        requested: Round,
+    },
+    /// The round budget was exhausted before every node halted.
+    MaxRoundsExceeded {
+        /// The configured budget.
+        limit: Round,
+        /// Number of nodes still running.
+        running: usize,
+    },
+    /// Every remaining node is asleep forever (no scheduled wake) but has
+    /// not halted — the protocol deadlocked.
+    Stalled {
+        /// Number of nodes stuck asleep.
+        running: usize,
+        /// The last round that executed.
+        round: Round,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PortOutOfRange { node, port, round } => {
+                write!(f, "node {node} sent through nonexistent port {port} in round {round}")
+            }
+            SimError::MessageTooLarge { node, round, bits, limit } => write!(
+                f,
+                "node {node} sent a {bits}-bit message in round {round}, exceeding the {limit}-bit congest limit"
+            ),
+            SimError::WakeNotInFuture { node, round, requested } => write!(
+                f,
+                "node {node} in round {round} requested a wake at round {requested}, which is not in the future"
+            ),
+            SimError::MaxRoundsExceeded { limit, running } => {
+                write!(f, "round budget of {limit} exhausted with {running} nodes still running")
+            }
+            SimError::Stalled { running, round } => write!(
+                f,
+                "protocol stalled after round {round}: {running} nodes asleep forever without halting"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let e = SimError::MessageTooLarge {
+            node: NodeId::new(3),
+            round: 17,
+            bits: 512,
+            limit: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("v3") && s.contains("512") && s.contains("64"));
+
+        let e = SimError::Stalled {
+            running: 2,
+            round: 9,
+        };
+        assert!(e.to_string().contains("stalled"));
+    }
+}

@@ -1,0 +1,102 @@
+//! A minimal always-awake flooding protocol.
+//!
+//! Used in documentation examples and as a sanity baseline: it is the
+//! traditional-model behaviour the sleeping model improves on (every node
+//! stays awake until the wave passes it).
+
+use crate::{Envelope, NextWake, NodeCtx, Protocol, Round};
+
+/// Floods a one-bit token from the source node(s) to the whole graph.
+///
+/// Every node stays awake until it has been informed and has re-broadcast
+/// the token once, then halts. On a connected graph the run time is the
+/// source eccentricity plus one, and the awake complexity equals the run
+/// time for the farthest nodes — the always-awake cost profile.
+#[derive(Debug, Clone)]
+pub struct Flood {
+    informed: bool,
+    sent: bool,
+}
+
+impl Flood {
+    /// Creates the per-node state; `source` nodes start informed.
+    pub fn new(source: bool) -> Self {
+        Flood {
+            informed: source,
+            sent: false,
+        }
+    }
+
+    /// `true` once the token has reached this node.
+    pub fn informed(&self) -> bool {
+        self.informed
+    }
+}
+
+impl Protocol for Flood {
+    type Msg = ();
+
+    fn init(&mut self, _ctx: &NodeCtx) -> NextWake {
+        NextWake::At(1)
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<()>> {
+        if self.informed && !self.sent {
+            self.sent = true;
+            ctx.ports().map(|p| Envelope::new(p, ())).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deliver(&mut self, _ctx: &NodeCtx, round: Round, inbox: &[Envelope<()>]) -> NextWake {
+        if !inbox.is_empty() {
+            self.informed = true;
+        }
+        if self.sent {
+            NextWake::Halt
+        } else {
+            NextWake::At(round + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use graphlib::generators;
+
+    #[test]
+    fn flood_awake_equals_distance_profile() {
+        let g = generators::path(6, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| Flood::new(ctx.node.raw() == 0))
+            .unwrap();
+        assert!(out.states.iter().all(Flood::informed));
+        // Node at distance d is awake d+1 rounds (informed at round d... the
+        // token reaches it in round d, it re-sends in round d+1).
+        assert_eq!(out.stats.awake_by_node, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(out.stats.rounds, 6);
+    }
+
+    #[test]
+    fn flood_from_all_sources_finishes_in_one_round_of_sends() {
+        let g = generators::complete(5, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Flood::new(true))
+            .unwrap();
+        assert_eq!(out.stats.rounds, 1);
+        assert_eq!(out.stats.awake_max(), 1);
+    }
+
+    #[test]
+    fn uninformed_graph_stalls_nobody_but_never_halts_without_budget() {
+        // No source at all: everyone waits forever; the budget trips.
+        let g = generators::ring(4, 0).unwrap();
+        let err = Simulator::new(&g, SimConfig::default().with_max_rounds(50))
+            .run(|_| Flood::new(false))
+            .unwrap_err();
+        assert!(matches!(err, crate::SimError::MaxRoundsExceeded { .. }));
+    }
+}

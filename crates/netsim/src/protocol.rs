@@ -1,0 +1,133 @@
+//! The node-side programming interface.
+
+use graphlib::{NodeId, Port};
+
+use crate::{Payload, Round};
+
+/// A message together with the local port it is sent through or was
+/// received on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The local port (for a send: where to send; for a receive: where the
+    /// message arrived).
+    pub port: Port,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Convenience constructor.
+    pub fn new(port: Port, msg: M) -> Self {
+        Envelope { port, msg }
+    }
+}
+
+/// What a node does after finishing a round (or after `init`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextWake {
+    /// Sleep until the given round (exclusive of everything in between).
+    /// From `init`, `At(1)` means "awake from the very first round".
+    At(Round),
+    /// Terminate locally. The node never wakes again; by the paper's model
+    /// its awake complexity stops accumulating here.
+    Halt,
+}
+
+/// The initial knowledge the model grants a node, plus immutable run
+/// parameters. Deliberately **excludes** neighbor identities (KT0): a node
+/// sees its ports and the weight on each, nothing else about the far side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCtx {
+    /// This node's internal index (stable, `0..n`).
+    pub node: NodeId,
+    /// This node's unique external id in `[1, N]` — what the algorithms use
+    /// as "the ID".
+    pub external_id: u64,
+    /// Number of nodes `n` (known to all nodes, per the model).
+    pub n: usize,
+    /// Upper bound `N` on external ids (known to all; the deterministic
+    /// algorithm requires it).
+    pub max_external_id: u64,
+    /// Weight of the edge behind each port, indexed by [`Port`].
+    pub port_weights: Vec<u64>,
+    /// Seed material for this node's private randomness source.
+    pub rng_seed: u64,
+}
+
+impl NodeCtx {
+    /// Number of ports (the node's degree).
+    pub fn degree(&self) -> usize {
+        self.port_weights.len()
+    }
+
+    /// Weight of the edge behind `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn weight(&self, port: Port) -> u64 {
+        self.port_weights[port.index()]
+    }
+
+    /// Iterates over all ports.
+    pub fn ports(&self) -> impl Iterator<Item = Port> {
+        (0..self.port_weights.len() as u32).map(Port::new)
+    }
+}
+
+/// A distributed protocol, written from a single node's point of view.
+///
+/// One value of the implementing type is created per node. In each round
+/// where the node is awake the simulator calls [`Protocol::send`] first
+/// (local computation + outgoing messages) and then [`Protocol::deliver`]
+/// with the messages that arrived *in the same round* from neighbors that
+/// were awake. The value returned from `deliver` (and from
+/// [`Protocol::init`] before round 1) schedules the node's next awake round
+/// or halts it.
+pub trait Protocol {
+    /// Message payload type.
+    type Msg: Payload;
+
+    /// Called before round 1; returns the node's first wake.
+    fn init(&mut self, ctx: &NodeCtx) -> NextWake;
+
+    /// Send half-step of an awake round. Returns at most one message per
+    /// port (later envelopes to the same port overwrite earlier ones is
+    /// *not* done — the simulator delivers every envelope, so send one per
+    /// port per round to stay within the CONGEST discipline; the bit limit
+    /// is enforced per envelope).
+    fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<Self::Msg>>;
+
+    /// Deliver half-step of an awake round; `inbox` holds the messages from
+    /// awake neighbors, in ascending port order. Returns the node's next
+    /// wake (strictly after `round`) or halts.
+    fn deliver(&mut self, ctx: &NodeCtx, round: Round, inbox: &[Envelope<Self::Msg>]) -> NextWake;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_accessors() {
+        let ctx = NodeCtx {
+            node: NodeId::new(2),
+            external_id: 3,
+            n: 5,
+            max_external_id: 5,
+            port_weights: vec![10, 20, 30],
+            rng_seed: 0,
+        };
+        assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.weight(Port::new(1)), 20);
+        let ports: Vec<Port> = ctx.ports().collect();
+        assert_eq!(ports, vec![Port::new(0), Port::new(1), Port::new(2)]);
+    }
+
+    #[test]
+    fn envelope_constructor() {
+        let e = Envelope::new(Port::new(1), 42u64);
+        assert_eq!(e.port, Port::new(1));
+        assert_eq!(e.msg, 42);
+    }
+}

@@ -1,0 +1,615 @@
+//! The event-driven round executor.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use graphlib::{NodeId, WeightedGraph};
+
+use crate::{
+    Envelope, NextWake, NodeCtx, Payload, Protocol, Round, RunStats, SimError, Trace, TraceEvent,
+};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Abort with [`SimError::MaxRoundsExceeded`] if any node is still
+    /// running after this many rounds.
+    pub max_rounds: Round,
+    /// Per-message bit limit (the CONGEST `O(log n)` budget). `None`
+    /// disables enforcement; sizes are still accounted either way.
+    pub bit_limit: Option<usize>,
+    /// Record a full [`Trace`] of the run (expensive; keep off in benches).
+    pub record_trace: bool,
+    /// Master seed; each node's private randomness derives from it.
+    pub master_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_rounds: 1 << 40,
+            bit_limit: None,
+            record_trace: false,
+            master_seed: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the config with the given master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Returns the config with a per-message bit limit.
+    pub fn with_bit_limit(mut self, bits: usize) -> Self {
+        self.bit_limit = Some(bits);
+        self
+    }
+
+    /// Returns the config with tracing enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Returns the config with a round budget.
+    pub fn with_max_rounds(mut self, rounds: Round) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+}
+
+/// Everything a run produces: final per-node protocol states, metrics, and
+/// (if enabled) the trace.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<P> {
+    /// Final protocol value of each node, indexed by node.
+    pub states: Vec<P>,
+    /// Run metrics.
+    pub stats: RunStats,
+    /// Execution trace (empty unless [`SimConfig::record_trace`]).
+    pub trace: Trace,
+}
+
+/// The simulator: a weighted graph plus a [`SimConfig`].
+///
+/// The executor is event-driven: it keeps a priority queue of scheduled
+/// wake rounds and jumps directly from one populated round to the next, so
+/// a run costs `O(W log n + M)` where `W` is total node-awake events and
+/// `M` total messages — *independent of the number of silent rounds*. This
+/// is what makes the paper's `O(n N log n)`-round algorithm simulable.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g WeightedGraph,
+    config: SimConfig,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over `graph`.
+    pub fn new(graph: &'g WeightedGraph, config: SimConfig) -> Self {
+        Simulator { graph, config }
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &WeightedGraph {
+        self.graph
+    }
+
+    /// Runs `factory`-created protocol instances to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised during execution (bad port, bit
+    /// limit, non-future wake, stall, round budget).
+    pub fn run<P, F>(&self, factory: F) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx) -> P,
+    {
+        self.run_with_observer(factory, |_, _: &[P]| {})
+    }
+
+    /// Like [`Simulator::run`], but invokes `observer` after every round in
+    /// which at least one node was awake, with the round number and the
+    /// current protocol states. Used by the invariant-checking tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised during execution.
+    pub fn run_with_observer<P, F, O>(
+        &self,
+        mut factory: F,
+        mut observer: O,
+    ) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx) -> P,
+        O: FnMut(Round, &[P]),
+    {
+        let n = self.graph.node_count();
+        let mut stats = RunStats::new(n, self.graph.edge_count());
+        let mut trace = Trace::default();
+
+        // Per-node context, protocol value, and schedule.
+        let mut ctxs = Vec::with_capacity(n);
+        let mut protocols = Vec::with_capacity(n);
+        // `Some(r)` = will wake in round r; `None` = halted.
+        let mut next_wake: Vec<Option<Round>> = Vec::with_capacity(n);
+        let mut running = 0usize;
+        let mut queue: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::new();
+
+        for node in self.graph.nodes() {
+            let ctx = NodeCtx {
+                node,
+                external_id: self.graph.external_id(node),
+                n,
+                max_external_id: self.graph.max_external_id(),
+                port_weights: self.graph.ports(node).iter().map(|e| e.weight).collect(),
+                rng_seed: self
+                    .config
+                    .master_seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(u64::from(node.raw()).wrapping_mul(0xff51_afd7_ed55_8ccd)),
+            };
+            let mut protocol = factory(&ctx);
+            match protocol.init(&ctx) {
+                NextWake::At(r) => {
+                    if r == 0 {
+                        return Err(SimError::WakeNotInFuture {
+                            node,
+                            round: 0,
+                            requested: 0,
+                        });
+                    }
+                    queue.push(Reverse((r, node.raw())));
+                    next_wake.push(Some(r));
+                    running += 1;
+                }
+                NextWake::Halt => {
+                    if self.config.record_trace {
+                        trace.push(TraceEvent::Halted { round: 0, node });
+                    }
+                    next_wake.push(None);
+                }
+            }
+            ctxs.push(ctx);
+            protocols.push(protocol);
+        }
+
+        // `awake_stamp[v] == r` marks v awake in round r (stamps start at 1).
+        let mut awake_stamp: Vec<Round> = vec![0; n];
+        let mut awake_now: Vec<u32> = Vec::new();
+        // Pending deliveries for the current round: (receiver, recv_port, sender, msg).
+        let mut pending: Vec<(u32, u32, u32, P::Msg)> = Vec::new();
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+
+        while let Some(&Reverse((round, _))) = queue.peek() {
+            if round > self.config.max_rounds {
+                return Err(SimError::MaxRoundsExceeded {
+                    limit: self.config.max_rounds,
+                    running,
+                });
+            }
+
+            // Collect every node scheduled for this round.
+            awake_now.clear();
+            while let Some(&Reverse((r, v))) = queue.peek() {
+                if r != round {
+                    break;
+                }
+                queue.pop();
+                // Skip stale entries (a node re-scheduled or halted).
+                if next_wake[v as usize] == Some(r) && awake_stamp[v as usize] != round {
+                    awake_stamp[v as usize] = round;
+                    awake_now.push(v);
+                }
+            }
+            if awake_now.is_empty() {
+                continue;
+            }
+            awake_now.sort_unstable();
+            stats.rounds = round;
+
+            // --- Send half-step ---
+            pending.clear();
+            for &v in &awake_now {
+                let node = NodeId::new(v);
+                stats.awake_by_node[v as usize] += 1;
+                if self.config.record_trace {
+                    trace.push(TraceEvent::Awake { round, node });
+                }
+                let outbox = protocols[v as usize].send(&ctxs[v as usize], round);
+                for Envelope { port, msg } in outbox {
+                    if port.index() >= self.graph.degree(node) {
+                        return Err(SimError::PortOutOfRange { node, port, round });
+                    }
+                    let bits = msg.bit_size();
+                    if let Some(limit) = self.config.bit_limit {
+                        if bits > limit {
+                            return Err(SimError::MessageTooLarge {
+                                node,
+                                round,
+                                bits,
+                                limit,
+                            });
+                        }
+                    }
+                    let entry = self.graph.port_entry(node, port);
+                    stats.bits_by_edge[entry.edge.index()] += bits as u64;
+                    let back_port = self
+                        .graph
+                        .port_to(entry.neighbor, node)
+                        .expect("adjacency is symmetric");
+                    pending.push((entry.neighbor.raw(), back_port.raw(), v, msg));
+                }
+            }
+
+            // --- Deliver half-step ---
+            for (to, port, from, msg) in pending.drain(..) {
+                if awake_stamp[to as usize] == round {
+                    stats.messages_delivered += 1;
+                    stats.bits_received_by_node[to as usize] += msg.bit_size() as u64;
+                    if self.config.record_trace {
+                        trace.push(TraceEvent::Delivered {
+                            round,
+                            from: NodeId::new(from),
+                            to: NodeId::new(to),
+                            port: graphlib::Port::new(port),
+                            bits: msg.bit_size(),
+                            payload: format!("{msg:?}"),
+                        });
+                    }
+                    inboxes[to as usize].push(Envelope::new(graphlib::Port::new(port), msg));
+                } else {
+                    stats.messages_lost += 1;
+                    if self.config.record_trace {
+                        trace.push(TraceEvent::Lost {
+                            round,
+                            from: NodeId::new(from),
+                            to: NodeId::new(to),
+                        });
+                    }
+                }
+            }
+
+            for &v in &awake_now {
+                let node = NodeId::new(v);
+                let mut inbox = std::mem::take(&mut inboxes[v as usize]);
+                inbox.sort_by_key(|e| e.port);
+                match protocols[v as usize].deliver(&ctxs[v as usize], round, &inbox) {
+                    NextWake::At(r) => {
+                        if r <= round {
+                            return Err(SimError::WakeNotInFuture {
+                                node,
+                                round,
+                                requested: r,
+                            });
+                        }
+                        next_wake[v as usize] = Some(r);
+                        queue.push(Reverse((r, v)));
+                    }
+                    NextWake::Halt => {
+                        next_wake[v as usize] = None;
+                        running -= 1;
+                        if self.config.record_trace {
+                            trace.push(TraceEvent::Halted { round, node });
+                        }
+                    }
+                }
+            }
+
+            observer(round, &protocols);
+        }
+
+        if running > 0 {
+            return Err(SimError::Stalled {
+                running,
+                round: stats.rounds,
+            });
+        }
+        Ok(RunOutcome {
+            states: protocols,
+            stats,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::Flood;
+    use graphlib::{generators, GraphBuilder, Port};
+
+    /// Node i wakes only in round i+1, sends a unit message on every port,
+    /// and halts — exercises round skipping and message loss.
+    #[derive(Debug)]
+    struct Staggered {
+        my_round: Round,
+        received: usize,
+    }
+
+    impl Protocol for Staggered {
+        type Msg = ();
+
+        fn init(&mut self, _ctx: &NodeCtx) -> NextWake {
+            NextWake::At(self.my_round)
+        }
+
+        fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<()>> {
+            ctx.ports().map(|p| Envelope::new(p, ())).collect()
+        }
+
+        fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<()>]) -> NextWake {
+            self.received += inbox.len();
+            NextWake::Halt
+        }
+    }
+
+    #[test]
+    fn staggered_nodes_have_awake_one_and_lose_all_messages() {
+        let g = generators::ring(6, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| Staggered {
+                my_round: u64::from(ctx.node.raw()) * 100 + 1,
+                received: 0,
+            })
+            .unwrap();
+        assert_eq!(out.stats.awake_max(), 1);
+        assert_eq!(out.stats.rounds, 501);
+        assert_eq!(out.stats.messages_delivered, 0);
+        assert_eq!(out.stats.messages_lost, 12);
+        assert!(out.states.iter().all(|s| s.received == 0));
+    }
+
+    #[test]
+    fn simultaneous_nodes_exchange_in_same_round() {
+        let g = generators::ring(6, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Staggered {
+                my_round: 7,
+                received: 0,
+            })
+            .unwrap();
+        assert_eq!(out.stats.rounds, 7);
+        assert_eq!(out.stats.messages_lost, 0);
+        assert!(out.states.iter().all(|s| s.received == 2));
+    }
+
+    #[test]
+    fn flood_reaches_everyone() {
+        let g = generators::ring(8, 1).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| Flood::new(ctx.node.raw() == 0))
+            .unwrap();
+        assert!(out.states.iter().all(Flood::informed));
+        assert_eq!(out.stats.rounds, 5); // diameter 4, plus the final send round
+    }
+
+    #[test]
+    fn bit_limit_is_enforced() {
+        #[derive(Debug)]
+        struct Big;
+        impl Protocol for Big {
+            type Msg = u64;
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::At(1)
+            }
+            fn send(&mut self, ctx: &NodeCtx, _: Round) -> Vec<Envelope<u64>> {
+                ctx.ports().map(|p| Envelope::new(p, u64::MAX)).collect()
+            }
+            fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+                NextWake::Halt
+            }
+        }
+        let g = generators::ring(4, 0).unwrap();
+        let err = Simulator::new(&g, SimConfig::default().with_bit_limit(32))
+            .run(|_| Big)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MessageTooLarge {
+                bits: 64,
+                limit: 32,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_port_is_reported() {
+        #[derive(Debug)]
+        struct BadPort;
+        impl Protocol for BadPort {
+            type Msg = ();
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::At(1)
+            }
+            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
+                vec![Envelope::new(Port::new(99), ())]
+            }
+            fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {
+                NextWake::Halt
+            }
+        }
+        let g = generators::ring(4, 0).unwrap();
+        let err = Simulator::new(&g, SimConfig::default())
+            .run(|_| BadPort)
+            .unwrap_err();
+        assert!(matches!(err, SimError::PortOutOfRange { .. }));
+    }
+
+    #[test]
+    fn non_future_wake_is_reported() {
+        #[derive(Debug)]
+        struct BadWake;
+        impl Protocol for BadWake {
+            type Msg = ();
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::At(5)
+            }
+            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
+                Vec::new()
+            }
+            fn deliver(&mut self, _: &NodeCtx, round: Round, _: &[Envelope<()>]) -> NextWake {
+                NextWake::At(round) // not in the future
+            }
+        }
+        let g = generators::ring(4, 0).unwrap();
+        let err = Simulator::new(&g, SimConfig::default())
+            .run(|_| BadWake)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::WakeNotInFuture { requested: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn round_budget_is_enforced() {
+        #[derive(Debug)]
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = ();
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::At(1)
+            }
+            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
+                Vec::new()
+            }
+            fn deliver(&mut self, _: &NodeCtx, round: Round, _: &[Envelope<()>]) -> NextWake {
+                NextWake::At(round + 1)
+            }
+        }
+        let g = generators::ring(4, 0).unwrap();
+        let err = Simulator::new(&g, SimConfig::default().with_max_rounds(100))
+            .run(|_| Forever)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MaxRoundsExceeded {
+                limit: 100,
+                running: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn immediate_halt_in_init_is_clean() {
+        #[derive(Debug)]
+        struct Never;
+        impl Protocol for Never {
+            type Msg = ();
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::Halt
+            }
+            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
+                unreachable!()
+            }
+            fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {
+                unreachable!()
+            }
+        }
+        let g = generators::ring(4, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Never)
+            .unwrap();
+        assert_eq!(out.stats.rounds, 0);
+        assert_eq!(out.stats.awake_max(), 0);
+    }
+
+    #[test]
+    fn trace_records_awake_delivery_and_halt() {
+        let g = GraphBuilder::new(2).edge(0, 1, 1).build().unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_trace())
+            .run(|_| Staggered {
+                my_round: 1,
+                received: 0,
+            })
+            .unwrap();
+        let kinds: Vec<&'static str> = out
+            .trace
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Awake { .. } => "awake",
+                TraceEvent::Delivered { .. } => "delivered",
+                TraceEvent::Lost { .. } => "lost",
+                TraceEvent::Halted { .. } => "halted",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "awake",
+                "awake",
+                "delivered",
+                "delivered",
+                "halted",
+                "halted"
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_sees_each_active_round() {
+        let g = generators::ring(4, 0).unwrap();
+        let mut seen = Vec::new();
+        Simulator::new(&g, SimConfig::default())
+            .run_with_observer(
+                |ctx| Staggered {
+                    my_round: u64::from(ctx.node.raw()) * 10 + 1,
+                    received: 0,
+                },
+                |round, _states: &[Staggered]| seen.push(round),
+            )
+            .unwrap();
+        assert_eq!(seen, vec![1, 11, 21, 31]);
+    }
+
+    #[test]
+    fn stats_bits_accounting() {
+        let g = GraphBuilder::new(2).edge(0, 1, 1).build().unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Staggered {
+                my_round: 3,
+                received: 0,
+            })
+            .unwrap();
+        // Both nodes send a 1-bit unit message across the single edge.
+        assert_eq!(out.stats.bits_by_edge, vec![2]);
+        assert_eq!(out.stats.bits_received_by_node, vec![1, 1]);
+        assert_eq!(out.stats.messages_sent(), 2);
+    }
+
+    #[test]
+    fn rng_seeds_differ_per_node_and_master_seed() {
+        let g = generators::ring(4, 0).unwrap();
+        let mut seeds_a = Vec::new();
+        Simulator::new(&g, SimConfig::default().with_seed(1))
+            .run(|ctx| {
+                seeds_a.push(ctx.rng_seed);
+                Staggered {
+                    my_round: 1,
+                    received: 0,
+                }
+            })
+            .unwrap();
+        let uniq: std::collections::HashSet<u64> = seeds_a.iter().copied().collect();
+        assert_eq!(uniq.len(), 4);
+
+        let mut seeds_b = Vec::new();
+        Simulator::new(&g, SimConfig::default().with_seed(2))
+            .run(|ctx| {
+                seeds_b.push(ctx.rng_seed);
+                Staggered {
+                    my_round: 1,
+                    received: 0,
+                }
+            })
+            .unwrap();
+        assert_ne!(seeds_a, seeds_b);
+    }
+}

@@ -1,0 +1,103 @@
+//! Run metrics: the quantities the paper's theorems are about.
+
+use crate::Round;
+
+/// Aggregated metrics of one protocol execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Run time: the last round in which any node was awake (0 if the
+    /// protocol halted before round 1).
+    pub rounds: Round,
+    /// Awake rounds per node, indexed by node.
+    pub awake_by_node: Vec<u64>,
+    /// Messages successfully delivered.
+    pub messages_delivered: u64,
+    /// Messages lost because the receiver was asleep.
+    pub messages_lost: u64,
+    /// Total bits sent per edge, indexed by [`graphlib::EdgeId`]. Includes
+    /// lost messages (the sender still transmitted them).
+    pub bits_by_edge: Vec<u64>,
+    /// Total bits received per node (delivered messages only), indexed by
+    /// node — Lemma 8 lower-bounds awake time by received bits / log n.
+    pub bits_received_by_node: Vec<u64>,
+}
+
+impl RunStats {
+    pub(crate) fn new(n: usize, m: usize) -> Self {
+        RunStats {
+            rounds: 0,
+            awake_by_node: vec![0; n],
+            messages_delivered: 0,
+            messages_lost: 0,
+            bits_by_edge: vec![0; m],
+            bits_received_by_node: vec![0; n],
+        }
+    }
+
+    /// The paper's awake complexity: the maximum number of awake rounds
+    /// over all nodes.
+    pub fn awake_max(&self) -> u64 {
+        self.awake_by_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Node-averaged awake complexity (see the related-work discussion of
+    /// Chatterjee–Gmyr–Pandurangan).
+    pub fn awake_avg(&self) -> f64 {
+        if self.awake_by_node.is_empty() {
+            0.0
+        } else {
+            self.awake_by_node.iter().sum::<u64>() as f64 / self.awake_by_node.len() as f64
+        }
+    }
+
+    /// Total awake node-rounds (the simulator's work measure).
+    pub fn awake_total(&self) -> u64 {
+        self.awake_by_node.iter().sum()
+    }
+
+    /// The awake × run-time product of Theorem 4's trade-off.
+    pub fn awake_round_product(&self) -> u128 {
+        u128::from(self.awake_max()) * u128::from(self.rounds)
+    }
+
+    /// Heaviest per-edge traffic, in bits.
+    pub fn max_edge_bits(&self) -> u64 {
+        self.bits_by_edge.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total messages transmitted (delivered + lost).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_delivered + self.messages_lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let stats = RunStats {
+            rounds: 10,
+            awake_by_node: vec![3, 7, 5],
+            messages_delivered: 11,
+            messages_lost: 4,
+            bits_by_edge: vec![8, 64, 32],
+            bits_received_by_node: vec![10, 20, 30],
+        };
+        assert_eq!(stats.awake_max(), 7);
+        assert_eq!(stats.awake_total(), 15);
+        assert!((stats.awake_avg() - 5.0).abs() < 1e-9);
+        assert_eq!(stats.awake_round_product(), 70);
+        assert_eq!(stats.max_edge_bits(), 64);
+        assert_eq!(stats.messages_sent(), 15);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = RunStats::new(0, 0);
+        assert_eq!(stats.awake_max(), 0);
+        assert_eq!(stats.awake_avg(), 0.0);
+        assert_eq!(stats.max_edge_bits(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Optional execution traces, used by the examples and the golden tests of
+//! the `Merging-Fragments` walkthrough (Figures 2–5).
+
+use graphlib::{NodeId, Port};
+
+use crate::Round;
+
+/// One observable event of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node was awake in a round.
+    Awake {
+        /// The round.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
+    /// A message was delivered.
+    Delivered {
+        /// The round.
+        round: Round,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Receiver-side port.
+        port: Port,
+        /// Wire size in bits.
+        bits: usize,
+        /// Debug rendering of the payload.
+        payload: String,
+    },
+    /// A message was lost because the receiver slept.
+    Lost {
+        /// The round.
+        round: Round,
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A node halted.
+    Halted {
+        /// The round after which the node halted (0 = during `init`).
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event belongs to.
+    pub fn round(&self) -> Round {
+        match self {
+            TraceEvent::Awake { round, .. }
+            | TraceEvent::Delivered { round, .. }
+            | TraceEvent::Lost { round, .. }
+            | TraceEvent::Halted { round, .. } => *round,
+        }
+    }
+}
+
+/// An ordered list of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one round.
+    pub fn in_round(&self, round: Round) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+
+    /// Delivered-message events only.
+    pub fn deliveries(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_filters() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(TraceEvent::Awake {
+            round: 1,
+            node: NodeId::new(0),
+        });
+        t.push(TraceEvent::Delivered {
+            round: 1,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            port: Port::new(0),
+            bits: 4,
+            payload: "x".into(),
+        });
+        t.push(TraceEvent::Halted {
+            round: 2,
+            node: NodeId::new(0),
+        });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.in_round(1).count(), 2);
+        assert_eq!(t.deliveries().count(), 1);
+        assert_eq!(t.events()[2].round(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the simulator's accounting invariants.
+
+use proptest::prelude::*;
+
+use graphlib::generators;
+use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round, SimConfig, Simulator};
+
+/// A node that wakes at an arbitrary (per-node) schedule of rounds, sends
+/// a unit message on every port at each wake, and halts after its last
+/// scheduled round.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    rounds: Vec<Round>, // strictly increasing
+    at: usize,
+    received: u64,
+}
+
+impl Scheduled {
+    fn new(mut rounds: Vec<Round>) -> Self {
+        rounds.sort_unstable();
+        rounds.dedup();
+        Scheduled {
+            rounds,
+            at: 0,
+            received: 0,
+        }
+    }
+}
+
+impl Protocol for Scheduled {
+    type Msg = ();
+
+    fn init(&mut self, _ctx: &NodeCtx) -> NextWake {
+        match self.rounds.first() {
+            Some(&r) => NextWake::At(r),
+            None => NextWake::Halt,
+        }
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<()>> {
+        ctx.ports().map(|p| Envelope::new(p, ())).collect()
+    }
+
+    fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<()>]) -> NextWake {
+        self.received += inbox.len() as u64;
+        self.at += 1;
+        match self.rounds.get(self.at) {
+            Some(&r) => NextWake::At(r),
+            None => NextWake::Halt,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: every sent message is either delivered or lost, and
+    /// deliveries happen exactly when both endpoints share an awake round.
+    #[test]
+    fn message_conservation(
+        n in 3usize..12,
+        schedules in proptest::collection::vec(
+            proptest::collection::vec(1u64..40, 1..6), 3..12),
+    ) {
+        prop_assume!(schedules.len() >= n);
+        let g = generators::ring(n, 1).unwrap();
+        let scheds: Vec<Vec<Round>> = schedules[..n].to_vec();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|ctx| Scheduled::new(scheds[ctx.node.index()].clone()))
+            .unwrap();
+
+        // Expected sends: per node, degree × number of distinct rounds.
+        let mut expected_sent = 0u64;
+        let mut norm: Vec<std::collections::BTreeSet<Round>> = Vec::new();
+        for s in &scheds {
+            let set: std::collections::BTreeSet<Round> = s.iter().copied().collect();
+            expected_sent += 2 * set.len() as u64; // ring degree 2
+            norm.push(set);
+        }
+        prop_assert_eq!(out.stats.messages_sent(), expected_sent);
+
+        // Expected deliveries: for each directed edge (u → v), |rounds(u) ∩ rounds(v)|.
+        let mut expected_delivered = 0u64;
+        for u in 0..n {
+            for v in [(u + 1) % n, (u + n - 1) % n] {
+                expected_delivered += norm[u].intersection(&norm[v]).count() as u64;
+            }
+        }
+        prop_assert_eq!(out.stats.messages_delivered, expected_delivered);
+        prop_assert_eq!(
+            out.stats.messages_lost,
+            expected_sent - expected_delivered
+        );
+
+        // Awake accounting equals the distinct scheduled rounds.
+        for (i, set) in norm.iter().enumerate() {
+            prop_assert_eq!(out.stats.awake_by_node[i], set.len() as u64);
+        }
+
+        // Run time is the last round anyone was scheduled.
+        let last = norm.iter().filter_map(|s| s.iter().max()).max().copied().unwrap();
+        prop_assert_eq!(out.stats.rounds, last);
+    }
+
+    /// Determinism: identical configs produce identical outcomes.
+    #[test]
+    fn runs_are_deterministic(n in 3usize..10, seed in 0u64..50) {
+        let g = generators::ring(n, seed).unwrap();
+        let sched: Vec<Vec<Round>> = (0..n).map(|i| vec![1 + (i as u64 * 3) % 7, 9]).collect();
+        let a = Simulator::new(&g, SimConfig::default().with_seed(seed))
+            .run(|ctx| Scheduled::new(sched[ctx.node.index()].clone()))
+            .unwrap();
+        let b = Simulator::new(&g, SimConfig::default().with_seed(seed))
+            .run(|ctx| Scheduled::new(sched[ctx.node.index()].clone()))
+            .unwrap();
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    /// Bits accounting: per-edge bits equal messages crossing the edge (a
+    /// unit message is 1 bit), and received bits sum only deliveries.
+    #[test]
+    fn bit_accounting(n in 3usize..10, round in 1u64..20) {
+        let g = generators::ring(n, 0).unwrap();
+        // Everyone awake in the same single round: all messages delivered.
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Scheduled::new(vec![round]))
+            .unwrap();
+        prop_assert_eq!(out.stats.messages_lost, 0);
+        // Each edge carries exactly 2 unit messages (one per direction).
+        prop_assert!(out.stats.bits_by_edge.iter().all(|&b| b == 2));
+        prop_assert_eq!(
+            out.stats.bits_received_by_node.iter().sum::<u64>(),
+            out.stats.messages_delivered
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the radio-model executor's accounting.
+
+use proptest::prelude::*;
+
+use graphlib::generators;
+use netsim::radio::{CollisionRule, Heard, RadioAction, RadioProtocol, RadioSimulator};
+use netsim::{NextWake, NodeCtx, Round};
+
+/// Each node follows a fixed per-round action script, then halts.
+#[derive(Debug, Clone)]
+struct Scripted {
+    /// (round, action) pairs; 0 = transmit own id, 1 = listen, 2 = idle.
+    script: Vec<(Round, u8)>,
+    at: usize,
+    heard_msgs: u64,
+    heard_collisions: u64,
+}
+
+impl Scripted {
+    fn new(mut script: Vec<(Round, u8)>) -> Self {
+        script.sort_unstable();
+        script.dedup_by_key(|e| e.0);
+        Scripted {
+            script,
+            at: 0,
+            heard_msgs: 0,
+            heard_collisions: 0,
+        }
+    }
+}
+
+impl RadioProtocol for Scripted {
+    type Msg = u64;
+
+    fn init(&mut self, _ctx: &NodeCtx) -> NextWake {
+        match self.script.first() {
+            Some(&(r, _)) => NextWake::At(r),
+            None => NextWake::Halt,
+        }
+    }
+
+    fn act(&mut self, ctx: &NodeCtx, _round: Round) -> RadioAction<u64> {
+        match self.script[self.at].1 {
+            0 => RadioAction::Transmit(ctx.external_id),
+            1 => RadioAction::Listen,
+            _ => RadioAction::Idle,
+        }
+    }
+
+    fn heard(&mut self, _ctx: &NodeCtx, _round: Round, outcome: Heard<u64>) -> NextWake {
+        match outcome {
+            Heard::One(_) => self.heard_msgs += 1,
+            Heard::All(v) => self.heard_msgs += v.len() as u64,
+            Heard::Collision => self.heard_collisions += 1,
+            _ => {}
+        }
+        self.at += 1;
+        match self.script.get(self.at) {
+            Some(&(r, _)) => NextWake::At(r),
+            None => NextWake::Halt,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Energy equals the number of transmit/listen rounds, and the Local
+    /// rule delivers exactly (transmitting neighbor, listening node) pairs.
+    #[test]
+    fn radio_accounting(
+        n in 3usize..10,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((1u64..25, 0u8..3), 1..6), 3..10),
+    ) {
+        prop_assume!(scripts.len() >= n);
+        let g = generators::ring(n, 1).unwrap();
+        let protos: Vec<Scripted> =
+            scripts[..n].iter().map(|s| Scripted::new(s.clone())).collect();
+        let out = RadioSimulator::new(&g, CollisionRule::Local)
+            .run(|ctx| protos[ctx.node.index()].clone())
+            .unwrap();
+
+        // Expected energy: transmit + listen entries per node.
+        for (i, p) in protos.iter().enumerate() {
+            let expected: u64 = p.script.iter().filter(|&&(_, a)| a != 2).count() as u64;
+            prop_assert_eq!(out.stats.energy_by_node[i], expected, "node {}", i);
+        }
+
+        // Expected receptions under Local: for each directed ring edge
+        // (u → v), rounds where u transmits and v listens.
+        let mut expected_recv = 0u64;
+        let action_at = |i: usize, r: Round| {
+            protos[i].script.iter().find(|&&(rr, _)| rr == r).map(|&(_, a)| a)
+        };
+        for v in 0..n {
+            for u in [(v + 1) % n, (v + n - 1) % n] {
+                for &(r, a) in &protos[u].script {
+                    if a == 0 && action_at(v, r) == Some(1) {
+                        expected_recv += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(out.stats.receptions, expected_recv);
+        let total_heard: u64 = out.states.iter().map(|s| s.heard_msgs).sum();
+        prop_assert_eq!(total_heard, expected_recv);
+        prop_assert_eq!(out.stats.collisions, 0, "Local never collides");
+    }
+
+    /// Under Detection, per listener-round: 0 transmitting neighbors →
+    /// nothing, 1 → a message, ≥2 → a collision; totals must match.
+    #[test]
+    fn detection_counts_collisions_exactly(
+        n in 3usize..9,
+        transmit_round in 1u64..5,
+        transmitters in proptest::collection::vec(any::<bool>(), 3..9),
+    ) {
+        prop_assume!(transmitters.len() >= n);
+        let g = generators::ring(n, 2).unwrap();
+        let out = RadioSimulator::new(&g, CollisionRule::Detection)
+            .run(|ctx| {
+                let a = if transmitters[ctx.node.index()] { 0 } else { 1 };
+                Scripted::new(vec![(transmit_round, a)])
+            })
+            .unwrap();
+        let mut expected_msgs = 0u64;
+        let mut expected_cols = 0u64;
+        for v in 0..n {
+            if transmitters[v] {
+                continue; // v listened
+            }
+            let tx = usize::from(transmitters[(v + 1) % n])
+                + usize::from(transmitters[(v + n - 1) % n]);
+            match tx {
+                0 => {}
+                1 => expected_msgs += 1,
+                _ => expected_cols += 1,
+            }
+        }
+        let heard: u64 = out.states.iter().map(|s| s.heard_msgs).sum();
+        let cols: u64 = out.states.iter().map(|s| s.heard_collisions).sum();
+        prop_assert_eq!(heard, expected_msgs);
+        prop_assert_eq!(cols, expected_cols);
+        prop_assert_eq!(out.stats.collisions, expected_cols);
+    }
+}

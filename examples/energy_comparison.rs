@@ -1,0 +1,58 @@
+//! Energy comparison: the paper's motivating scenario.
+//!
+//! A battery-powered sensor network wants an MST for efficient broadcast.
+//! A node spends energy only while its radio is on (awake). This example
+//! runs the same MST computation three ways — the traditional always-awake
+//! GHS, the paper's randomized sleeping algorithm, and its deterministic
+//! sibling — and reports the awake rounds ("energy") each one costs.
+//!
+//! ```text
+//! cargo run --release --example energy_comparison
+//! ```
+
+use sleeping_mst::graphlib::generators;
+use sleeping_mst::mst_core::{run_always_awake, run_deterministic, run_logstar, run_randomized};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("| n   | algorithm         | awake max | awake avg | rounds  | awake/log2(n) |");
+    println!("|-----|-------------------|-----------|-----------|---------|---------------|");
+
+    for &n in &[16usize, 32, 64] {
+        // A sensor field: random geometric-ish connectivity approximated by
+        // a sparse random connected graph.
+        let graph = generators::random_connected(n, 0.08, n as u64)?;
+        let log_n = (n as f64).log2();
+
+        let ghs = run_always_awake(&graph, 1)?;
+        let rand = run_randomized(&graph, 1)?;
+        let det = run_deterministic(&graph)?;
+        let cv = run_logstar(&graph)?;
+        assert_eq!(ghs.edges, rand.edges);
+        assert_eq!(rand.edges, det.edges);
+        assert_eq!(det.edges, cv.edges);
+
+        for (name, out) in [
+            ("GHS always-awake", &ghs),
+            ("Randomized-MST", &rand),
+            ("Deterministic-MST", &det),
+            ("Corollary-1 (CV)", &cv),
+        ] {
+            println!(
+                "| {:<3} | {:<17} | {:>9} | {:>9.1} | {:>7} | {:>13.1} |",
+                n,
+                name,
+                out.stats.awake_max(),
+                out.stats.awake_avg(),
+                out.stats.rounds,
+                out.stats.awake_max() as f64 / log_n,
+            );
+        }
+    }
+
+    println!(
+        "\nReading the table: the sleeping algorithms keep awake time flat at\n\
+         O(log n) while the always-awake baseline pays the full run time in\n\
+         energy — exactly Table 1 of the paper, measured."
+    );
+    Ok(())
+}

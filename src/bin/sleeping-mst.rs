@@ -1,0 +1,17 @@
+//! The `sleeping-mst` command-line binary. All logic lives in
+//! [`sleeping_mst::cli`]; this wrapper only touches `std::env` and the
+//! process exit code.
+
+use std::process::ExitCode;
+
+use sleeping_mst::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (code, text) = match cli::parse_args(&args) {
+        Ok(cmd) => cli::execute(&cmd),
+        Err(e) => (2, format!("error: {e}\n\n{}", cli::USAGE)),
+    };
+    print!("{text}");
+    ExitCode::from(code as u8)
+}

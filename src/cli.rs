@@ -1,0 +1,516 @@
+//! The `sleeping-mst` command-line interface: run any of the workspace's
+//! MST algorithms on a described graph and report the sleeping-model
+//! metrics, as text or JSON.
+//!
+//! The interface is deliberately dependency-free; graph and algorithm
+//! specs are tiny colon-separated strings:
+//!
+//! ```text
+//! sleeping-mst run --alg randomized --graph ring:64 --seed 7
+//! sleeping-mst run --alg deterministic --graph random:48:0.1 --json
+//! sleeping-mst verify --alg logstar --graph grid:4x8
+//! sleeping-mst info --graph barbell:6:3
+//! ```
+
+use std::fmt;
+
+use graphlib::{generators, mst, traversal, GraphError, WeightedGraph};
+use mst_core::{
+    run_always_awake, run_deterministic, run_logstar, run_prim, run_randomized, run_spanning_tree,
+    MstOutcome,
+};
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's randomized awake-optimal algorithm.
+    Randomized,
+    /// The paper's deterministic awake-optimal algorithm.
+    Deterministic,
+    /// The Corollary 1 Cole–Vishkin variant.
+    Logstar,
+    /// The Prim-style sequential baseline.
+    Prim,
+    /// The arbitrary-spanning-tree variant.
+    SpanningTree,
+    /// The always-awake GHS baseline.
+    AlwaysAwake,
+}
+
+impl Algorithm {
+    /// Parses an algorithm name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "randomized" => Ok(Algorithm::Randomized),
+            "deterministic" => Ok(Algorithm::Deterministic),
+            "logstar" => Ok(Algorithm::Logstar),
+            "prim" => Ok(Algorithm::Prim),
+            "spanning-tree" => Ok(Algorithm::SpanningTree),
+            "always-awake" => Ok(Algorithm::AlwaysAwake),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected randomized, deterministic, \
+                 logstar, prim, spanning-tree, or always-awake)"
+            )),
+        }
+    }
+
+    /// `true` if the output is the (unique) MST rather than just a
+    /// spanning tree.
+    pub fn produces_mst(self) -> bool {
+        self != Algorithm::SpanningTree
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::Randomized => "randomized",
+            Algorithm::Deterministic => "deterministic",
+            Algorithm::Logstar => "logstar",
+            Algorithm::Prim => "prim",
+            Algorithm::SpanningTree => "spanning-tree",
+            Algorithm::AlwaysAwake => "always-awake",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Builds a graph from a spec string like `ring:64`, `random:48:0.1`,
+/// `grid:4x8`, `barbell:6:3`, `caterpillar:5:2`, `bintree:31`,
+/// `complete:12`, `path:20`, or `star:16`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed specs or invalid sizes.
+pub fn build_graph(spec: &str, seed: u64) -> Result<WeightedGraph, String> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    let int = |s: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("'{s}' is not a positive integer"))
+    };
+    let graph: Result<WeightedGraph, GraphError> = match (kind, args.as_slice()) {
+        ("ring", [n]) => generators::ring(int(n)?, seed),
+        ("path", [n]) => generators::path(int(n)?, seed),
+        ("star", [n]) => generators::star(int(n)?, seed),
+        ("complete", [n]) => generators::complete(int(n)?, seed),
+        ("bintree", [n]) => generators::binary_tree(int(n)?, seed),
+        ("grid", [dims]) => {
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid spec '{dims}' must look like 4x8"))?;
+            generators::grid(int(r)?, int(c)?, seed)
+        }
+        ("random", [n, p]) => {
+            let p: f64 = p
+                .parse()
+                .map_err(|_| format!("'{p}' is not a probability"))?;
+            generators::random_connected(int(n)?, p, seed)
+        }
+        ("barbell", [k, b]) => generators::barbell(int(k)?, int(b)?, seed),
+        ("caterpillar", [s, l]) => generators::caterpillar(int(s)?, int(l)?, seed),
+        _ => {
+            return Err(format!(
+                "unknown graph spec '{spec}' (expected ring:N, path:N, star:N, \
+                 complete:N, bintree:N, grid:RxC, random:N:P, barbell:K:B, or \
+                 caterpillar:S:L)"
+            ))
+        }
+    };
+    graph.map_err(|e| e.to_string())
+}
+
+/// Runs `alg` on `graph`.
+///
+/// # Errors
+///
+/// Propagates simulator errors as strings.
+pub fn run(alg: Algorithm, graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, String> {
+    let out = match alg {
+        Algorithm::Randomized => run_randomized(graph, seed),
+        Algorithm::Deterministic => run_deterministic(graph),
+        Algorithm::Logstar => run_logstar(graph),
+        Algorithm::Prim => run_prim(graph, 1),
+        Algorithm::SpanningTree => run_spanning_tree(graph, seed),
+        Algorithm::AlwaysAwake => run_always_awake(graph, seed),
+    };
+    out.map_err(|e| e.to_string())
+}
+
+/// Renders an outcome as a human-readable report.
+pub fn render_text(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> String {
+    let n = graph.node_count() as f64;
+    format!(
+        "algorithm        : {alg}\n\
+         nodes / edges    : {} / {}\n\
+         tree edges       : {}\n\
+         total weight     : {}\n\
+         phases           : {}\n\
+         awake max        : {} rounds\n\
+         awake avg        : {:.1} rounds\n\
+         awake / log2(n)  : {:.1}\n\
+         run time         : {} rounds\n\
+         awake x rounds   : {}\n\
+         messages         : {} delivered, {} lost\n",
+        graph.node_count(),
+        graph.edge_count(),
+        out.edges.len(),
+        graph.total_weight(out.edges.iter().copied()),
+        out.phases,
+        out.stats.awake_max(),
+        out.stats.awake_avg(),
+        out.stats.awake_max() as f64 / n.log2().max(1.0),
+        out.stats.rounds,
+        out.stats.awake_round_product(),
+        out.stats.messages_delivered,
+        out.stats.messages_lost,
+    )
+}
+
+/// Renders an outcome as a single JSON object (hand-rolled; all fields are
+/// numbers or strings, so no escaping is needed).
+pub fn render_json(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> String {
+    format!(
+        "{{\"algorithm\":\"{alg}\",\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
+         \"total_weight\":{},\"phases\":{},\"awake_max\":{},\"awake_avg\":{:.3},\
+         \"rounds\":{},\"awake_round_product\":{},\"messages_delivered\":{},\
+         \"messages_lost\":{}}}",
+        graph.node_count(),
+        graph.edge_count(),
+        out.edges.len(),
+        graph.total_weight(out.edges.iter().copied()),
+        out.phases,
+        out.stats.awake_max(),
+        out.stats.awake_avg(),
+        out.stats.rounds,
+        out.stats.awake_round_product(),
+        out.stats.messages_delivered,
+        out.stats.messages_lost,
+    )
+}
+
+/// Verifies an outcome against Kruskal (for MST algorithms) or against
+/// the spanning-tree property.
+///
+/// # Errors
+///
+/// Returns a description of the mismatch.
+pub fn verify(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> Result<(), String> {
+    if alg.produces_mst() {
+        let reference = mst::kruskal(graph);
+        if out.edges != reference.edges {
+            return Err(format!(
+                "edge set differs from the reference MST ({} vs {} edges, weight {} vs {})",
+                out.edges.len(),
+                reference.edges.len(),
+                graph.total_weight(out.edges.iter().copied()),
+                reference.total_weight
+            ));
+        }
+    } else {
+        if out.edges.len() + 1 != graph.node_count() {
+            return Err(format!(
+                "expected {} spanning edges, got {}",
+                graph.node_count() - 1,
+                out.edges.len()
+            ));
+        }
+        let mut uf = graphlib::UnionFind::new(graph.node_count());
+        for &e in &out.edges {
+            let edge = graph.edge(e);
+            if !uf.union(edge.u.index(), edge.v.index()) {
+                return Err(format!("edge {e} closes a cycle"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run`: execute and report.
+    Run {
+        /// Algorithm to run.
+        alg: Algorithm,
+        /// Graph spec.
+        graph: String,
+        /// Seed for weights and coins.
+        seed: u64,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// `verify`: execute, check against the reference, exit non-zero on
+    /// mismatch.
+    Verify {
+        /// Algorithm to run.
+        alg: Algorithm,
+        /// Graph spec.
+        graph: String,
+        /// Seed for weights and coins.
+        seed: u64,
+    },
+    /// `info`: print graph structure only.
+    Info {
+        /// Graph spec.
+        graph: String,
+        /// Seed for weights.
+        seed: u64,
+    },
+    /// `help`: usage text.
+    Help,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message describing the problem.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let mut alg = None;
+    let mut graph = None;
+    let mut seed = 0u64;
+    let mut json = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--alg" => {
+                let v = it.next().ok_or("--alg needs a value")?;
+                alg = Some(Algorithm::parse(v)?);
+            }
+            "--graph" => graph = Some(it.next().ok_or("--graph needs a value")?.clone()),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("'{v}' is not a seed"))?;
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let graph = graph.ok_or("--graph is required")?;
+    match cmd {
+        "run" => Ok(Command::Run {
+            alg: alg.ok_or("--alg is required for 'run'")?,
+            graph,
+            seed,
+            json,
+        }),
+        "verify" => Ok(Command::Verify {
+            alg: alg.ok_or("--alg is required for 'verify'")?,
+            graph,
+            seed,
+        }),
+        "info" => Ok(Command::Info { graph, seed }),
+        other => Err(format!(
+            "unknown command '{other}' (run, verify, info, help)"
+        )),
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+sleeping-mst — distributed MST in the sleeping model (PODC 2022 reproduction)
+
+USAGE:
+    sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
+    sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
+    sleeping-mst info   --graph <SPEC> [--seed S]
+
+ALGORITHMS:
+    randomized      O(log n) awake, O(n log n) rounds (paper, Section 2.2)
+    deterministic   O(log n) awake, O(n N log n) rounds (paper, Section 2.3)
+    logstar         O(log n log* n) awake (paper, Corollary 1)
+    prim            sequential baseline, Θ(n) awake
+    spanning-tree   arbitrary spanning tree, O(log n) awake
+    always-awake    traditional-model GHS baseline, awake = rounds
+
+GRAPH SPECS:
+    ring:N  path:N  star:N  complete:N  bintree:N  grid:RxC
+    random:N:P  barbell:K:B  caterpillar:S:L
+";
+
+/// Executes a parsed command; returns the process exit code and the text
+/// to print.
+pub fn execute(cmd: &Command) -> (i32, String) {
+    match cmd {
+        Command::Help => (0, USAGE.to_string()),
+        Command::Info { graph, seed } => match build_graph(graph, *seed) {
+            Err(e) => (2, format!("error: {e}\n")),
+            Ok(g) => (
+                0,
+                format!(
+                    "nodes     : {}\nedges     : {}\ndiameter  : {}\nmax id N  : {}\n",
+                    g.node_count(),
+                    g.edge_count(),
+                    traversal::diameter(&g)
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "disconnected".to_string()),
+                    g.max_external_id(),
+                ),
+            ),
+        },
+        Command::Run {
+            alg,
+            graph,
+            seed,
+            json,
+        } => match build_graph(graph, *seed) {
+            Err(e) => (2, format!("error: {e}\n")),
+            Ok(g) => match run(*alg, &g, *seed) {
+                Err(e) => (1, format!("error: {e}\n")),
+                Ok(out) => {
+                    let text = if *json {
+                        render_json(*alg, &g, &out) + "\n"
+                    } else {
+                        render_text(*alg, &g, &out)
+                    };
+                    (0, text)
+                }
+            },
+        },
+        Command::Verify { alg, graph, seed } => match build_graph(graph, *seed) {
+            Err(e) => (2, format!("error: {e}\n")),
+            Ok(g) => match run(*alg, &g, *seed) {
+                Err(e) => (1, format!("error: {e}\n")),
+                Ok(out) => match verify(*alg, &g, &out) {
+                    Ok(()) => (0, format!("ok: {alg} output verified on {graph}\n")),
+                    Err(e) => (1, format!("MISMATCH: {e}\n")),
+                },
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_command() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:32",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                alg: Algorithm::Randomized,
+                graph: "ring:32".into(),
+                seed: 9,
+                json: true
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_helpful() {
+        assert!(parse_args(&args(&["run", "--graph", "ring:8"]))
+            .unwrap_err()
+            .contains("--alg"));
+        assert!(
+            parse_args(&args(&["run", "--alg", "bogus", "--graph", "ring:8"]))
+                .unwrap_err()
+                .contains("unknown algorithm")
+        );
+        assert!(parse_args(&args(&["frobnicate", "--graph", "ring:8"]))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(matches!(parse_args(&args(&[])), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn graph_specs_build() {
+        for spec in [
+            "ring:12",
+            "path:9",
+            "star:7",
+            "complete:6",
+            "bintree:15",
+            "grid:3x4",
+            "random:14:0.2",
+            "barbell:4:2",
+            "caterpillar:4:2",
+        ] {
+            let g = build_graph(spec, 1).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(g.node_count() > 0, "{spec}");
+        }
+        assert!(build_graph("ring:2", 0).is_err());
+        assert!(build_graph("mystery:3", 0).is_err());
+        assert!(build_graph("grid:3", 0).is_err());
+        assert!(build_graph("random:5:nope", 0).is_err());
+    }
+
+    #[test]
+    fn run_and_verify_all_algorithms() {
+        let g = build_graph("random:14:0.2", 3).unwrap();
+        for alg in [
+            Algorithm::Randomized,
+            Algorithm::Deterministic,
+            Algorithm::Logstar,
+            Algorithm::Prim,
+            Algorithm::SpanningTree,
+            Algorithm::AlwaysAwake,
+        ] {
+            let out = run(alg, &g, 5).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            verify(alg, &g, &out).unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_enough() {
+        let g = build_graph("ring:8", 1).unwrap();
+        let out = run(Algorithm::Randomized, &g, 1).unwrap();
+        let json = render_json(Algorithm::Randomized, &g, &out);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"awake_max\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn execute_paths() {
+        let (code, text) = execute(&Command::Help);
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+
+        let (code, text) = execute(&Command::Info {
+            graph: "ring:16".into(),
+            seed: 0,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("diameter"));
+
+        let (code, _) = execute(&Command::Info {
+            graph: "nope".into(),
+            seed: 0,
+        });
+        assert_eq!(code, 2);
+
+        let (code, text) = execute(&Command::Verify {
+            alg: Algorithm::Randomized,
+            graph: "ring:16".into(),
+            seed: 3,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.starts_with("ok:"));
+    }
+}

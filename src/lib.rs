@@ -1,0 +1,18 @@
+//! Facade crate: re-exports the whole sleeping-model MST workspace.
+//!
+//! See the repository `README.md` for an overview. The heavy lifting lives
+//! in the member crates:
+//!
+//! * [`graphlib`] — weighted graphs, generators, and reference MSTs;
+//! * [`netsim`] — the synchronous CONGEST + sleeping-model simulator;
+//! * [`mst_core`] — the paper's algorithms and the LDT toolbox;
+//! * [`lowerbound`] — the lower-bound graph families and reductions.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use graphlib;
+pub use lowerbound;
+pub use mst_core;
+pub use netsim;

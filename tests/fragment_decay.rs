@@ -1,0 +1,109 @@
+//! Lemma 1 / Lemma 5, measured: the fragment count decays geometrically
+//! across phases for both algorithms.
+//!
+//! Lemma 1 proves `E[F_{i+1}] ≤ (3/4)·F_i` for the randomized algorithm
+//! (a fragment survives only if it isn't a tails fragment with a valid
+//! MOE into a heads fragment). The deterministic analysis guarantees a
+//! (much weaker) constant factor. Here we replay runs, snapshot the
+//! forest at each phase boundary, and check the measured decay.
+
+use std::collections::BTreeSet;
+
+use sleeping_mst::graphlib::generators;
+use sleeping_mst::mst_core::deterministic::DeterministicMst;
+use sleeping_mst::mst_core::randomized::{RandomizedMst, BLOCKS_PER_PHASE};
+use sleeping_mst::mst_core::timeline::Timeline;
+use sleeping_mst::netsim::{SimConfig, Simulator};
+
+/// Runs the randomized algorithm and returns the fragment count at the
+/// start of each phase.
+fn randomized_fragment_counts(n: usize, graph_seed: u64, run_seed: u64) -> Vec<usize> {
+    let g = generators::random_connected(n, 0.1, graph_seed).unwrap();
+    let phase_len = Timeline::new(n, BLOCKS_PER_PHASE).phase_len();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut last_phase = u64::MAX;
+    Simulator::new(&g, SimConfig::default().with_seed(run_seed))
+        .run_with_observer(RandomizedMst::new, |round, states: &[RandomizedMst]| {
+            let phase = (round - 1) / phase_len;
+            if phase != last_phase {
+                last_phase = phase;
+                let frags: BTreeSet<u64> = states.iter().map(|s| s.ldt_view().fragment).collect();
+                counts.push(frags.len());
+            }
+        })
+        .unwrap();
+    counts
+}
+
+#[test]
+fn randomized_fragments_decay_geometrically_on_average() {
+    // Average the per-phase survival ratio across seeds; Lemma 1 puts the
+    // expectation at ≤ 3/4, so the measured mean should comfortably beat
+    // a lenient 0.9.
+    let mut ratios = Vec::new();
+    for seed in 0..6 {
+        let counts = randomized_fragment_counts(40, 11, seed);
+        assert_eq!(counts[0], 40, "phase 0 starts with singleton fragments");
+        assert_eq!(*counts.last().unwrap(), 1, "ends with one fragment");
+        for w in counts.windows(2) {
+            if w[0] > 1 {
+                ratios.push(w[1] as f64 / w[0] as f64);
+            }
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        mean < 0.9,
+        "mean survival ratio {mean:.3} too weak for Lemma 1's 3/4 expectation"
+    );
+    // Fragment counts never increase.
+    assert!(ratios.iter().all(|&r| r <= 1.0));
+}
+
+#[test]
+fn randomized_phase_count_is_logarithmic() {
+    // Lemma 1 ⇒ O(log n) phases w.h.p.; the constant 4·log_{4/3} n of the
+    // paper is ≈ 9.6·log2 n, so 10·log2(n) is a safe ceiling at these sizes.
+    for &n in &[24usize, 48, 96] {
+        let counts = randomized_fragment_counts(n, 5, 7);
+        let phases = counts.len();
+        let bound = (10.0 * (n as f64).log2()).ceil() as usize;
+        assert!(phases <= bound, "{phases} phases at n={n} exceeds {bound}");
+    }
+}
+
+#[test]
+fn deterministic_fragments_strictly_decrease_every_phase() {
+    // The deterministic guarantee: at least every blue fragment merges, so
+    // the count strictly decreases while more than one fragment remains.
+    let n = 24;
+    let g = generators::random_connected(n, 0.15, 9).unwrap();
+    let big_n = g.max_external_id();
+    let phase_len = Timeline::new(n, 9 + 3 * big_n + 6).phase_len();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut last_phase = u64::MAX;
+    Simulator::new(&g, SimConfig::default())
+        .run_with_observer(
+            DeterministicMst::new,
+            |round, states: &[DeterministicMst]| {
+                let phase = (round - 1) / phase_len;
+                if phase != last_phase {
+                    last_phase = phase;
+                    let frags: BTreeSet<u64> =
+                        states.iter().map(|s| s.ldt_view().fragment).collect();
+                    counts.push(frags.len());
+                }
+            },
+        )
+        .unwrap();
+    assert_eq!(counts[0], n);
+    assert_eq!(*counts.last().unwrap(), 1);
+    for w in counts.windows(2) {
+        assert!(
+            w[1] < w[0] || w[0] == 1,
+            "no progress: {} -> {} fragments",
+            w[0],
+            w[1]
+        );
+    }
+}
