@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphlib::generators;
-use mst_core::{run_always_awake, run_deterministic, run_randomized};
+use mst_core::registry;
 
 fn bench_randomized(c: &mut Criterion) {
     let mut group = c.benchmark_group("randomized_mst");
@@ -11,7 +11,7 @@ fn bench_randomized(c: &mut Criterion) {
     for &n in &[32usize, 128, 512] {
         let g = generators::random_connected(n, 0.05, n as u64).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| run_randomized(g, 1).unwrap())
+            b.iter(|| registry::find("randomized").unwrap().run(g, 1).unwrap())
         });
     }
     group.finish();
@@ -23,7 +23,7 @@ fn bench_deterministic(c: &mut Criterion) {
     for &n in &[16usize, 48, 96] {
         let g = generators::random_connected(n, 0.08, n as u64).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| run_deterministic(g).unwrap())
+            b.iter(|| registry::find("deterministic").unwrap().run(g, 0).unwrap())
         });
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_always_awake(c: &mut Criterion) {
     for &n in &[32usize, 128] {
         let g = generators::random_connected(n, 0.05, n as u64).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| run_always_awake(g, 1).unwrap())
+            b.iter(|| registry::find("always-awake").unwrap().run(g, 1).unwrap())
         });
     }
     group.finish();

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowerbound::grc::Grc;
 use lowerbound::reduction::{css_to_mst, mark_edges};
 use lowerbound::sd::SdInstance;
-use mst_core::run_randomized;
+use mst_core::registry;
 
 fn bench_grc_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("grc_build");
@@ -25,7 +25,12 @@ fn bench_sd_encoded_mst(c: &mut Criterion) {
     let sd = SdInstance::random(grc.sd_bits(), 3);
     let weighted = css_to_mst(&grc.graph, &mark_edges(&grc, &sd));
     group.bench_function("randomized_on_grc", |b| {
-        b.iter(|| run_randomized(&weighted, 4).unwrap())
+        b.iter(|| {
+            registry::find("randomized")
+                .unwrap()
+                .run(&weighted, 4)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowerbound::ring;
-use mst_core::run_randomized;
+use mst_core::registry;
 
 fn bench_ring_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_randomized_mst");
@@ -11,7 +11,7 @@ fn bench_ring_runs(c: &mut Criterion) {
     for &n in &[64usize, 256, 1024] {
         let g = ring::instance(n, 1).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| run_randomized(g, 2).unwrap())
+            b.iter(|| registry::find("randomized").unwrap().run(g, 2).unwrap())
         });
     }
     group.finish();

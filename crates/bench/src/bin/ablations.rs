@@ -9,12 +9,22 @@
 //!   3. We sweep the cap and report phases/awake/rounds.
 //! * **A3 — coin bias**: the paper flips fair coins; we sweep
 //!   `P(heads)` and report phase counts.
+//!
+//! A2 and A3 run through the shared harness: each configuration override
+//! is registered as a labeled custom runner ([`Sweep::algorithm_fn`]), so
+//! the sweep grid and the multi-seed averaging come for free.
 
-use bench::mean;
-use graphlib::{generators, mst, EdgeId, UnionFind};
+use bench::{aggregate, mean, Sweep};
+use graphlib::{generators, mst, EdgeId, UnionFind, WeightedGraph};
 use mst_core::deterministic::DeterministicConfig;
 use mst_core::randomized::RandomizedConfig;
-use mst_core::{run_deterministic_with, run_randomized_with};
+use mst_core::{run_deterministic_with, run_randomized_with, MstOutcome, RunError};
+
+/// A labeled configuration variant for [`Sweep::algorithm_fn`].
+type LabeledRunner = (
+    String,
+    Box<dyn Fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError> + Sync>,
+);
 
 /// Structural measurement for A1: simulate Borůvka phases and report the
 /// maximum depth of a merge component in the fragment supergraph (a) with
@@ -114,23 +124,46 @@ fn main() {
     println!("## A2 — deterministic token cap sweep\n");
     println!("| cap | phases | awake max | rounds   |");
     println!("|-----|--------|-----------|----------|");
-    let g = generators::random_connected(48, 0.1, 3).unwrap();
-    let reference = mst::kruskal(&g).edges;
-    for cap in [1u64, 2, 3] {
-        let out = run_deterministic_with(
-            &g,
-            DeterministicConfig {
-                token_cap: cap,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(out.edges, reference, "cap {cap} broke correctness");
+    let a2_family =
+        |_n: usize, _seed: u64| generators::random_connected(48, 0.1, 3).map_err(|e| e.to_string());
+    let reference = mst::kruskal(&generators::random_connected(48, 0.1, 3).unwrap()).total_weight;
+    let capped: Vec<LabeledRunner> = [1u64, 2, 3]
+        .into_iter()
+        .map(|cap| {
+            let run = move |g: &WeightedGraph, _seed: u64| {
+                run_deterministic_with(
+                    g,
+                    DeterministicConfig {
+                        token_cap: cap,
+                        ..Default::default()
+                    },
+                )
+            };
+            (
+                format!("cap={cap}"),
+                Box::new(run)
+                    as Box<dyn Fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError> + Sync>,
+            )
+        })
+        .collect();
+    let mut sweep = Sweep::new(&a2_family).sizes([48]);
+    for (label, run) in &capped {
+        sweep = sweep.algorithm_fn(label.clone(), run.as_ref());
+    }
+    let results = sweep.run().expect("token cap sweep");
+    for r in &results {
+        assert_eq!(
+            r.total_weight,
+            u128::from(reference),
+            "{} broke correctness",
+            r.algorithm
+        );
         println!(
-            "| {cap:<3} | {:<6} | {:>9} | {:>8} |",
-            out.phases,
-            out.stats.awake_max(),
-            out.stats.rounds
+            "| {:<3} | {:<6} | {:>9} | {:>8} |",
+            r.algorithm.trim_start_matches("cap="),
+            r.phases,
+            r.stats.awake_max(),
+            r.stats.rounds
         );
     }
     println!(
@@ -143,33 +176,49 @@ fn main() {
     println!("## A3 — coin bias sweep (Randomized-MST, 5 seeds each)\n");
     println!("| P(heads) | mean phases | mean awake | mean rounds |");
     println!("|----------|-------------|------------|-------------|");
-    let g = generators::random_connected(64, 0.08, 5).unwrap();
-    let reference = mst::kruskal(&g).edges;
-    for bias in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
-        let mut phases = Vec::new();
-        let mut awake = Vec::new();
-        let mut rounds = Vec::new();
-        for seed in 0..5 {
-            let out = run_randomized_with(
-                &g,
-                seed,
-                RandomizedConfig {
-                    heads_probability: bias,
-                    prune_with_coins: true,
-                    ..Default::default()
-                },
+    let a3_family = |_n: usize, _seed: u64| {
+        generators::random_connected(64, 0.08, 5).map_err(|e| e.to_string())
+    };
+    let a3_reference =
+        mst::kruskal(&generators::random_connected(64, 0.08, 5).unwrap()).total_weight;
+    let biased: Vec<LabeledRunner> = [0.1f64, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .map(|bias| {
+            let run = move |g: &WeightedGraph, seed: u64| {
+                run_randomized_with(
+                    g,
+                    seed,
+                    RandomizedConfig {
+                        heads_probability: bias,
+                        prune_with_coins: true,
+                        ..Default::default()
+                    },
+                )
+            };
+            (
+                format!("{bias}"),
+                Box::new(run)
+                    as Box<dyn Fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError> + Sync>,
             )
-            .unwrap();
-            assert_eq!(out.edges, reference, "bias {bias} broke correctness");
-            phases.push(out.phases as f64);
-            awake.push(out.stats.awake_max() as f64);
-            rounds.push(out.stats.rounds as f64);
-        }
+        })
+        .collect();
+    let mut sweep = Sweep::new(&a3_family).sizes([64]).seeds(0..5);
+    for (label, run) in &biased {
+        sweep = sweep.algorithm_fn(label.clone(), run.as_ref());
+    }
+    let results = sweep.run().expect("coin bias sweep");
+    for r in &results {
+        assert_eq!(
+            r.total_weight,
+            u128::from(a3_reference),
+            "bias {} broke correctness",
+            r.algorithm
+        );
+    }
+    for c in aggregate(&results) {
         println!(
-            "| {bias:<8} | {:>11.1} | {:>10.1} | {:>11.0} |",
-            mean(&phases),
-            mean(&awake),
-            mean(&rounds)
+            "| {:<8} | {:>11.1} | {:>10.1} | {:>11.0} |",
+            c.algorithm, c.phases, c.awake_max, c.rounds
         );
     }
     println!(

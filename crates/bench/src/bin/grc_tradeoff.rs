@@ -15,9 +15,11 @@ use lowerbound::congestion::internal_traffic;
 use lowerbound::grc::Grc;
 use lowerbound::reduction::{css_to_mst, mark_edges, mst_uses_unmarked};
 use lowerbound::sd::SdInstance;
-use mst_core::{run_always_awake, run_randomized};
+use mst_core::registry;
 
 fn main() {
+    let randomized = registry::find("randomized").expect("registry");
+    let always_awake = registry::find("always-awake").expect("registry");
     let shapes: Vec<(usize, usize)> = vec![(4, 32), (6, 48), (8, 64), (8, 96), (12, 96)];
 
     println!("## G_rc geometry\n");
@@ -42,8 +44,8 @@ fn main() {
     println!("|------|------------------|-------|---------|------------|-----------|");
     for grc in &grcs {
         let n = grc.n() as f64;
-        let sleeping = run_randomized(&grc.graph, 3).unwrap();
-        let awake = run_always_awake(&grc.graph, 3).unwrap();
+        let sleeping = randomized.run(&grc.graph, 3).unwrap();
+        let awake = always_awake.run(&grc.graph, 3).unwrap();
         for (name, out) in [("Randomized-MST", &sleeping), ("GHS always-awake", &awake)] {
             let product = out.stats.awake_round_product();
             println!(
@@ -68,7 +70,7 @@ fn main() {
         let sd = SdInstance::random(grc.sd_bits(), 5);
         let marked = mark_edges(grc, &sd);
         let weighted = css_to_mst(&grc.graph, &marked);
-        let out = run_randomized(&weighted, 5).unwrap();
+        let out = randomized.run(&weighted, 5).unwrap();
         let ok = mst_uses_unmarked(&marked, &out.edges) != sd.disjoint();
         let t = internal_traffic(grc, &out.stats);
         println!(

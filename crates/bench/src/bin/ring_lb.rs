@@ -6,14 +6,15 @@
 //! 1. the construction's premise — separation of the two heaviest edges
 //!    grows linearly in `n` with constant probability;
 //! 2. awake complexity of `Randomized-MST` on the same rings, normalized
-//!    by `log₂ n` (flat ⇒ the algorithm meets the bound);
+//!    by `log₂ n` (flat ⇒ the algorithm meets the bound), swept through
+//!    the shared harness;
 //! 3. the same for `Deterministic-MST` at smaller sizes.
 
-use bench::mean;
+use bench::{aggregate, mean, Sweep};
 use lowerbound::knowledge::{awake_floor, knowledge_sizes};
 use lowerbound::ring;
 use mst_core::randomized::RandomizedMst;
-use mst_core::{run_deterministic, run_randomized};
+use mst_core::registry;
 use netsim::{SimConfig, Simulator};
 
 fn main() {
@@ -32,39 +33,46 @@ fn main() {
         );
     }
 
+    let ring_family = |n: usize, seed: u64| ring::instance(n, seed).map_err(|e| e.to_string());
+
     println!("\n## Randomized-MST on rings: awake/log2(n) flatness (3 seeds each)\n");
     println!("| n    | awake max | awake/log2(n) | rounds    |");
     println!("|------|-----------|---------------|-----------|");
-    for &n in &[32usize, 64, 128, 256, 512, 1024] {
-        let mut awake = Vec::new();
-        let mut rounds = Vec::new();
-        for s in 0..3 {
-            let g = ring::instance(n, s).unwrap();
-            let out = run_randomized(&g, s + 11).unwrap();
-            awake.push(out.stats.awake_max() as f64);
-            rounds.push(out.stats.rounds as f64);
-        }
+    let results = Sweep::new(&ring_family)
+        .algorithm(registry::find("randomized").expect("registry"))
+        .sizes([32usize, 64, 128, 256, 512, 1024])
+        .seeds(0..3)
+        .run()
+        .expect("randomized ring sweep");
+    for c in aggregate(&results) {
         println!(
-            "| {n:<4} | {:>9.0} | {:>13.1} | {:>9.0} |",
-            mean(&awake),
-            mean(&awake) / (n as f64).log2(),
-            mean(&rounds)
+            "| {:<4} | {:>9.0} | {:>13.1} | {:>9.0} |",
+            c.n,
+            c.awake_max,
+            c.awake_max / (c.n as f64).log2(),
+            c.rounds
         );
     }
 
     println!("\n## Deterministic-MST on rings\n");
     println!("| n    | awake max | awake/log2(n) | rounds    |");
     println!("|------|-----------|---------------|-----------|");
-    for &n in &[16usize, 32, 64, 128] {
-        let g = ring::instance(n, 1).unwrap();
-        let out = run_deterministic(&g).unwrap();
+    let results = Sweep::new(&ring_family)
+        .algorithm(registry::find("deterministic").expect("registry"))
+        .sizes([16usize, 32, 64, 128])
+        .seeds([1])
+        .run()
+        .expect("deterministic ring sweep");
+    for c in aggregate(&results) {
         println!(
-            "| {n:<4} | {:>9} | {:>13.1} | {:>9} |",
-            out.stats.awake_max(),
-            out.stats.awake_max() as f64 / (n as f64).log2(),
-            out.stats.rounds
+            "| {:<4} | {:>9.0} | {:>13.1} | {:>9.0} |",
+            c.n,
+            c.awake_max,
+            c.awake_max / (c.n as f64).log2(),
+            c.rounds
         );
     }
+
     println!("\n## Lemma 11 measured: knowledge spread vs the awake floor\n");
     println!("| n    | max |K(v)| | floor log3(n) | awake of that node | slack |");
     println!("|------|-----------|---------------|--------------------|-------|");

@@ -11,119 +11,172 @@
 //! and run time together with the normalized columns `awake / log₂ n`,
 //! `rounds / (n log₂ n)`, and (deterministic) `rounds / (n N log₂ n)`.
 //! The paper's claims hold iff the normalized columns stay flat.
+//!
+//! Every panel is a [`bench::Sweep`] over the registry; multi-seed panels
+//! run their trials on all available cores (results are seed-deterministic
+//! and identical to a single-threaded run).
 
-use bench::mean;
+use std::time::Instant;
+
+use bench::{aggregate, Sweep};
 use graphlib::generators;
-use mst_core::{run_always_awake, run_deterministic, run_logstar, run_prim, run_randomized};
+use mst_core::registry;
+
+fn sparse_family(p: f64) -> impl Fn(usize, u64) -> Result<graphlib::WeightedGraph, String> + Sync {
+    move |n, seed| generators::random_connected(n, p, seed + n as u64).map_err(|e| e.to_string())
+}
 
 fn main() {
-    let seeds: Vec<u64> = (0..3).collect();
+    let randomized = registry::find("randomized").expect("registry");
+    let deterministic = registry::find("deterministic").expect("registry");
+    let logstar = registry::find("logstar").expect("registry");
+    let always_awake = registry::find("always-awake").expect("registry");
+    let prim = registry::find("prim").expect("registry");
 
     println!("## Table 1, row 1: Randomized-MST — awake O(log n), run time O(n log n)\n");
     println!("| n    | awake max | awake/log2(n) | rounds    | rounds/(n·log2 n) | phases |");
     println!("|------|-----------|---------------|-----------|-------------------|--------|");
-    for &n in &[16usize, 32, 64, 128, 256, 512] {
-        let mut awake = Vec::new();
-        let mut rounds = Vec::new();
-        let mut phases = Vec::new();
-        for &s in &seeds {
-            let g = generators::random_connected(n, 0.05, s + n as u64).unwrap();
-            let out = run_randomized(&g, s).unwrap();
-            awake.push(out.stats.awake_max() as f64);
-            rounds.push(out.stats.rounds as f64);
-            phases.push(out.phases as f64);
-        }
-        let log_n = (n as f64).log2();
+    let family = sparse_family(0.05);
+    let started = Instant::now();
+    let results = Sweep::new(&family)
+        .algorithm(randomized)
+        .sizes([16usize, 32, 64, 128, 256, 512])
+        .seeds(0..3)
+        .run()
+        .expect("randomized sweep");
+    let panel1_elapsed = started.elapsed();
+    for c in aggregate(&results) {
+        let log_n = (c.n as f64).log2();
         println!(
-            "| {n:<4} | {:>9.0} | {:>13.1} | {:>9.0} | {:>17.2} | {:>6.1} |",
-            mean(&awake),
-            mean(&awake) / log_n,
-            mean(&rounds),
-            mean(&rounds) / (n as f64 * log_n),
-            mean(&phases),
+            "| {:<4} | {:>9.0} | {:>13.1} | {:>9.0} | {:>17.2} | {:>6.1} |",
+            c.n,
+            c.awake_max,
+            c.awake_max / log_n,
+            c.rounds,
+            c.rounds / (c.n as f64 * log_n),
+            c.phases,
         );
     }
 
     println!("\n## Table 1, row 2: Deterministic-MST — awake O(log n), run time O(n·N·log n)\n");
     println!("| n    | N    | awake max | awake/log2(n) | rounds     | rounds/(n·N·log2 n) |");
     println!("|------|------|-----------|---------------|------------|---------------------|");
-    for &n in &[8usize, 16, 32, 64, 128] {
-        let g = generators::random_connected(n, 0.08, n as u64).unwrap();
-        let big_n = g.max_external_id();
-        let out = run_deterministic(&g).unwrap();
-        let log_n = (n as f64).log2();
+    let det_family = |n: usize, _seed: u64| {
+        generators::random_connected(n, 0.08, n as u64).map_err(|e| e.to_string())
+    };
+    let results = Sweep::new(&det_family)
+        .algorithm(deterministic)
+        .sizes([8usize, 16, 32, 64, 128])
+        .run()
+        .expect("deterministic sweep");
+    for c in aggregate(&results) {
+        let log_n = (c.n as f64).log2();
         println!(
-            "| {n:<4} | {big_n:<4} | {:>9} | {:>13.1} | {:>10} | {:>19.3} |",
-            out.stats.awake_max(),
-            out.stats.awake_max() as f64 / log_n,
-            out.stats.rounds,
-            out.stats.rounds as f64 / (n as f64 * big_n as f64 * log_n),
+            "| {:<4} | {:<4.0} | {:>9.0} | {:>13.1} | {:>10.0} | {:>19.3} |",
+            c.n,
+            c.max_external_id,
+            c.awake_max,
+            c.awake_max / log_n,
+            c.rounds,
+            c.rounds / (c.n as f64 * c.max_external_id * log_n),
         );
     }
 
     println!("\n## Corollary 1: Cole–Vishkin variant — awake O(log n log* n), run time O(n log n log* n)\n");
     println!("| n    | N    | awake max | rounds     | rounds vs Fast-Awake |");
     println!("|------|------|-----------|------------|----------------------|");
-    for &n in &[8usize, 16, 32, 64] {
-        // Sparse ids make the comparison vivid: N = 16n.
-        let g = generators::with_id_space(
-            generators::random_connected(n, 0.1, n as u64).unwrap(),
+    // Sparse ids make the comparison vivid: N = 16n.
+    let sparse_ids = |n: usize, _seed: u64| {
+        generators::with_id_space(
+            generators::random_connected(n, 0.1, n as u64).map_err(|e| e.to_string())?,
             16 * n as u64,
             1,
         )
-        .unwrap();
-        let fast = run_deterministic(&g).unwrap();
-        let cv = run_logstar(&g).unwrap();
-        assert_eq!(fast.edges, cv.edges);
+        .map_err(|e| e.to_string())
+    };
+    let results = Sweep::new(&sparse_ids)
+        .algorithm(deterministic)
+        .algorithm(logstar)
+        .sizes([8usize, 16, 32, 64])
+        .run()
+        .expect("coloring sweep");
+    let (fast, cv): (Vec<_>, Vec<_>) = results
+        .iter()
+        .partition(|r| r.algorithm == deterministic.name);
+    for (f, c) in fast.iter().zip(&cv) {
+        assert_eq!(
+            f.total_weight, c.total_weight,
+            "variants disagree on the MST"
+        );
         println!(
-            "| {n:<4} | {:<4} | {:>9} | {:>10} | {:>19.1}x |",
-            g.max_external_id(),
-            cv.stats.awake_max(),
-            cv.stats.rounds,
-            fast.stats.rounds as f64 / cv.stats.rounds as f64,
+            "| {:<4} | {:<4} | {:>9} | {:>10} | {:>19.1}x |",
+            c.n,
+            c.max_external_id,
+            c.stats.awake_max(),
+            c.stats.rounds,
+            f.stats.rounds as f64 / c.stats.rounds as f64,
         );
     }
 
     println!("\n## Baseline: always-awake GHS (traditional model, awake = run time)\n");
     println!("| n    | awake max | rounds    | awake/rounds |");
     println!("|------|-----------|-----------|--------------|");
-    for &n in &[16usize, 64, 256] {
-        let g = generators::random_connected(n, 0.05, n as u64).unwrap();
-        let out = run_always_awake(&g, 0).unwrap();
+    let plain = |n: usize, _seed: u64| {
+        generators::random_connected(n, 0.05, n as u64).map_err(|e| e.to_string())
+    };
+    let results = Sweep::new(&plain)
+        .algorithm(always_awake)
+        .sizes([16usize, 64, 256])
+        .run()
+        .expect("always-awake sweep");
+    for c in aggregate(&results) {
         println!(
-            "| {n:<4} | {:>9} | {:>9} | {:>12.2} |",
-            out.stats.awake_max(),
-            out.stats.rounds,
-            out.stats.awake_max() as f64 / out.stats.rounds as f64,
+            "| {:<4} | {:>9.0} | {:>9.0} | {:>12.2} |",
+            c.n,
+            c.awake_max,
+            c.rounds,
+            c.awake_max / c.rounds,
         );
     }
+
     println!("\n## Message complexity (GHS lineage: O(m log n) for the randomized variant)\n");
     println!("| n    | m     | messages | msgs/(m·log2 n) |");
     println!("|------|-------|----------|-----------------|");
-    for &n in &[32usize, 128, 512] {
-        let g = generators::random_connected(n, 0.05, n as u64).unwrap();
-        let out = run_randomized(&g, 2).unwrap();
-        let m = g.edge_count() as f64;
+    let results = Sweep::new(&plain)
+        .algorithm(randomized)
+        .sizes([32usize, 128, 512])
+        .seeds([2])
+        .run()
+        .expect("message sweep");
+    for c in aggregate(&results) {
         println!(
-            "| {n:<4} | {:<5} | {:>8} | {:>15.2} |",
-            g.edge_count(),
-            out.stats.messages_delivered,
-            out.stats.messages_delivered as f64 / (m * (n as f64).log2()),
+            "| {:<4} | {:<5.0} | {:>8.0} | {:>15.2} |",
+            c.n,
+            c.graph_edges,
+            c.messages,
+            c.messages / (c.graph_edges * (c.n as f64).log2()),
         );
     }
 
     println!("\n## Baseline: Prim-style sequential growth (sleeping, but Θ(n) awake)\n");
     println!("| n    | awake max | awake/n | rounds    | phases |");
     println!("|------|-----------|---------|-----------|--------|");
-    for &n in &[16usize, 32, 64, 128] {
-        let g = generators::random_connected(n, 0.1, n as u64).unwrap();
-        let out = run_prim(&g, 1).unwrap();
+    let prim_family = |n: usize, _seed: u64| {
+        generators::random_connected(n, 0.1, n as u64).map_err(|e| e.to_string())
+    };
+    let results = Sweep::new(&prim_family)
+        .algorithm(prim)
+        .sizes([16usize, 32, 64, 128])
+        .run()
+        .expect("prim sweep");
+    for c in aggregate(&results) {
         println!(
-            "| {n:<4} | {:>9} | {:>7.2} | {:>9} | {:>6} |",
-            out.stats.awake_max(),
-            out.stats.awake_max() as f64 / n as f64,
-            out.stats.rounds,
-            out.phases,
+            "| {:<4} | {:>9.0} | {:>7.2} | {:>9.0} | {:>6.0} |",
+            c.n,
+            c.awake_max,
+            c.awake_max / c.n as f64,
+            c.rounds,
+            c.phases,
         );
     }
 
@@ -132,5 +185,10 @@ fn main() {
          rounds/(n log2 n) resp. rounds/(n N log2 n) flat (the round bounds);\n\
          the always-awake baseline pays awake = rounds, and the Prim baseline\n\
          shows sleep states alone don't help (awake/n flat, i.e. Θ(n) awake)."
+    );
+    println!(
+        "\nWall clock: randomized panel (n ≤ 512 × 3 seeds) took {:.2?} on {} worker thread(s).",
+        panel1_elapsed,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
     );
 }

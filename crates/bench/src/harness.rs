@@ -1,0 +1,465 @@
+//! Declarative experiment sweeps over (algorithm × graph family × n × seed).
+//!
+//! A [`Sweep`] enumerates its trial grid in a fixed order, fans the trials
+//! out over `std::thread::scope` workers, and returns the results in grid
+//! order. Because each trial rebuilds its graph from `(n, seed)` and every
+//! bit of randomness derives from the trial seed, the results are
+//! **bit-identical regardless of thread count** — `threads(1)` is the
+//! reference schedule and the parallel runs must (and do, see the tests)
+//! reproduce it exactly.
+//!
+//! Algorithms come from the [`mst_core::registry`] table by default;
+//! ablation-style sweeps can wrap a closure with [`Sweep::algorithm_fn`]
+//! to run configuration variants under their own label.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use graphlib::WeightedGraph;
+use mst_core::registry::AlgorithmSpec;
+use mst_core::{MstOutcome, RunError};
+use netsim::RunStats;
+
+/// How one sweep algorithm executes a trial.
+enum Runner<'a> {
+    Registry(&'static AlgorithmSpec),
+    #[allow(clippy::type_complexity)]
+    Custom(&'a (dyn Fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError> + Sync)),
+}
+
+/// An algorithm entry of a sweep: a display name plus its runner.
+pub struct SweepAlgo<'a> {
+    name: String,
+    runner: Runner<'a>,
+}
+
+/// One completed trial of a sweep.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Display name of the algorithm (registry name or custom label).
+    pub algorithm: String,
+    /// The size parameter the graph family was instantiated with.
+    pub n: usize,
+    /// The trial seed (drives graph weights and algorithm coins).
+    pub seed: u64,
+    /// Nodes in the instantiated graph.
+    pub nodes: usize,
+    /// Edges in the instantiated graph.
+    pub graph_edges: usize,
+    /// The id-space bound `N` of the instantiated graph.
+    pub max_external_id: u64,
+    /// Edges in the output tree/forest.
+    pub tree_edges: usize,
+    /// Total weight of the output tree/forest.
+    pub total_weight: u128,
+    /// Merge phases completed.
+    pub phases: u64,
+    /// Full simulator metrics.
+    pub stats: RunStats,
+}
+
+/// Mean metrics of one (algorithm, n) sweep cell across its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Family size parameter.
+    pub n: usize,
+    /// Number of trials (seeds) aggregated.
+    pub count: usize,
+    /// Mean graph edge count `m`.
+    pub graph_edges: f64,
+    /// Mean id bound `N`.
+    pub max_external_id: f64,
+    /// Mean awake complexity (max over nodes).
+    pub awake_max: f64,
+    /// Mean per-node-average awake rounds.
+    pub awake_avg: f64,
+    /// Mean run time in rounds.
+    pub rounds: f64,
+    /// Mean merge phases.
+    pub phases: f64,
+    /// Mean messages delivered.
+    pub messages: f64,
+    /// Mean messages lost to sleeping receivers.
+    pub messages_lost: f64,
+    /// Mean awake × rounds product.
+    pub awake_round_product: f64,
+}
+
+/// A declarative sweep: one graph family, a set of algorithms, sizes, and
+/// seeds. Build with [`Sweep::new`], add axes with the builder methods,
+/// execute with [`Sweep::run`].
+pub struct Sweep<'a> {
+    graph: &'a (dyn Fn(usize, u64) -> Result<WeightedGraph, String> + Sync),
+    algos: Vec<SweepAlgo<'a>>,
+    sizes: Vec<usize>,
+    seeds: Vec<u64>,
+    threads: usize,
+}
+
+impl<'a> Sweep<'a> {
+    /// Starts a sweep over the graph family `graph`: a function from
+    /// `(n, seed)` to a graph. The function must be deterministic — trials
+    /// rebuild the graph from scratch, possibly on different threads.
+    pub fn new(graph: &'a (dyn Fn(usize, u64) -> Result<WeightedGraph, String> + Sync)) -> Self {
+        Sweep {
+            graph,
+            algos: Vec::new(),
+            sizes: Vec::new(),
+            seeds: vec![0],
+            threads: 0,
+        }
+    }
+
+    /// Adds a registry algorithm to the sweep.
+    pub fn algorithm(mut self, spec: &'static AlgorithmSpec) -> Self {
+        self.algos.push(SweepAlgo {
+            name: spec.name.to_string(),
+            runner: Runner::Registry(spec),
+        });
+        self
+    }
+
+    /// Adds a custom runner under `label` — for ablation variants that
+    /// wrap `run_*_with` configuration overrides.
+    pub fn algorithm_fn(
+        mut self,
+        label: impl Into<String>,
+        run: &'a (dyn Fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError> + Sync),
+    ) -> Self {
+        self.algos.push(SweepAlgo {
+            name: label.into(),
+            runner: Runner::Custom(run),
+        });
+        self
+    }
+
+    /// Sets the family sizes to sweep.
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the trial seeds (default: the single seed 0).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the worker thread count; `0` (the default) uses the machine's
+    /// available parallelism. Results do not depend on this value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Executes every (algorithm, size, seed) trial and returns the
+    /// results in grid order: algorithms outermost, then sizes, then
+    /// seeds — the same order a sequential triple loop would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest failing trial in grid order
+    /// (graph construction failures and [`RunError`]s, stringified with
+    /// their trial coordinates).
+    pub fn run(&self) -> Result<Vec<TrialResult>, String> {
+        let trials: Vec<(usize, usize, u64)> = self
+            .algos
+            .iter()
+            .enumerate()
+            .flat_map(|(ai, _)| {
+                self.sizes
+                    .iter()
+                    .flat_map(move |&n| self.seeds.iter().map(move |&seed| (ai, n, seed)))
+            })
+            .collect();
+
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        }
+        .min(trials.len().max(1));
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<TrialResult, String>>>> =
+            trials.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(ai, n, seed)) = trials.get(i) else {
+                        break;
+                    };
+                    let outcome = self.run_trial(ai, n, seed);
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("trial not executed")
+            })
+            .collect()
+    }
+
+    fn run_trial(&self, ai: usize, n: usize, seed: u64) -> Result<TrialResult, String> {
+        let algo = &self.algos[ai];
+        let graph =
+            (self.graph)(n, seed).map_err(|e| format!("graph family at n={n} seed={seed}: {e}"))?;
+        let out = match algo.runner {
+            Runner::Registry(spec) => spec.run(&graph, seed),
+            Runner::Custom(f) => f(&graph, seed),
+        }
+        .map_err(|e| format!("{} on n={n} seed={seed}: {e}", algo.name))?;
+        Ok(TrialResult {
+            algorithm: algo.name.clone(),
+            n,
+            seed,
+            nodes: graph.node_count(),
+            graph_edges: graph.edge_count(),
+            max_external_id: graph.max_external_id(),
+            tree_edges: out.edges.len(),
+            total_weight: u128::from(graph.total_weight(out.edges.iter().copied())),
+            phases: out.phases,
+            stats: out.stats,
+        })
+    }
+}
+
+/// Groups trial results into (algorithm, n) cells — in first-appearance
+/// order — and averages the metrics across seeds.
+pub fn aggregate(results: &[TrialResult]) -> Vec<Cell> {
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut sums: Vec<Vec<&TrialResult>> = Vec::new();
+    for r in results {
+        let key = cells
+            .iter()
+            .position(|c| c.algorithm == r.algorithm && c.n == r.n);
+        match key {
+            Some(i) => sums[i].push(r),
+            None => {
+                cells.push(Cell {
+                    algorithm: r.algorithm.clone(),
+                    n: r.n,
+                    count: 0,
+                    graph_edges: 0.0,
+                    max_external_id: 0.0,
+                    awake_max: 0.0,
+                    awake_avg: 0.0,
+                    rounds: 0.0,
+                    phases: 0.0,
+                    messages: 0.0,
+                    messages_lost: 0.0,
+                    awake_round_product: 0.0,
+                });
+                sums.push(vec![r]);
+            }
+        }
+    }
+    for (cell, group) in cells.iter_mut().zip(&sums) {
+        let k = group.len() as f64;
+        cell.count = group.len();
+        for r in group {
+            cell.graph_edges += r.graph_edges as f64 / k;
+            cell.max_external_id += r.max_external_id as f64 / k;
+            cell.awake_max += r.stats.awake_max() as f64 / k;
+            cell.awake_avg += r.stats.awake_avg() / k;
+            cell.rounds += r.stats.rounds as f64 / k;
+            cell.phases += r.phases as f64 / k;
+            cell.messages += r.stats.messages_delivered as f64 / k;
+            cell.messages_lost += r.stats.messages_lost as f64 / k;
+            cell.awake_round_product += r.stats.awake_round_product() as f64 / k;
+        }
+    }
+    cells
+}
+
+/// Renders aggregated cells as a markdown table with the standard columns.
+pub fn render_cells(cells: &[Cell]) -> String {
+    let mut s = String::from(
+        "| algorithm | n | seeds | awake max | awake/log2(n) | rounds | phases | messages |\n\
+         |-----------|---|-------|-----------|---------------|--------|--------|----------|\n",
+    );
+    for c in cells {
+        let log_n = (c.n as f64).log2().max(1.0);
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {:.2} | {:.0} | {:.1} | {:.0} |\n",
+            c.algorithm,
+            c.n,
+            c.count,
+            c.awake_max,
+            c.awake_max / log_n,
+            c.rounds,
+            c.phases,
+            c.messages,
+        ));
+    }
+    s
+}
+
+/// Renders raw trial results as a JSON array (hand-rolled; every field is
+/// a number or a registry/label string, so no escaping is needed).
+pub fn render_json(results: &[TrialResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"algorithm\":\"{}\",\"n\":{},\"seed\":{},\"nodes\":{},\
+                 \"graph_edges\":{},\"max_external_id\":{},\"tree_edges\":{},\
+                 \"total_weight\":{},\"phases\":{},\"awake_max\":{},\
+                 \"awake_avg\":{:.3},\"rounds\":{},\"awake_round_product\":{},\
+                 \"messages_delivered\":{},\"messages_lost\":{}}}",
+                r.algorithm,
+                r.n,
+                r.seed,
+                r.nodes,
+                r.graph_edges,
+                r.max_external_id,
+                r.tree_edges,
+                r.total_weight,
+                r.phases,
+                r.stats.awake_max(),
+                r.stats.awake_avg(),
+                r.stats.rounds,
+                r.stats.awake_round_product(),
+                r.stats.messages_delivered,
+                r.stats.messages_lost,
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators;
+    use mst_core::registry;
+
+    fn ring_family(n: usize, seed: u64) -> Result<WeightedGraph, String> {
+        generators::ring(n, seed).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn sweep_runs_grid_in_order() {
+        let results = Sweep::new(&ring_family)
+            .algorithm(registry::find("randomized").unwrap())
+            .algorithm(registry::find("always-awake").unwrap())
+            .sizes([8, 16])
+            .seeds([1, 2])
+            .threads(1)
+            .run()
+            .unwrap();
+        let coords: Vec<(&str, usize, u64)> = results
+            .iter()
+            .map(|r| (r.algorithm.as_str(), r.n, r.seed))
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                ("randomized", 8, 1),
+                ("randomized", 8, 2),
+                ("randomized", 16, 1),
+                ("randomized", 16, 2),
+                ("always-awake", 8, 1),
+                ("always-awake", 8, 2),
+                ("always-awake", 16, 1),
+                ("always-awake", 16, 2),
+            ]
+        );
+        assert!(results.iter().all(|r| r.tree_edges == r.n - 1));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let build = |threads| {
+            Sweep::new(&ring_family)
+                .algorithm(registry::find("randomized").unwrap())
+                .algorithm(registry::find("spanning-tree").unwrap())
+                .sizes([8, 12, 16, 24])
+                .seeds(0..3)
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let sequential = build(1);
+        let parallel = build(4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!((a.n, a.seed), (b.n, b.seed));
+            assert_eq!(
+                a.stats, b.stats,
+                "{} n={} seed={}",
+                a.algorithm, a.n, a.seed
+            );
+            assert_eq!(a.tree_edges, b.tree_edges);
+            assert_eq!(a.total_weight, b.total_weight);
+        }
+    }
+
+    #[test]
+    fn custom_runner_and_aggregation() {
+        let fixed = |g: &WeightedGraph, _seed: u64| registry::find("randomized").unwrap().run(g, 7);
+        // Pin the graph seed too, so every trial is the identical instance.
+        let fixed_family = |n: usize, _seed: u64| generators::ring(n, 3).map_err(|e| e.to_string());
+        let results = Sweep::new(&fixed_family)
+            .algorithm_fn("randomized[seed=7]", &fixed)
+            .sizes([8])
+            .seeds(0..4)
+            .threads(2)
+            .run()
+            .unwrap();
+        // The custom runner pins the algorithm seed, so all 4 trials agree.
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.stats, results[0].stats);
+        }
+        let cells = aggregate(&results);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].count, 4);
+        assert_eq!(cells[0].algorithm, "randomized[seed=7]");
+        assert!((cells[0].awake_max - results[0].stats.awake_max() as f64).abs() < 1e-9);
+        let table = render_cells(&cells);
+        assert!(table.contains("randomized[seed=7]"));
+        let json = render_json(&results);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"algorithm\"").count(), 4);
+    }
+
+    #[test]
+    fn failing_trial_reports_grid_coordinates() {
+        let err = Sweep::new(&ring_family)
+            .algorithm(registry::find("randomized").unwrap())
+            .sizes([2]) // rings need n >= 3
+            .threads(1)
+            .run()
+            .unwrap_err();
+        assert!(err.contains("n=2"), "{err}");
+    }
+
+    #[test]
+    fn prim_disconnected_surfaces_as_sweep_error() {
+        let disconnected = |_n: usize, _seed: u64| {
+            graphlib::GraphBuilder::new(4)
+                .edge(0, 1, 1)
+                .edge(2, 3, 2)
+                .build()
+                .map_err(|e| e.to_string())
+        };
+        let err = Sweep::new(&disconnected)
+            .algorithm(registry::find("prim").unwrap())
+            .sizes([4])
+            .threads(1)
+            .run()
+            .unwrap_err();
+        assert!(err.contains("connected"), "{err}");
+    }
+}

@@ -1,4 +1,5 @@
-//! Shared helpers for the benchmark harness binaries.
+//! Shared experiment harness for the benchmark binaries and the CLI's
+//! `sweep` subcommand.
 //!
 //! Each binary regenerates one of the paper's artifacts (see
 //! `EXPERIMENTS.md` at the repository root):
@@ -8,8 +9,18 @@
 //! * `grc_tradeoff` — Theorem 4 + Figure 1: awake × round products and
 //!   `I`-node congestion on `G_rc`;
 //! * `ablations` — the design-choice ablations listed in `DESIGN.md`.
+//!
+//! The [`harness`] module is what they are built on: declarative sweeps
+//! over (algorithm × graph family × n × seed), executed on a scoped thread
+//! pool. Every trial is a pure function of its `(n, seed)` cell — graphs
+//! are rebuilt per trial and all randomness derives from the trial seed —
+//! so a parallel sweep is bit-identical to a sequential one.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
+
+pub use harness::{aggregate, Cell, Sweep, TrialResult};
 
 /// Simple fixed-width markdown row printing.
 pub fn print_row(cells: &[String]) {

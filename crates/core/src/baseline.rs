@@ -97,7 +97,7 @@ mod tests {
         let out = Simulator::new(&g, SimConfig::default().with_seed(5))
             .run(ghs_always_awake)
             .unwrap();
-        let edges = collect_mst_edges(&g, &out.states, |s| s.inner().mst_ports());
+        let edges = collect_mst_edges(&g, &out.states, |s| s.inner().mst_ports()).unwrap();
         assert_eq!(edges, mst::kruskal(&g).edges);
     }
 

@@ -1452,7 +1452,7 @@ mod tests {
         graph: &graphlib::WeightedGraph,
         states: &[DeterministicMst],
     ) -> Vec<graphlib::EdgeId> {
-        collect_mst_edges(graph, states, |s| s.mst_ports())
+        collect_mst_edges(graph, states, |s| s.mst_ports()).unwrap()
     }
 
     #[test]

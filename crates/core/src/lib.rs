@@ -45,12 +45,15 @@ pub mod msg;
 pub mod prim;
 pub mod radio_toolbox;
 pub mod randomized;
+pub mod registry;
 pub mod runner;
 pub mod schedule;
 pub mod timeline;
 pub mod toolbox;
 
+pub use registry::{AlgorithmSpec, ALGORITHMS};
 pub use runner::{
     collect_mst_edges, run_always_awake, run_deterministic, run_deterministic_with, run_logstar,
-    run_prim, run_randomized, run_randomized_with, run_spanning_tree, MstOutcome,
+    run_prim, run_randomized, run_randomized_with, run_spanning_tree, MstCollectError, MstOutcome,
+    RunError,
 };

@@ -99,10 +99,9 @@ impl PrimMst {
         let kids = self.core.has_children();
         let mut steps = Vec::with_capacity(2);
         match block {
-            FRAG_ID_EXCHANGE | MERGE_INFO
-                if degree > 0 => {
-                    steps.push((o.side, Step::Side));
-                }
+            FRAG_ID_EXCHANGE | MERGE_INFO if degree > 0 => {
+                steps.push((o.side, Step::Side));
+            }
             UPCAST_MOE if self.in_leader_fragment() => {
                 if kids {
                     steps.push((o.up_receive, Step::UpReceive));
@@ -278,10 +277,9 @@ impl Protocol for PrimMst {
                     return NextWake::Halt;
                 }
             }
-            (BCAST_MOE, Step::DownSend)
-                if self.done => {
-                    return NextWake::Halt;
-                }
+            (BCAST_MOE, Step::DownSend) if self.done => {
+                return NextWake::Halt;
+            }
             (MERGE_INFO, Step::Side) => {
                 for env in inbox {
                     if let MstMsg::FragInfo {
@@ -326,13 +324,15 @@ mod tests {
 
     #[test]
     fn matches_kruskal_on_assorted_graphs() {
-        let graphs = [generators::ring(12, 2).unwrap(),
+        let graphs = [
+            generators::ring(12, 2).unwrap(),
             generators::path(10, 3).unwrap(),
             generators::complete(9, 5).unwrap(),
-            generators::random_connected(20, 0.2, 7).unwrap()];
+            generators::random_connected(20, 0.2, 7).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let out = run(g);
-            let edges = collect_mst_edges(g, &out.states, |s| s.mst_ports());
+            let edges = collect_mst_edges(g, &out.states, |s| s.mst_ports()).unwrap();
             assert_eq!(edges, mst::kruskal(g).edges, "graph {i}");
         }
     }
@@ -384,12 +384,11 @@ mod tests {
         let out = Simulator::new(&g, SimConfig::default())
             .run(|ctx| PrimMst::new(ctx, 7))
             .unwrap();
-        let edges = collect_mst_edges(&g, &out.states, |s| s.mst_ports());
+        let edges = collect_mst_edges(&g, &out.states, |s| s.mst_ports()).unwrap();
         assert_eq!(edges, mst::kruskal(&g).edges);
     }
 
     #[test]
-    #[should_panic(expected = "connected graph")]
     fn disconnected_graph_is_rejected_up_front() {
         // Non-leader components would never hear DONE; the runner guards.
         let g = graphlib::GraphBuilder::new(4)
@@ -397,7 +396,11 @@ mod tests {
             .edge(2, 3, 2)
             .build()
             .unwrap();
-        let _ = crate::runner::run_prim(&g, 1);
+        let err = crate::runner::run_prim(&g, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::runner::RunError::Disconnected { algorithm: "prim" }
+        ));
     }
 
     #[test]

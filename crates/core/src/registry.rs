@@ -1,0 +1,192 @@
+//! The algorithm registry: every runnable MST algorithm in one table.
+//!
+//! [`AlgorithmSpec`] is the single source of truth for algorithm names,
+//! descriptions, and input requirements. The CLI, the benchmark bins, and
+//! the sweep harness all resolve algorithms through [`find`] / [`ALGORITHMS`]
+//! instead of keeping their own name→function match arms.
+//!
+//! ```
+//! use graphlib::generators;
+//! use mst_core::registry;
+//!
+//! let spec = registry::find("randomized").unwrap();
+//! let g = generators::ring(16, 1)?;
+//! let out = spec.run(&g, 7)?;
+//! assert_eq!(out.edges.len(), 15);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use graphlib::WeightedGraph;
+
+use crate::runner::{
+    run_always_awake, run_deterministic, run_logstar, run_prim, run_randomized, run_spanning_tree,
+    MstOutcome, RunError,
+};
+
+/// One registered algorithm: metadata plus a uniform entry point.
+///
+/// `runner` takes `(graph, seed)`; algorithms that are deterministic
+/// simply ignore the seed (see [`AlgorithmSpec::needs_seed`]).
+#[derive(Clone, Copy)]
+pub struct AlgorithmSpec {
+    /// Stable name used by the CLI (`--alg`), sweeps, and reports.
+    pub name: &'static str,
+    /// One-line description with the paper's complexity bounds.
+    pub description: &'static str,
+    /// Whether the run consumes randomness (`false` = the seed argument is
+    /// ignored and repeated runs are identical).
+    pub needs_seed: bool,
+    /// Whether the algorithm refuses disconnected inputs
+    /// ([`RunError::Disconnected`]).
+    pub needs_connected: bool,
+    /// `true` if the output is the (unique) minimum spanning tree/forest
+    /// rather than just some spanning tree.
+    pub produces_mst: bool,
+    runner: fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError>,
+}
+
+/// Specs are equal iff they are the same registry entry (names are
+/// unique in [`ALGORITHMS`]).
+impl PartialEq for AlgorithmSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for AlgorithmSpec {}
+
+impl std::fmt::Debug for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmSpec")
+            .field("name", &self.name)
+            .field("needs_seed", &self.needs_seed)
+            .field("needs_connected", &self.needs_connected)
+            .field("produces_mst", &self.produces_mst)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AlgorithmSpec {
+    /// Runs the algorithm on `graph` with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runner's [`RunError`].
+    pub fn run(&self, graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
+        (self.runner)(graph, seed)
+    }
+}
+
+/// Every algorithm the workspace can execute, in presentation order.
+pub const ALGORITHMS: &[AlgorithmSpec] = &[
+    AlgorithmSpec {
+        name: "randomized",
+        description: "O(log n) awake, O(n log n) rounds (paper, Section 2.2)",
+        needs_seed: true,
+        needs_connected: false,
+        produces_mst: true,
+        runner: run_randomized,
+    },
+    AlgorithmSpec {
+        name: "deterministic",
+        description: "O(log n) awake, O(n N log n) rounds (paper, Section 2.3)",
+        needs_seed: false,
+        needs_connected: false,
+        produces_mst: true,
+        runner: |g, _seed| run_deterministic(g),
+    },
+    AlgorithmSpec {
+        name: "logstar",
+        description: "O(log n log* n) awake (paper, Corollary 1)",
+        needs_seed: false,
+        needs_connected: false,
+        produces_mst: true,
+        runner: |g, _seed| run_logstar(g),
+    },
+    AlgorithmSpec {
+        name: "prim",
+        description: "sequential baseline, Θ(n) awake",
+        needs_seed: false,
+        needs_connected: true,
+        produces_mst: true,
+        runner: |g, _seed| run_prim(g, 1),
+    },
+    AlgorithmSpec {
+        name: "spanning-tree",
+        description: "arbitrary spanning tree, O(log n) awake",
+        needs_seed: true,
+        needs_connected: false,
+        produces_mst: false,
+        runner: run_spanning_tree,
+    },
+    AlgorithmSpec {
+        name: "always-awake",
+        description: "traditional-model GHS baseline, awake = rounds",
+        needs_seed: true,
+        needs_connected: false,
+        produces_mst: true,
+        runner: run_always_awake,
+    },
+];
+
+/// Looks up an algorithm by its registry name.
+pub fn find(name: &str) -> Option<&'static AlgorithmSpec> {
+    ALGORITHMS.iter().find(|a| a.name == name)
+}
+
+/// All registry names, comma-separated — for error messages and usage text.
+pub fn names() -> String {
+    ALGORITHMS
+        .iter()
+        .map(|a| a.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::{generators, mst};
+
+    #[test]
+    fn registry_has_all_six_unique_names() {
+        assert_eq!(ALGORITHMS.len(), 6);
+        let uniq: std::collections::HashSet<&str> = ALGORITHMS.iter().map(|a| a.name).collect();
+        assert_eq!(uniq.len(), 6);
+        assert!(names().contains("randomized"));
+    }
+
+    #[test]
+    fn find_resolves_known_and_rejects_unknown() {
+        assert_eq!(find("prim").unwrap().name, "prim");
+        assert!(find("prim").unwrap().needs_connected);
+        assert!(find("bogus").is_none());
+    }
+
+    #[test]
+    fn every_mst_algorithm_matches_kruskal_via_registry() {
+        let g = generators::random_connected(14, 0.25, 6).unwrap();
+        let reference = mst::kruskal(&g).edges;
+        for spec in ALGORITHMS {
+            let out = spec
+                .run(&g, 3)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            if spec.produces_mst {
+                assert_eq!(out.edges, reference, "{}", spec.name);
+            } else {
+                assert_eq!(out.edges.len(), 13, "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn seedless_algorithms_ignore_the_seed() {
+        let g = generators::random_connected(12, 0.3, 2).unwrap();
+        for spec in ALGORITHMS.iter().filter(|a| !a.needs_seed) {
+            let a = spec.run(&g, 1).unwrap();
+            let b = spec.run(&g, 99).unwrap();
+            assert_eq!(a.edges, b.edges, "{}", spec.name);
+            assert_eq!(a.stats, b.stats, "{}", spec.name);
+        }
+    }
+}

@@ -1,8 +1,15 @@
 //! High-level entry points: run an algorithm on a graph, collect the MST
 //! edge set and the complexity metrics.
+//!
+//! The `run_*` functions are thin, API-stable wrappers over one generic
+//! helper; the [`registry`](crate::registry) module exposes the same six
+//! algorithms as a data-driven [`AlgorithmSpec`](crate::registry::AlgorithmSpec)
+//! table for callers (CLI, benches, sweeps) that select algorithms by name.
 
-use graphlib::{EdgeId, Port, WeightedGraph};
-use netsim::{RunStats, SimConfig, SimError, Simulator};
+use std::fmt;
+
+use graphlib::{EdgeId, NodeId, Port, WeightedGraph};
+use netsim::{NodeCtx, Protocol, RunStats, SimConfig, SimError, Simulator};
 
 use crate::baseline::ghs_always_awake;
 use crate::deterministic::{DeterministicConfig, DeterministicMst};
@@ -20,19 +27,93 @@ pub struct MstOutcome {
     pub phases: u64,
 }
 
+/// The two endpoints of an edge disagree about its MST membership — an
+/// algorithm bug surfaced by [`collect_mst_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MstCollectError {
+    /// The edge one endpoint marked as an MST edge.
+    pub edge: EdgeId,
+    /// The endpoint that does *not* mark it.
+    pub endpoint: NodeId,
+}
+
+impl fmt::Display for MstCollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistent MST output: endpoint {} does not mark edge {} \
+             although its neighbor does",
+            self.endpoint, self.edge
+        )
+    }
+}
+
+impl std::error::Error for MstCollectError {}
+
+/// Everything that can go wrong in a high-level `run_*` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The simulator rejected the execution (bad port, bit budget, …).
+    Sim(SimError),
+    /// The per-node outputs do not assemble into a consistent edge set.
+    Collect(MstCollectError),
+    /// The algorithm requires a connected input graph.
+    Disconnected {
+        /// Registry name of the algorithm that was refused.
+        algorithm: &'static str,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Collect(e) => write!(f, "{e}"),
+            RunError::Disconnected { algorithm } => write!(
+                f,
+                "algorithm '{algorithm}' requires a connected graph \
+                 (non-leader components would never terminate)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            RunError::Collect(e) => Some(e),
+            RunError::Disconnected { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+impl From<MstCollectError> for RunError {
+    fn from(e: MstCollectError) -> Self {
+        RunError::Collect(e)
+    }
+}
+
 /// Collects the distributed output ("every node knows which of its
 /// incident edges are in the MST") into a global edge set, checking that
 /// the two endpoints of every edge agree.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the endpoints of some edge disagree — that would be an
-/// algorithm bug, not an input condition.
+/// Returns [`MstCollectError`] naming the first edge whose endpoints
+/// disagree — that would be an algorithm bug, not an input condition.
 pub fn collect_mst_edges<P>(
     graph: &WeightedGraph,
     states: &[P],
     ports_of: impl Fn(&P) -> &[bool],
-) -> Vec<EdgeId> {
+) -> Result<Vec<EdgeId>, MstCollectError> {
     let mut marked = vec![false; graph.edge_count()];
     for v in graph.nodes() {
         for (i, &m) in ports_of(&states[v.index()]).iter().enumerate() {
@@ -48,28 +129,53 @@ pub fn collect_mst_edges<P>(
             let e = graph.edge(EdgeId::new(idx as u32));
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
                 let p = graph.port_to(a, b).expect("edge endpoints adjacent");
-                assert!(
-                    ports_of(&states[a.index()])[p.index()],
-                    "endpoint {a} does not mark MST edge {idx}"
-                );
+                if !ports_of(&states[a.index()])[p.index()] {
+                    return Err(MstCollectError {
+                        edge: EdgeId::new(idx as u32),
+                        endpoint: a,
+                    });
+                }
             }
         }
     }
-    marked
+    Ok(marked
         .iter()
         .enumerate()
         .filter(|&(_i, &m)| m)
         .map(|(i, &_m)| EdgeId::new(i as u32))
-        .collect()
+        .collect())
+}
+
+/// The one generic execution path all `run_*` wrappers share: simulate,
+/// collect the marked ports into an edge set, take the phase maximum.
+fn run_and_collect<P, F>(
+    graph: &WeightedGraph,
+    config: SimConfig,
+    factory: F,
+    ports_of: impl Fn(&P) -> &[bool],
+    phases_of: impl Fn(&P) -> u64,
+) -> Result<MstOutcome, RunError>
+where
+    P: Protocol,
+    F: FnMut(&NodeCtx) -> P,
+{
+    let out = Simulator::new(graph, config).run(factory)?;
+    let edges = collect_mst_edges(graph, &out.states, &ports_of)?;
+    let phases = out.states.iter().map(phases_of).max().unwrap_or(0);
+    Ok(MstOutcome {
+        edges,
+        stats: out.stats,
+        phases,
+    })
 }
 
 /// Runs `Randomized-MST` with the paper's parameters.
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]); a correct run on a valid
-/// graph does not produce any.
-pub fn run_randomized(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, SimError> {
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]); a correct run on a valid graph does not produce any.
+pub fn run_randomized(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
     run_randomized_with(graph, seed, RandomizedConfig::default())
 }
 
@@ -77,34 +183,29 @@ pub fn run_randomized(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, Si
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
 pub fn run_randomized_with(
     graph: &WeightedGraph,
     seed: u64,
     config: RandomizedConfig,
-) -> Result<MstOutcome, SimError> {
-    let out = Simulator::new(graph, SimConfig::default().with_seed(seed))
-        .run(|ctx| RandomizedMst::with_config(ctx, config.clone()))?;
-    let edges = collect_mst_edges(graph, &out.states, |s| s.mst_ports());
-    let phases = out
-        .states
-        .iter()
-        .map(RandomizedMst::phases)
-        .max()
-        .unwrap_or(0);
-    Ok(MstOutcome {
-        edges,
-        stats: out.stats,
-        phases,
-    })
+) -> Result<MstOutcome, RunError> {
+    run_and_collect(
+        graph,
+        SimConfig::default().with_seed(seed),
+        |ctx| RandomizedMst::with_config(ctx, config.clone()),
+        RandomizedMst::mst_ports,
+        RandomizedMst::phases,
+    )
 }
 
 /// Runs `Deterministic-MST` with the paper's parameters.
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
-pub fn run_deterministic(graph: &WeightedGraph) -> Result<MstOutcome, SimError> {
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_deterministic(graph: &WeightedGraph) -> Result<MstOutcome, RunError> {
     run_deterministic_with(graph, DeterministicConfig::default())
 }
 
@@ -112,25 +213,19 @@ pub fn run_deterministic(graph: &WeightedGraph) -> Result<MstOutcome, SimError> 
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
 pub fn run_deterministic_with(
     graph: &WeightedGraph,
     config: DeterministicConfig,
-) -> Result<MstOutcome, SimError> {
-    let out = Simulator::new(graph, SimConfig::default())
-        .run(|ctx| DeterministicMst::with_config(ctx, config.clone()))?;
-    let edges = collect_mst_edges(graph, &out.states, |s| s.mst_ports());
-    let phases = out
-        .states
-        .iter()
-        .map(DeterministicMst::phases)
-        .max()
-        .unwrap_or(0);
-    Ok(MstOutcome {
-        edges,
-        stats: out.stats,
-        phases,
-    })
+) -> Result<MstOutcome, RunError> {
+    run_and_collect(
+        graph,
+        SimConfig::default(),
+        |ctx| DeterministicMst::with_config(ctx, config.clone()),
+        DeterministicMst::mst_ports,
+        DeterministicMst::phases,
+    )
 }
 
 /// Runs the arbitrary-spanning-tree variant: the same LDT merging with
@@ -141,8 +236,9 @@ pub fn run_deterministic_with(
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
-pub fn run_spanning_tree(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, SimError> {
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_spanning_tree(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
     run_randomized_with(
         graph,
         seed,
@@ -158,8 +254,9 @@ pub fn run_spanning_tree(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome,
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
-pub fn run_logstar(graph: &WeightedGraph) -> Result<MstOutcome, SimError> {
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_logstar(graph: &WeightedGraph) -> Result<MstOutcome, RunError> {
     run_deterministic_with(
         graph,
         DeterministicConfig {
@@ -174,55 +271,39 @@ pub fn run_logstar(graph: &WeightedGraph) -> Result<MstOutcome, SimError> {
 /// complexity — the counterexample showing sleep states alone are not
 /// enough; the paper's parallel merging is what achieves `O(log n)`.
 ///
-/// # Panics
-///
-/// Panics if `graph` is disconnected: unlike the paper's algorithms (which
-/// finish per fragment), Prim's non-leader components never find the DONE
-/// signal and the run would spin forever.
-///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
-pub fn run_prim(graph: &WeightedGraph, leader: u64) -> Result<MstOutcome, SimError> {
-    assert!(
-        graphlib::traversal::is_connected(graph),
-        "run_prim requires a connected graph (non-leader components never terminate)"
-    );
-    let out = Simulator::new(graph, SimConfig::default())
-        .run(|ctx| crate::prim::PrimMst::new(ctx, leader))?;
-    let edges = collect_mst_edges(graph, &out.states, |s| s.mst_ports());
-    let phases = out
-        .states
-        .iter()
-        .map(crate::prim::PrimMst::phases)
-        .max()
-        .unwrap_or(0);
-    Ok(MstOutcome {
-        edges,
-        stats: out.stats,
-        phases,
-    })
+/// Returns [`RunError::Disconnected`] if `graph` is disconnected: unlike
+/// the paper's algorithms (which finish per fragment), Prim's non-leader
+/// components never find the DONE signal and the run would spin forever.
+/// Also propagates simulator failures and output-consistency violations.
+pub fn run_prim(graph: &WeightedGraph, leader: u64) -> Result<MstOutcome, RunError> {
+    if !graphlib::traversal::is_connected(graph) {
+        return Err(RunError::Disconnected { algorithm: "prim" });
+    }
+    run_and_collect(
+        graph,
+        SimConfig::default(),
+        |ctx| crate::prim::PrimMst::new(ctx, leader),
+        crate::prim::PrimMst::mst_ports,
+        crate::prim::PrimMst::phases,
+    )
 }
 
 /// Runs the always-awake GHS baseline (traditional-model cost profile).
 ///
 /// # Errors
 ///
-/// Propagates simulator failures ([`SimError`]).
-pub fn run_always_awake(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, SimError> {
-    let out = Simulator::new(graph, SimConfig::default().with_seed(seed)).run(ghs_always_awake)?;
-    let edges = collect_mst_edges(graph, &out.states, |s| s.inner().mst_ports());
-    let phases = out
-        .states
-        .iter()
-        .map(|s| s.inner().phases())
-        .max()
-        .unwrap_or(0);
-    Ok(MstOutcome {
-        edges,
-        stats: out.stats,
-        phases,
-    })
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_always_awake(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
+    run_and_collect(
+        graph,
+        SimConfig::default().with_seed(seed),
+        ghs_always_awake,
+        |s| s.inner().mst_ports(),
+        |s| s.inner().phases(),
+    )
 }
 
 #[cfg(test)]
@@ -276,5 +357,32 @@ mod tests {
         let st = run_spanning_tree(&g, 1).unwrap();
         assert_eq!(st.edges.len(), 63);
         assert!((st.stats.awake_max() as f64) < 60.0 * (64f64).log2());
+    }
+
+    #[test]
+    fn collect_reports_endpoint_disagreement() {
+        // Two nodes, one edge; only node 0 marks its port.
+        struct Half(Vec<bool>);
+        let g = graphlib::GraphBuilder::new(2)
+            .edge(0, 1, 1)
+            .build()
+            .unwrap();
+        let states = vec![Half(vec![true]), Half(vec![false])];
+        let err = collect_mst_edges(&g, &states, |s| &s.0).unwrap_err();
+        assert_eq!(err.edge, EdgeId::new(0));
+        assert_eq!(err.endpoint, graphlib::NodeId::new(1));
+        assert!(err.to_string().contains("does not mark"));
+    }
+
+    #[test]
+    fn prim_refuses_disconnected_graphs() {
+        let g = graphlib::GraphBuilder::new(4)
+            .edge(0, 1, 1)
+            .edge(2, 3, 2)
+            .build()
+            .unwrap();
+        let err = run_prim(&g, 1).unwrap_err();
+        assert!(matches!(err, RunError::Disconnected { algorithm: "prim" }));
+        assert!(err.to_string().contains("connected"));
     }
 }

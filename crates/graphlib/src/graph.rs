@@ -152,6 +152,10 @@ pub struct PortEntry {
     pub weight: u64,
     /// Global id of the connecting edge.
     pub edge: EdgeId,
+    /// The neighbor's port for the same edge (the reverse direction),
+    /// precomputed in [`GraphBuilder::build`] so delivery paths never scan
+    /// an adjacency list to route a reply.
+    pub back_port: Port,
 }
 
 /// An immutable, undirected, connected(-checkable) weighted graph with
@@ -373,15 +377,21 @@ impl GraphBuilder {
                 v: hi,
                 weight,
             });
+            // Each endpoint's entry lands at the current end of the other
+            // endpoint's port table, so the reverse ports are known here.
+            let port_at_u = Port::new(adjacency[u as usize].len() as u32);
+            let port_at_v = Port::new(adjacency[v as usize].len() as u32);
             adjacency[u as usize].push(PortEntry {
                 neighbor: NodeId::new(v),
                 weight,
                 edge: id,
+                back_port: port_at_v,
             });
             adjacency[v as usize].push(PortEntry {
                 neighbor: NodeId::new(u),
                 weight,
                 edge: id,
+                back_port: port_at_u,
             });
         }
 
@@ -427,6 +437,22 @@ mod tests {
         let p = g.port_to(NodeId::new(2), NodeId::new(0)).unwrap();
         assert_eq!(g.port_entry(NodeId::new(2), p).neighbor, NodeId::new(0));
         assert_eq!(g.port_to(NodeId::new(2), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn back_ports_invert_every_port() {
+        let g = triangle();
+        for v in g.nodes() {
+            for (i, entry) in g.ports(v).iter().enumerate() {
+                // The precomputed reverse port agrees with a linear scan…
+                assert_eq!(Some(entry.back_port), g.port_to(entry.neighbor, v));
+                // …and following it round-trips back to (v, port i).
+                let back = g.port_entry(entry.neighbor, entry.back_port);
+                assert_eq!(back.neighbor, v);
+                assert_eq!(back.back_port, Port::new(i as u32));
+                assert_eq!(back.edge, entry.edge);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! The executors behind [`Simulator`](crate::Simulator).
+//!
+//! Two implementations of the same round semantics live here:
+//!
+//! * `run_event_driven` (crate-private) — the production executor. A
+//!   `WakeQueue` jumps
+//!   directly from one populated round to the next, so a run costs
+//!   `O(W log n + M)` for `W` node-awake events and `M` messages,
+//!   independent of how many silent rounds the schedule spans. Message
+//!   routing uses the back ports precomputed by
+//!   [`graphlib::GraphBuilder::build`] — the hot loop never scans an
+//!   adjacency list — and the per-round send/inbox buffers are reused
+//!   across rounds.
+//! * [`run_naive`] — a deliberately simple reference executor that walks
+//!   every round from 1 upward. It exists as a differential-testing oracle
+//!   for the event-driven hot loop (see `tests/differential.rs`); never
+//!   use it for real workloads — its cost is proportional to the run's
+//!   round count.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use graphlib::{NodeId, Port, WeightedGraph};
+
+use crate::{
+    Envelope, NextWake, NodeCtx, Payload, Protocol, Round, RunOutcome, RunStats, SimConfig,
+    SimError, Trace, TraceEvent,
+};
+
+/// Builds the initial knowledge handed to `node` (KT0 plus run
+/// parameters). Both executors must derive identical contexts — notably
+/// the per-node RNG seed — for differential runs to agree.
+fn node_ctx(graph: &WeightedGraph, config: &SimConfig, node: NodeId) -> NodeCtx {
+    NodeCtx {
+        node,
+        external_id: graph.external_id(node),
+        n: graph.node_count(),
+        max_external_id: graph.max_external_id(),
+        port_weights: graph.ports(node).iter().map(|e| e.weight).collect(),
+        rng_seed: config
+            .master_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(node.raw()).wrapping_mul(0xff51_afd7_ed55_8ccd)),
+    }
+}
+
+/// Per-node construction + `init` call, shared by both executors.
+/// Returns the contexts, protocol values, and each node's first wake
+/// (`None` = halted in `init`).
+#[allow(clippy::type_complexity)]
+fn init_nodes<P, F>(
+    graph: &WeightedGraph,
+    config: &SimConfig,
+    mut factory: F,
+    trace: &mut Trace,
+) -> Result<(Vec<NodeCtx>, Vec<P>, Vec<Option<Round>>), SimError>
+where
+    P: Protocol,
+    F: FnMut(&NodeCtx) -> P,
+{
+    let n = graph.node_count();
+    let mut ctxs = Vec::with_capacity(n);
+    let mut protocols = Vec::with_capacity(n);
+    let mut first_wake = Vec::with_capacity(n);
+    for node in graph.nodes() {
+        let ctx = node_ctx(graph, config, node);
+        let mut protocol = factory(&ctx);
+        match protocol.init(&ctx) {
+            NextWake::At(r) => {
+                if r == 0 {
+                    return Err(SimError::WakeNotInFuture {
+                        node,
+                        round: 0,
+                        requested: 0,
+                    });
+                }
+                first_wake.push(Some(r));
+            }
+            NextWake::Halt => {
+                if config.record_trace {
+                    trace.push(TraceEvent::Halted { round: 0, node });
+                }
+                first_wake.push(None);
+            }
+        }
+        ctxs.push(ctx);
+        protocols.push(protocol);
+    }
+    Ok((ctxs, protocols, first_wake))
+}
+
+/// Validates one outgoing envelope, accounts its bits, and routes it to
+/// `(receiver, receiver port)` via the precomputed back port — no
+/// adjacency scan.
+#[inline]
+fn route_envelope<M: Payload>(
+    graph: &WeightedGraph,
+    config: &SimConfig,
+    stats: &mut RunStats,
+    node: NodeId,
+    round: Round,
+    port: Port,
+    msg: &M,
+) -> Result<(u32, u32), SimError> {
+    if port.index() >= graph.degree(node) {
+        return Err(SimError::PortOutOfRange { node, port, round });
+    }
+    let bits = msg.bit_size();
+    if let Some(limit) = config.bit_limit {
+        if bits > limit {
+            return Err(SimError::MessageTooLarge {
+                node,
+                round,
+                bits,
+                limit,
+            });
+        }
+    }
+    let entry = graph.port_entry(node, port);
+    stats.bits_by_edge[entry.edge.index()] += bits as u64;
+    Ok((entry.neighbor.raw(), entry.back_port.raw()))
+}
+
+/// The scheduled-wake priority queue with lazy deletion.
+///
+/// `schedule` may supersede an earlier, not-yet-fired entry for the same
+/// node; the stale heap entry is dropped when its round is popped. Rounds
+/// whose entries are all stale still *occur* (they are the run's last
+/// scheduled activity), which is why [`pop_round`](WakeQueue::pop_round)
+/// reports them: `RunStats::rounds` must reflect the final popped round,
+/// not the last round that happened to have a live waker.
+#[derive(Debug)]
+pub(crate) struct WakeQueue {
+    heap: BinaryHeap<Reverse<(Round, u32)>>,
+    /// `Some(r)` = node will wake in round `r`; `None` = halted.
+    next_wake: Vec<Option<Round>>,
+    /// `popped_stamp[v] == r` marks v already returned for round r
+    /// (guards against duplicate heap entries; stamps start at 1).
+    popped_stamp: Vec<Round>,
+}
+
+impl WakeQueue {
+    pub(crate) fn new(n: usize) -> Self {
+        WakeQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_wake: vec![None; n],
+            popped_stamp: vec![0; n],
+        }
+    }
+
+    /// Schedules (or re-schedules) `node` to wake in `round`.
+    pub(crate) fn schedule(&mut self, node: u32, round: Round) {
+        self.next_wake[node as usize] = Some(round);
+        self.heap.push(Reverse((round, node)));
+    }
+
+    /// Marks `node` as halted; its pending entry (if any) goes stale.
+    pub(crate) fn halt(&mut self, node: u32) {
+        self.next_wake[node as usize] = None;
+    }
+
+    /// The earliest scheduled round, if any entry (live or stale) remains.
+    pub(crate) fn peek_round(&self) -> Option<Round> {
+        self.heap.peek().map(|&Reverse((r, _))| r)
+    }
+
+    /// Pops every entry of the earliest round. Returns that round and
+    /// fills `live` with the nodes genuinely waking now, ascending; stale
+    /// entries are dropped (but still produce a returned round).
+    pub(crate) fn pop_round(&mut self, live: &mut Vec<u32>) -> Option<Round> {
+        live.clear();
+        let Reverse((round, _)) = *self.heap.peek()?;
+        while let Some(&Reverse((r, v))) = self.heap.peek() {
+            if r != round {
+                break;
+            }
+            self.heap.pop();
+            if self.next_wake[v as usize] == Some(r) && self.popped_stamp[v as usize] != round {
+                self.popped_stamp[v as usize] = round;
+                live.push(v);
+            }
+        }
+        live.sort_unstable();
+        Some(round)
+    }
+}
+
+/// The production event-driven executor. See the module docs.
+pub(crate) fn run_event_driven<P, F, O>(
+    graph: &WeightedGraph,
+    config: &SimConfig,
+    factory: F,
+    mut observer: O,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(&NodeCtx) -> P,
+    O: FnMut(Round, &[P]),
+{
+    let n = graph.node_count();
+    let mut stats = RunStats::new(n, graph.edge_count());
+    let mut trace = Trace::default();
+
+    let (ctxs, mut protocols, first_wake) = init_nodes(graph, config, factory, &mut trace)?;
+    let mut queue = WakeQueue::new(n);
+    let mut running = 0usize;
+    for (v, wake) in first_wake.into_iter().enumerate() {
+        if let Some(r) = wake {
+            queue.schedule(v as u32, r);
+            running += 1;
+        }
+    }
+
+    // Round-scoped buffers, reused across rounds: the set of awake nodes,
+    // the pending deliveries (receiver, recv_port, sender, msg), and the
+    // per-node inboxes.
+    let mut awake_now: Vec<u32> = Vec::new();
+    let mut pending: Vec<(u32, u32, u32, P::Msg)> = Vec::new();
+    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+
+    while let Some(round) = queue.peek_round() {
+        if round > config.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: config.max_rounds,
+                running,
+            });
+        }
+        queue.pop_round(&mut awake_now);
+        // The run extends to every scheduled round we processed, even one
+        // whose wakes were all superseded (regression: stale final round).
+        stats.rounds = round;
+        if awake_now.is_empty() {
+            continue;
+        }
+
+        // --- Send half-step ---
+        pending.clear();
+        for &v in &awake_now {
+            let node = NodeId::new(v);
+            stats.awake_by_node[v as usize] += 1;
+            if config.record_trace {
+                trace.push(TraceEvent::Awake { round, node });
+            }
+            let outbox = protocols[v as usize].send(&ctxs[v as usize], round);
+            for Envelope { port, msg } in outbox {
+                let (to, recv_port) =
+                    route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
+                pending.push((to, recv_port, v, msg));
+            }
+        }
+
+        // --- Deliver half-step ---
+        for (to, port, from, msg) in pending.drain(..) {
+            // A node is a valid receiver iff it woke this round.
+            if queue.popped_stamp[to as usize] == round {
+                stats.messages_delivered += 1;
+                stats.bits_received_by_node[to as usize] += msg.bit_size() as u64;
+                if config.record_trace {
+                    trace.push(TraceEvent::Delivered {
+                        round,
+                        from: NodeId::new(from),
+                        to: NodeId::new(to),
+                        port: Port::new(port),
+                        bits: msg.bit_size(),
+                        payload: format!("{msg:?}"),
+                    });
+                }
+                inboxes[to as usize].push(Envelope::new(Port::new(port), msg));
+            } else {
+                stats.messages_lost += 1;
+                if config.record_trace {
+                    trace.push(TraceEvent::Lost {
+                        round,
+                        from: NodeId::new(from),
+                        to: NodeId::new(to),
+                    });
+                }
+            }
+        }
+
+        for &v in &awake_now {
+            let node = NodeId::new(v);
+            let inbox = &mut inboxes[v as usize];
+            inbox.sort_by_key(|e| e.port);
+            let next = protocols[v as usize].deliver(&ctxs[v as usize], round, inbox);
+            inbox.clear();
+            match next {
+                NextWake::At(r) => {
+                    if r <= round {
+                        return Err(SimError::WakeNotInFuture {
+                            node,
+                            round,
+                            requested: r,
+                        });
+                    }
+                    queue.schedule(v, r);
+                }
+                NextWake::Halt => {
+                    queue.halt(v);
+                    running -= 1;
+                    if config.record_trace {
+                        trace.push(TraceEvent::Halted { round, node });
+                    }
+                }
+            }
+        }
+
+        observer(round, &protocols);
+    }
+
+    if running > 0 {
+        return Err(SimError::Stalled {
+            running,
+            round: stats.rounds,
+        });
+    }
+    Ok(RunOutcome {
+        states: protocols,
+        stats,
+        trace,
+    })
+}
+
+/// Reference executor: walks **every** round from 1 until all nodes halt.
+///
+/// Semantically identical to the event-driven executor — identical final
+/// states, [`RunStats`], and trace — but costs time proportional to the
+/// run's round count. It exists as the differential-testing oracle that
+/// locks in the hot loop's behavior; it is not part of the supported
+/// simulation API surface.
+///
+/// # Errors
+///
+/// Propagates the same [`SimError`] conditions as
+/// [`Simulator::run`](crate::Simulator::run).
+pub fn run_naive<P, F>(
+    graph: &WeightedGraph,
+    config: &SimConfig,
+    factory: F,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(&NodeCtx) -> P,
+{
+    let n = graph.node_count();
+    let mut stats = RunStats::new(n, graph.edge_count());
+    let mut trace = Trace::default();
+
+    let (ctxs, mut protocols, mut next_wake) = init_nodes(graph, config, factory, &mut trace)?;
+
+    let mut round: Round = 1;
+    loop {
+        let running = next_wake.iter().filter(|w| w.is_some()).count();
+        if running == 0 {
+            break;
+        }
+        if round > config.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: config.max_rounds,
+                running,
+            });
+        }
+
+        let awake_now: Vec<u32> = (0..n as u32)
+            .filter(|&v| next_wake[v as usize] == Some(round))
+            .collect();
+        if awake_now.is_empty() {
+            round += 1;
+            continue;
+        }
+        stats.rounds = round;
+
+        let mut pending: Vec<(u32, u32, u32, P::Msg)> = Vec::new();
+        for &v in &awake_now {
+            let node = NodeId::new(v);
+            stats.awake_by_node[v as usize] += 1;
+            if config.record_trace {
+                trace.push(TraceEvent::Awake { round, node });
+            }
+            for Envelope { port, msg } in protocols[v as usize].send(&ctxs[v as usize], round) {
+                let (to, recv_port) =
+                    route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
+                pending.push((to, recv_port, v, msg));
+            }
+        }
+
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+        for (to, port, from, msg) in pending {
+            if next_wake[to as usize] == Some(round) {
+                stats.messages_delivered += 1;
+                stats.bits_received_by_node[to as usize] += msg.bit_size() as u64;
+                if config.record_trace {
+                    trace.push(TraceEvent::Delivered {
+                        round,
+                        from: NodeId::new(from),
+                        to: NodeId::new(to),
+                        port: Port::new(port),
+                        bits: msg.bit_size(),
+                        payload: format!("{msg:?}"),
+                    });
+                }
+                inboxes[to as usize].push(Envelope::new(Port::new(port), msg));
+            } else {
+                stats.messages_lost += 1;
+                if config.record_trace {
+                    trace.push(TraceEvent::Lost {
+                        round,
+                        from: NodeId::new(from),
+                        to: NodeId::new(to),
+                    });
+                }
+            }
+        }
+
+        for &v in &awake_now {
+            let node = NodeId::new(v);
+            let mut inbox = std::mem::take(&mut inboxes[v as usize]);
+            inbox.sort_by_key(|e| e.port);
+            match protocols[v as usize].deliver(&ctxs[v as usize], round, &inbox) {
+                NextWake::At(r) => {
+                    if r <= round {
+                        return Err(SimError::WakeNotInFuture {
+                            node,
+                            round,
+                            requested: r,
+                        });
+                    }
+                    next_wake[v as usize] = Some(r);
+                }
+                NextWake::Halt => {
+                    next_wake[v as usize] = None;
+                    if config.record_trace {
+                        trace.push(TraceEvent::Halted { round, node });
+                    }
+                }
+            }
+        }
+
+        round += 1;
+    }
+
+    Ok(RunOutcome {
+        states: protocols,
+        stats,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_queue_orders_and_dedups() {
+        let mut q = WakeQueue::new(3);
+        q.schedule(2, 5);
+        q.schedule(0, 3);
+        q.schedule(1, 3);
+        let mut live = Vec::new();
+        assert_eq!(q.pop_round(&mut live), Some(3));
+        assert_eq!(live, vec![0, 1]);
+        assert_eq!(q.pop_round(&mut live), Some(5));
+        assert_eq!(live, vec![2]);
+        assert_eq!(q.pop_round(&mut live), None);
+    }
+
+    #[test]
+    fn wake_queue_halt_makes_entry_stale() {
+        let mut q = WakeQueue::new(2);
+        q.schedule(0, 4);
+        q.schedule(1, 4);
+        q.halt(1);
+        let mut live = Vec::new();
+        assert_eq!(q.pop_round(&mut live), Some(4));
+        assert_eq!(live, vec![0]);
+    }
+
+    /// Regression for the `RunStats::rounds` fix: a run whose final
+    /// scheduled wake was superseded still pops that round — and the
+    /// caller must record it — even though no node is live in it.
+    #[test]
+    fn wake_queue_reports_trailing_stale_round() {
+        let mut q = WakeQueue::new(1);
+        q.schedule(0, 9);
+        q.schedule(0, 2); // supersedes: the round-9 entry is now stale
+        let mut live = Vec::new();
+        assert_eq!(q.pop_round(&mut live), Some(2));
+        assert_eq!(live, vec![0]);
+        q.halt(0);
+        // The stale trailing entry still surfaces its round, with no live
+        // wakers; `run_event_driven` records it as the run's last round.
+        assert_eq!(q.pop_round(&mut live), Some(9));
+        assert!(live.is_empty());
+        assert_eq!(q.pop_round(&mut live), None);
+    }
+}

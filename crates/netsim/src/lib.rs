@@ -48,6 +48,7 @@ mod sim;
 mod stats;
 mod trace;
 
+pub mod engine;
 pub mod flood;
 pub mod radio;
 

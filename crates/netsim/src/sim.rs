@@ -1,13 +1,10 @@
-//! The event-driven round executor.
+//! The public simulation surface: [`SimConfig`], [`RunOutcome`], and
+//! [`Simulator`]. The executors themselves live in [`crate::engine`].
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use graphlib::WeightedGraph;
 
-use graphlib::{NodeId, WeightedGraph};
-
-use crate::{
-    Envelope, NextWake, NodeCtx, Payload, Protocol, Round, RunStats, SimError, Trace, TraceEvent,
-};
+use crate::engine;
+use crate::{NodeCtx, Protocol, Round, RunStats, SimError, Trace};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +77,8 @@ pub struct RunOutcome<P> {
 /// a run costs `O(W log n + M)` where `W` is total node-awake events and
 /// `M` total messages — *independent of the number of silent rounds*. This
 /// is what makes the paper's `O(n N log n)`-round algorithm simulable.
+/// Message routing uses the back ports precomputed at graph build time, so
+/// the delivery path never scans an adjacency list.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g WeightedGraph,
@@ -120,200 +119,15 @@ impl<'g> Simulator<'g> {
     /// Propagates any [`SimError`] raised during execution.
     pub fn run_with_observer<P, F, O>(
         &self,
-        mut factory: F,
-        mut observer: O,
+        factory: F,
+        observer: O,
     ) -> Result<RunOutcome<P>, SimError>
     where
         P: Protocol,
         F: FnMut(&NodeCtx) -> P,
         O: FnMut(Round, &[P]),
     {
-        let n = self.graph.node_count();
-        let mut stats = RunStats::new(n, self.graph.edge_count());
-        let mut trace = Trace::default();
-
-        // Per-node context, protocol value, and schedule.
-        let mut ctxs = Vec::with_capacity(n);
-        let mut protocols = Vec::with_capacity(n);
-        // `Some(r)` = will wake in round r; `None` = halted.
-        let mut next_wake: Vec<Option<Round>> = Vec::with_capacity(n);
-        let mut running = 0usize;
-        let mut queue: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::new();
-
-        for node in self.graph.nodes() {
-            let ctx = NodeCtx {
-                node,
-                external_id: self.graph.external_id(node),
-                n,
-                max_external_id: self.graph.max_external_id(),
-                port_weights: self.graph.ports(node).iter().map(|e| e.weight).collect(),
-                rng_seed: self
-                    .config
-                    .master_seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(u64::from(node.raw()).wrapping_mul(0xff51_afd7_ed55_8ccd)),
-            };
-            let mut protocol = factory(&ctx);
-            match protocol.init(&ctx) {
-                NextWake::At(r) => {
-                    if r == 0 {
-                        return Err(SimError::WakeNotInFuture {
-                            node,
-                            round: 0,
-                            requested: 0,
-                        });
-                    }
-                    queue.push(Reverse((r, node.raw())));
-                    next_wake.push(Some(r));
-                    running += 1;
-                }
-                NextWake::Halt => {
-                    if self.config.record_trace {
-                        trace.push(TraceEvent::Halted { round: 0, node });
-                    }
-                    next_wake.push(None);
-                }
-            }
-            ctxs.push(ctx);
-            protocols.push(protocol);
-        }
-
-        // `awake_stamp[v] == r` marks v awake in round r (stamps start at 1).
-        let mut awake_stamp: Vec<Round> = vec![0; n];
-        let mut awake_now: Vec<u32> = Vec::new();
-        // Pending deliveries for the current round: (receiver, recv_port, sender, msg).
-        let mut pending: Vec<(u32, u32, u32, P::Msg)> = Vec::new();
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-
-        while let Some(&Reverse((round, _))) = queue.peek() {
-            if round > self.config.max_rounds {
-                return Err(SimError::MaxRoundsExceeded {
-                    limit: self.config.max_rounds,
-                    running,
-                });
-            }
-
-            // Collect every node scheduled for this round.
-            awake_now.clear();
-            while let Some(&Reverse((r, v))) = queue.peek() {
-                if r != round {
-                    break;
-                }
-                queue.pop();
-                // Skip stale entries (a node re-scheduled or halted).
-                if next_wake[v as usize] == Some(r) && awake_stamp[v as usize] != round {
-                    awake_stamp[v as usize] = round;
-                    awake_now.push(v);
-                }
-            }
-            if awake_now.is_empty() {
-                continue;
-            }
-            awake_now.sort_unstable();
-            stats.rounds = round;
-
-            // --- Send half-step ---
-            pending.clear();
-            for &v in &awake_now {
-                let node = NodeId::new(v);
-                stats.awake_by_node[v as usize] += 1;
-                if self.config.record_trace {
-                    trace.push(TraceEvent::Awake { round, node });
-                }
-                let outbox = protocols[v as usize].send(&ctxs[v as usize], round);
-                for Envelope { port, msg } in outbox {
-                    if port.index() >= self.graph.degree(node) {
-                        return Err(SimError::PortOutOfRange { node, port, round });
-                    }
-                    let bits = msg.bit_size();
-                    if let Some(limit) = self.config.bit_limit {
-                        if bits > limit {
-                            return Err(SimError::MessageTooLarge {
-                                node,
-                                round,
-                                bits,
-                                limit,
-                            });
-                        }
-                    }
-                    let entry = self.graph.port_entry(node, port);
-                    stats.bits_by_edge[entry.edge.index()] += bits as u64;
-                    let back_port = self
-                        .graph
-                        .port_to(entry.neighbor, node)
-                        .expect("adjacency is symmetric");
-                    pending.push((entry.neighbor.raw(), back_port.raw(), v, msg));
-                }
-            }
-
-            // --- Deliver half-step ---
-            for (to, port, from, msg) in pending.drain(..) {
-                if awake_stamp[to as usize] == round {
-                    stats.messages_delivered += 1;
-                    stats.bits_received_by_node[to as usize] += msg.bit_size() as u64;
-                    if self.config.record_trace {
-                        trace.push(TraceEvent::Delivered {
-                            round,
-                            from: NodeId::new(from),
-                            to: NodeId::new(to),
-                            port: graphlib::Port::new(port),
-                            bits: msg.bit_size(),
-                            payload: format!("{msg:?}"),
-                        });
-                    }
-                    inboxes[to as usize].push(Envelope::new(graphlib::Port::new(port), msg));
-                } else {
-                    stats.messages_lost += 1;
-                    if self.config.record_trace {
-                        trace.push(TraceEvent::Lost {
-                            round,
-                            from: NodeId::new(from),
-                            to: NodeId::new(to),
-                        });
-                    }
-                }
-            }
-
-            for &v in &awake_now {
-                let node = NodeId::new(v);
-                let mut inbox = std::mem::take(&mut inboxes[v as usize]);
-                inbox.sort_by_key(|e| e.port);
-                match protocols[v as usize].deliver(&ctxs[v as usize], round, &inbox) {
-                    NextWake::At(r) => {
-                        if r <= round {
-                            return Err(SimError::WakeNotInFuture {
-                                node,
-                                round,
-                                requested: r,
-                            });
-                        }
-                        next_wake[v as usize] = Some(r);
-                        queue.push(Reverse((r, v)));
-                    }
-                    NextWake::Halt => {
-                        next_wake[v as usize] = None;
-                        running -= 1;
-                        if self.config.record_trace {
-                            trace.push(TraceEvent::Halted { round, node });
-                        }
-                    }
-                }
-            }
-
-            observer(round, &protocols);
-        }
-
-        if running > 0 {
-            return Err(SimError::Stalled {
-                running,
-                round: stats.rounds,
-            });
-        }
-        Ok(RunOutcome {
-            states: protocols,
-            stats,
-            trace,
-        })
+        engine::run_event_driven(self.graph, &self.config, factory, observer)
     }
 }
 
@@ -321,6 +135,7 @@ impl<'g> Simulator<'g> {
 mod tests {
     use super::*;
     use crate::flood::Flood;
+    use crate::{Envelope, NextWake, SimError, TraceEvent};
     use graphlib::{generators, GraphBuilder, Port};
 
     /// Node i wakes only in round i+1, sends a unit message on every port,

@@ -5,8 +5,10 @@ use crate::Round;
 /// Aggregated metrics of one protocol execution.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunStats {
-    /// Run time: the last round in which any node was awake (0 if the
-    /// protocol halted before round 1).
+    /// Run time: the last scheduled round the executor processed (0 if the
+    /// protocol halted before round 1). This is the final round popped from
+    /// the wake queue — counted even if every wake scheduled for it had
+    /// been superseded in the meantime.
     pub rounds: Round,
     /// Awake rounds per node, indexed by node.
     pub awake_by_node: Vec<u64>,

@@ -10,7 +10,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (code, text) = match cli::parse_args(&args) {
         Ok(cmd) => cli::execute(&cmd),
-        Err(e) => (2, format!("error: {e}\n\n{}", cli::USAGE)),
+        Err(e) => (2, format!("error: {e}\n\n{}", cli::usage())),
     };
     print!("{text}");
     ExitCode::from(code as u8)

@@ -2,6 +2,11 @@
 //! MST algorithms on a described graph and report the sleeping-model
 //! metrics, as text or JSON.
 //!
+//! Algorithms are resolved through [`mst_core::registry`] — the CLI holds
+//! no algorithm table of its own — and the `sweep` subcommand drives the
+//! shared experiment harness ([`bench::harness`]) over an
+//! (algorithm × n × seed) grid on all available cores.
+//!
 //! The interface is deliberately dependency-free; graph and algorithm
 //! specs are tiny colon-separated strings:
 //!
@@ -10,73 +15,23 @@
 //! sleeping-mst run --alg deterministic --graph random:48:0.1 --json
 //! sleeping-mst verify --alg logstar --graph grid:4x8
 //! sleeping-mst info --graph barbell:6:3
+//! sleeping-mst sweep --alg randomized,always-awake --graph ring:{n} \
+//!     --sizes 16,32,64 --seeds 0..3
 //! ```
 
-use std::fmt;
-
+use bench::harness;
 use graphlib::{generators, mst, traversal, GraphError, WeightedGraph};
-use mst_core::{
-    run_always_awake, run_deterministic, run_logstar, run_prim, run_randomized, run_spanning_tree,
-    MstOutcome,
-};
+use mst_core::registry::{self, AlgorithmSpec};
+use mst_core::MstOutcome;
 
-/// Which algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// The paper's randomized awake-optimal algorithm.
-    Randomized,
-    /// The paper's deterministic awake-optimal algorithm.
-    Deterministic,
-    /// The Corollary 1 Cole–Vishkin variant.
-    Logstar,
-    /// The Prim-style sequential baseline.
-    Prim,
-    /// The arbitrary-spanning-tree variant.
-    SpanningTree,
-    /// The always-awake GHS baseline.
-    AlwaysAwake,
-}
-
-impl Algorithm {
-    /// Parses an algorithm name.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message listing the valid names.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "randomized" => Ok(Algorithm::Randomized),
-            "deterministic" => Ok(Algorithm::Deterministic),
-            "logstar" => Ok(Algorithm::Logstar),
-            "prim" => Ok(Algorithm::Prim),
-            "spanning-tree" => Ok(Algorithm::SpanningTree),
-            "always-awake" => Ok(Algorithm::AlwaysAwake),
-            other => Err(format!(
-                "unknown algorithm '{other}' (expected randomized, deterministic, \
-                 logstar, prim, spanning-tree, or always-awake)"
-            )),
-        }
-    }
-
-    /// `true` if the output is the (unique) MST rather than just a
-    /// spanning tree.
-    pub fn produces_mst(self) -> bool {
-        self != Algorithm::SpanningTree
-    }
-}
-
-impl fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            Algorithm::Randomized => "randomized",
-            Algorithm::Deterministic => "deterministic",
-            Algorithm::Logstar => "logstar",
-            Algorithm::Prim => "prim",
-            Algorithm::SpanningTree => "spanning-tree",
-            Algorithm::AlwaysAwake => "always-awake",
-        };
-        f.write_str(name)
-    }
+/// Parses an algorithm name against the registry.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn parse_algorithm(s: &str) -> Result<&'static AlgorithmSpec, String> {
+    registry::find(s)
+        .ok_or_else(|| format!("unknown algorithm '{s}' (expected {})", registry::names()))
 }
 
 /// Builds a graph from a spec string like `ring:64`, `random:48:0.1`,
@@ -129,24 +84,19 @@ pub fn build_graph(spec: &str, seed: u64) -> Result<WeightedGraph, String> {
 ///
 /// # Errors
 ///
-/// Propagates simulator errors as strings.
-pub fn run(alg: Algorithm, graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, String> {
-    let out = match alg {
-        Algorithm::Randomized => run_randomized(graph, seed),
-        Algorithm::Deterministic => run_deterministic(graph),
-        Algorithm::Logstar => run_logstar(graph),
-        Algorithm::Prim => run_prim(graph, 1),
-        Algorithm::SpanningTree => run_spanning_tree(graph, seed),
-        Algorithm::AlwaysAwake => run_always_awake(graph, seed),
-    };
-    out.map_err(|e| e.to_string())
+/// Propagates run failures — simulator errors, inconsistent MST output
+/// ([`mst_core::MstCollectError`]), disconnected input for algorithms that
+/// require connectivity — as readable strings (the binary maps them to a
+/// non-zero exit).
+pub fn run(alg: &AlgorithmSpec, graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, String> {
+    alg.run(graph, seed).map_err(|e| e.to_string())
 }
 
 /// Renders an outcome as a human-readable report.
-pub fn render_text(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> String {
+pub fn render_text(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome) -> String {
     let n = graph.node_count() as f64;
     format!(
-        "algorithm        : {alg}\n\
+        "algorithm        : {}\n\
          nodes / edges    : {} / {}\n\
          tree edges       : {}\n\
          total weight     : {}\n\
@@ -157,6 +107,7 @@ pub fn render_text(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> S
          run time         : {} rounds\n\
          awake x rounds   : {}\n\
          messages         : {} delivered, {} lost\n",
+        alg.name,
         graph.node_count(),
         graph.edge_count(),
         out.edges.len(),
@@ -173,13 +124,14 @@ pub fn render_text(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> S
 }
 
 /// Renders an outcome as a single JSON object (hand-rolled; all fields are
-/// numbers or strings, so no escaping is needed).
-pub fn render_json(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> String {
+/// numbers or registry names, so no escaping is needed).
+pub fn render_json(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome) -> String {
     format!(
-        "{{\"algorithm\":\"{alg}\",\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
+        "{{\"algorithm\":\"{}\",\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
          \"total_weight\":{},\"phases\":{},\"awake_max\":{},\"awake_avg\":{:.3},\
          \"rounds\":{},\"awake_round_product\":{},\"messages_delivered\":{},\
          \"messages_lost\":{}}}",
+        alg.name,
         graph.node_count(),
         graph.edge_count(),
         out.edges.len(),
@@ -200,8 +152,8 @@ pub fn render_json(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> S
 /// # Errors
 ///
 /// Returns a description of the mismatch.
-pub fn verify(alg: Algorithm, graph: &WeightedGraph, out: &MstOutcome) -> Result<(), String> {
-    if alg.produces_mst() {
+pub fn verify(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome) -> Result<(), String> {
+    if alg.produces_mst {
         let reference = mst::kruskal(graph);
         if out.edges != reference.edges {
             return Err(format!(
@@ -237,7 +189,7 @@ pub enum Command {
     /// `run`: execute and report.
     Run {
         /// Algorithm to run.
-        alg: Algorithm,
+        alg: &'static AlgorithmSpec,
         /// Graph spec.
         graph: String,
         /// Seed for weights and coins.
@@ -249,7 +201,7 @@ pub enum Command {
     /// mismatch.
     Verify {
         /// Algorithm to run.
-        alg: Algorithm,
+        alg: &'static AlgorithmSpec,
         /// Graph spec.
         graph: String,
         /// Seed for weights and coins.
@@ -262,8 +214,50 @@ pub enum Command {
         /// Seed for weights.
         seed: u64,
     },
+    /// `sweep`: run an (algorithm × n × seed) grid through the shared
+    /// harness, in parallel, and print aggregated metrics.
+    Sweep {
+        /// Algorithms to sweep.
+        algs: Vec<&'static AlgorithmSpec>,
+        /// Graph spec template containing the literal `{n}`.
+        template: String,
+        /// Family sizes substituted for `{n}`.
+        sizes: Vec<usize>,
+        /// Trial seeds (graph weights and algorithm coins).
+        seeds: Vec<u64>,
+        /// Worker threads (0 = all available cores).
+        threads: usize,
+        /// Emit raw per-trial JSON instead of the aggregated table.
+        json: bool,
+    },
     /// `help`: usage text.
     Help,
+}
+
+fn parse_usize_list(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|_| format!("'{x}' is not a valid {what}"))
+        })
+        .collect()
+}
+
+/// Parses a seed set: either `a..b` (half-open range) or a comma list.
+fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
+    if let Some((a, b)) = s.split_once("..") {
+        let lo: u64 = a.parse().map_err(|_| format!("'{a}' is not a seed"))?;
+        let hi: u64 = b.parse().map_err(|_| format!("'{b}' is not a seed"))?;
+        if lo >= hi {
+            return Err(format!("empty seed range '{s}'"));
+        }
+        Ok((lo..hi).collect())
+    } else {
+        s.split(',')
+            .map(|x| x.trim().parse().map_err(|_| format!("'{x}' is not a seed")))
+            .collect()
+    }
 }
 
 /// Parses raw arguments (without the program name).
@@ -277,72 +271,127 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
         Some(c) => c,
     };
-    let mut alg = None;
+    let mut algs: Vec<&'static AlgorithmSpec> = Vec::new();
     let mut graph = None;
     let mut seed = 0u64;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut sizes: Option<Vec<usize>> = None;
+    let mut threads = 0usize;
     let mut json = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--alg" => {
                 let v = it.next().ok_or("--alg needs a value")?;
-                alg = Some(Algorithm::parse(v)?);
+                for name in v.split(',') {
+                    algs.push(parse_algorithm(name.trim())?);
+                }
             }
             "--graph" => graph = Some(it.next().ok_or("--graph needs a value")?.clone()),
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("'{v}' is not a seed"))?;
             }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                seeds = Some(parse_seeds(v)?);
+            }
+            "--sizes" => {
+                let v = it.next().ok_or("--sizes needs a value")?;
+                sizes = Some(parse_usize_list(v, "size")?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("'{v}' is not a thread count"))?;
+            }
             "--json" => json = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     let graph = graph.ok_or("--graph is required")?;
+    let single_alg = |algs: &[&'static AlgorithmSpec]| -> Result<&'static AlgorithmSpec, String> {
+        match algs {
+            [one] => Ok(one),
+            [] => Err("--alg is required".to_string()),
+            _ => Err("this command takes exactly one --alg".to_string()),
+        }
+    };
     match cmd {
         "run" => Ok(Command::Run {
-            alg: alg.ok_or("--alg is required for 'run'")?,
+            alg: single_alg(&algs)?,
             graph,
             seed,
             json,
         }),
         "verify" => Ok(Command::Verify {
-            alg: alg.ok_or("--alg is required for 'verify'")?,
+            alg: single_alg(&algs)?,
             graph,
             seed,
         }),
         "info" => Ok(Command::Info { graph, seed }),
+        "sweep" => {
+            if algs.is_empty() {
+                return Err("--alg is required for 'sweep' (comma-separate for several)".into());
+            }
+            if !graph.contains("{n}") {
+                return Err(format!(
+                    "sweep graph template '{graph}' must contain the literal {{n}} \
+                     (e.g. ring:{{n}} or random:{{n}}:0.1)"
+                ));
+            }
+            Ok(Command::Sweep {
+                algs,
+                template: graph,
+                sizes: sizes.ok_or("--sizes is required for 'sweep'")?,
+                seeds: seeds.unwrap_or_else(|| vec![seed]),
+                threads,
+                json,
+            })
+        }
         other => Err(format!(
-            "unknown command '{other}' (run, verify, info, help)"
+            "unknown command '{other}' (run, verify, info, sweep, help)"
         )),
     }
 }
 
-/// The usage text.
-pub const USAGE: &str = "\
+/// The usage text, with the algorithm list generated from the registry.
+pub fn usage() -> String {
+    let mut algorithms = String::new();
+    for spec in registry::ALGORITHMS {
+        algorithms.push_str(&format!("    {:<15} {}\n", spec.name, spec.description));
+    }
+    format!(
+        "\
 sleeping-mst — distributed MST in the sleeping model (PODC 2022 reproduction)
 
 USAGE:
     sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
     sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
     sleeping-mst info   --graph <SPEC> [--seed S]
+    sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
+                        --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
 
 ALGORITHMS:
-    randomized      O(log n) awake, O(n log n) rounds (paper, Section 2.2)
-    deterministic   O(log n) awake, O(n N log n) rounds (paper, Section 2.3)
-    logstar         O(log n log* n) awake (paper, Corollary 1)
-    prim            sequential baseline, Θ(n) awake
-    spanning-tree   arbitrary spanning tree, O(log n) awake
-    always-awake    traditional-model GHS baseline, awake = rounds
-
+{algorithms}
 GRAPH SPECS:
     ring:N  path:N  star:N  complete:N  bintree:N  grid:RxC
     random:N:P  barbell:K:B  caterpillar:S:L
-";
+
+SWEEP:
+    The template is a graph spec with {{n}} in place of the size, e.g.
+    `--graph random:{{n}}:0.1 --sizes 32,64,128 --seeds 0..5`. Trials run
+    in parallel (one graph+run per (algorithm, n, seed) cell); results are
+    deterministic per seed and independent of --threads.
+"
+    )
+}
 
 /// Executes a parsed command; returns the process exit code and the text
 /// to print.
 pub fn execute(cmd: &Command) -> (i32, String) {
     match cmd {
-        Command::Help => (0, USAGE.to_string()),
+        Command::Help => (0, usage()),
         Command::Info { graph, seed } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
             Ok(g) => (
@@ -365,13 +414,13 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             json,
         } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
-            Ok(g) => match run(*alg, &g, *seed) {
+            Ok(g) => match run(alg, &g, *seed) {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(out) => {
                     let text = if *json {
-                        render_json(*alg, &g, &out) + "\n"
+                        render_json(alg, &g, &out) + "\n"
                     } else {
-                        render_text(*alg, &g, &out)
+                        render_text(alg, &g, &out)
                     };
                     (0, text)
                 }
@@ -379,14 +428,43 @@ pub fn execute(cmd: &Command) -> (i32, String) {
         },
         Command::Verify { alg, graph, seed } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
-            Ok(g) => match run(*alg, &g, *seed) {
+            Ok(g) => match run(alg, &g, *seed) {
                 Err(e) => (1, format!("error: {e}\n")),
-                Ok(out) => match verify(*alg, &g, &out) {
-                    Ok(()) => (0, format!("ok: {alg} output verified on {graph}\n")),
+                Ok(out) => match verify(alg, &g, &out) {
+                    Ok(()) => (0, format!("ok: {} output verified on {graph}\n", alg.name)),
                     Err(e) => (1, format!("MISMATCH: {e}\n")),
                 },
             },
         },
+        Command::Sweep {
+            algs,
+            template,
+            sizes,
+            seeds,
+            threads,
+            json,
+        } => {
+            let family =
+                |n: usize, seed: u64| build_graph(&template.replace("{n}", &n.to_string()), seed);
+            let mut sweep = bench::Sweep::new(&family)
+                .sizes(sizes.iter().copied())
+                .seeds(seeds.iter().copied())
+                .threads(*threads);
+            for &alg in algs {
+                sweep = sweep.algorithm(alg);
+            }
+            match sweep.run() {
+                Err(e) => (1, format!("error: {e}\n")),
+                Ok(results) => {
+                    let text = if *json {
+                        harness::render_json(&results) + "\n"
+                    } else {
+                        harness::render_cells(&harness::aggregate(&results))
+                    };
+                    (0, text)
+                }
+            }
+        }
     }
 }
 
@@ -414,11 +492,53 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Run {
-                alg: Algorithm::Randomized,
+                alg: registry::find("randomized").unwrap(),
                 graph: "ring:32".into(),
                 seed: 9,
                 json: true
             }
+        );
+    }
+
+    #[test]
+    fn parses_sweep_command() {
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--alg",
+            "randomized,always-awake",
+            "--graph",
+            "ring:{n}",
+            "--sizes",
+            "8,16",
+            "--seeds",
+            "0..3",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                algs: vec![
+                    registry::find("randomized").unwrap(),
+                    registry::find("always-awake").unwrap(),
+                ],
+                template: "ring:{n}".into(),
+                sizes: vec![8, 16],
+                seeds: vec![0, 1, 2],
+                threads: 2,
+                json: false,
+            }
+        );
+        assert!(parse_args(&args(&[
+            "sweep", "--alg", "prim", "--graph", "ring:8", "--sizes", "8"
+        ]))
+        .unwrap_err()
+        .contains("{n}"));
+        assert!(
+            parse_args(&args(&["sweep", "--alg", "prim", "--graph", "ring:{n}"]))
+                .unwrap_err()
+                .contains("--sizes")
         );
     }
 
@@ -463,27 +583,29 @@ mod tests {
     #[test]
     fn run_and_verify_all_algorithms() {
         let g = build_graph("random:14:0.2", 3).unwrap();
-        for alg in [
-            Algorithm::Randomized,
-            Algorithm::Deterministic,
-            Algorithm::Logstar,
-            Algorithm::Prim,
-            Algorithm::SpanningTree,
-            Algorithm::AlwaysAwake,
-        ] {
-            let out = run(alg, &g, 5).unwrap_or_else(|e| panic!("{alg}: {e}"));
-            verify(alg, &g, &out).unwrap_or_else(|e| panic!("{alg}: {e}"));
+        for alg in registry::ALGORITHMS {
+            let out = run(alg, &g, 5).unwrap_or_else(|e| panic!("{}: {e}", alg.name));
+            verify(alg, &g, &out).unwrap_or_else(|e| panic!("{}: {e}", alg.name));
         }
     }
 
     #[test]
     fn json_rendering_is_well_formed_enough() {
         let g = build_graph("ring:8", 1).unwrap();
-        let out = run(Algorithm::Randomized, &g, 1).unwrap();
-        let json = render_json(Algorithm::Randomized, &g, &out);
+        let alg = registry::find("randomized").unwrap();
+        let out = run(alg, &g, 1).unwrap();
+        let json = render_json(alg, &g, &out);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"awake_max\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn usage_lists_every_registry_algorithm() {
+        let text = usage();
+        for spec in registry::ALGORITHMS {
+            assert!(text.contains(spec.name), "usage is missing {}", spec.name);
+        }
     }
 
     #[test]
@@ -506,11 +628,52 @@ mod tests {
         assert_eq!(code, 2);
 
         let (code, text) = execute(&Command::Verify {
-            alg: Algorithm::Randomized,
+            alg: registry::find("randomized").unwrap(),
             graph: "ring:16".into(),
             seed: 3,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.starts_with("ok:"));
+    }
+
+    #[test]
+    fn execute_sweep_text_and_json() {
+        let cmd = Command::Sweep {
+            algs: vec![registry::find("randomized").unwrap()],
+            template: "ring:{n}".into(),
+            sizes: vec![8, 12],
+            seeds: vec![0, 1],
+            threads: 2,
+            json: false,
+        };
+        let (code, text) = execute(&cmd);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("| randomized | 8 | 2 |"), "{text}");
+
+        let cmd_json = Command::Sweep {
+            algs: vec![registry::find("randomized").unwrap()],
+            template: "ring:{n}".into(),
+            sizes: vec![8],
+            seeds: vec![0],
+            threads: 1,
+            json: true,
+        };
+        let (code, text) = execute(&cmd_json);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.trim_end().starts_with('[') && text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn disconnected_prim_run_maps_to_nonzero_exit() {
+        // barbell is connected; craft a template the builder accepts but
+        // prim rejects is not possible via specs (all specs are connected),
+        // so exercise the error path through the library call instead.
+        let g = graphlib::GraphBuilder::new(4)
+            .edge(0, 1, 1)
+            .edge(2, 3, 2)
+            .build()
+            .unwrap();
+        let err = run(registry::find("prim").unwrap(), &g, 0).unwrap_err();
+        assert!(err.contains("connected"), "{err}");
     }
 }

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so the workspace patches
+//! `criterion` to this vendored shim (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It implements the subset the workspace's benches use —
+//! groups, `bench_function` / `bench_with_input`, `sample_size`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! as a plain wall-clock harness: each benchmark runs `sample_size`
+//! samples and reports min / median / mean per iteration. There are no
+//! statistical comparisons, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque re-export of `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count: sample_count.max(1),
+        }
+    }
+
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        while self.samples.len() < self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: Option<&str>, id: &str, samples: &mut [Duration]) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}   ({} samples)",
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(Some(&self.name), &id.id, &mut b.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &mut b.samples);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op hook).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            20
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        report(None, id, &mut b.samples);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for `cargo bench` binaries (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards flags like `--bench`; this harness has
+            // no options, so arguments are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run_and_report() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter("4x8").to_string(), "4x8");
+    }
+}
