@@ -1,0 +1,59 @@
+//! Criterion benches of the executor hot path: pooled-scratch runs
+//! (outbox/arena/stats buffers reused across iterations, the sweep
+//! harness's configuration) against allocate-fresh runs, reported as
+//! messages-per-second throughput.
+//!
+//! `cargo bench --bench engine_hotpath` — the CI `bench-baseline` step
+//! runs exactly this in quick mode alongside `sleeping-mst sweep
+//! --bench-out BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphlib::generators;
+use mst_core::{registry, MstScratch};
+
+/// The randomized-panel graph family of `table1` (sparse G(n, 0.05)).
+fn panel_graph(n: usize) -> graphlib::WeightedGraph {
+    generators::random_connected(n, 0.05, n as u64).unwrap()
+}
+
+fn bench_pooled_vs_fresh(c: &mut Criterion) {
+    let spec = registry::find("randomized").unwrap();
+    let mut group = c.benchmark_group("engine_hotpath");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let g = panel_graph(n);
+        // Message traffic is deterministic in (graph, seed), so one probe
+        // run fixes the per-iteration element count for the rate report.
+        let probe = spec.run(&g, 1).unwrap();
+        group.throughput(Throughput::Elements(probe.stats.messages_delivered));
+
+        group.bench_with_input(BenchmarkId::new("pooled", n), &g, |b, g| {
+            let mut scratch = MstScratch::new();
+            b.iter(|| spec.run_with_scratch(g, 1, &mut scratch).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fresh", n), &g, |b, g| {
+            b.iter(|| spec.run(g, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_off_accounting(c: &mut Criterion) {
+    // The always-awake baseline maximizes delivery volume per round —
+    // the configuration most sensitive to per-message accounting costs.
+    let spec = registry::find("always-awake").unwrap();
+    let mut group = c.benchmark_group("engine_hotpath_dense");
+    group.sample_size(10);
+    let n = 128usize;
+    let g = panel_graph(n);
+    let probe = spec.run(&g, 1).unwrap();
+    group.throughput(Throughput::Elements(probe.stats.messages_delivered));
+    group.bench_with_input(BenchmarkId::new("pooled", n), &g, |b, g| {
+        let mut scratch = MstScratch::new();
+        b.iter(|| spec.run_with_scratch(g, 1, &mut scratch).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pooled_vs_fresh, bench_trace_off_accounting);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use std::sync::Mutex;
 
 use graphlib::WeightedGraph;
 use mst_core::registry::AlgorithmSpec;
-use mst_core::{MstOutcome, RunError};
+use mst_core::{MstOutcome, MstScratch, RunError};
 use netsim::RunStats;
 
 /// How one sweep algorithm executes a trial.
@@ -188,13 +188,19 @@ impl<'a> Sweep<'a> {
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(ai, n, seed)) = trials.get(i) else {
-                        break;
-                    };
-                    let outcome = self.run_trial(ai, n, seed);
-                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                scope.spawn(|| {
+                    // One executor scratch per worker: consecutive trials
+                    // on this thread reuse the wake queue, delivery arena,
+                    // and stats buffers instead of reallocating them.
+                    let mut scratch = MstScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(ai, n, seed)) = trials.get(i) else {
+                            break;
+                        };
+                        let outcome = self.run_trial(ai, n, seed, &mut scratch);
+                        *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                    }
                 });
             }
         });
@@ -209,12 +215,18 @@ impl<'a> Sweep<'a> {
             .collect()
     }
 
-    fn run_trial(&self, ai: usize, n: usize, seed: u64) -> Result<TrialResult, String> {
+    fn run_trial(
+        &self,
+        ai: usize,
+        n: usize,
+        seed: u64,
+        scratch: &mut MstScratch,
+    ) -> Result<TrialResult, String> {
         let algo = &self.algos[ai];
         let graph =
             (self.graph)(n, seed).map_err(|e| format!("graph family at n={n} seed={seed}: {e}"))?;
         let out = match algo.runner {
-            Runner::Registry(spec) => spec.run(&graph, seed),
+            Runner::Registry(spec) => spec.run_with_scratch(&graph, seed, scratch),
             Runner::Custom(f) => f(&graph, seed),
         }
         .map_err(|e| format!("{} on n={n} seed={seed}: {e}", algo.name))?;

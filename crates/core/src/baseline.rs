@@ -12,7 +12,7 @@
 //! experiments: GHS-style MST (our randomized variant) with the sleeping
 //! optimization disabled.
 
-use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 
 use crate::randomized::RandomizedMst;
 
@@ -56,11 +56,9 @@ impl<P: Protocol> Protocol for AlwaysAwake<P> {
         }
     }
 
-    fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<P::Msg>> {
+    fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<P::Msg>) {
         if self.inner_wake == Some(round) {
-            self.inner.send(ctx, round)
-        } else {
-            Vec::new()
+            self.inner.send(ctx, round, outbox);
         }
     }
 

@@ -45,7 +45,7 @@
 use std::collections::BTreeMap;
 
 use graphlib::Port;
-use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 
 use crate::fragment::{FragmentCore, Step};
 use crate::ldt::LdtView;
@@ -801,14 +801,12 @@ impl Protocol for DeterministicMst {
         self.advance(0, 0, None, ctx.degree())
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<MstMsg>> {
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<MstMsg>) {
         let (_, block, _, step) = self.next_step.expect("send only at planned wakes");
-        let children = |core: &FragmentCore| core.children.iter().copied().collect::<Vec<Port>>();
 
         if let Some((triple, sub)) = self.cv_triple_of(block) {
             let t = cv_iterations(self.id_bound);
-            let gports: Vec<Port> = self.gprime_ports().iter().map(|&(p, _)| p).collect();
-            return match (sub, step) {
+            match (sub, step) {
                 // --- prep triple: has-parent dissemination ---
                 (1, Step::UpSend) if triple == 0 => {
                     let own = if self.moe_port.is_some() {
@@ -816,10 +814,10 @@ impl Protocol for DeterministicMst {
                     } else {
                         None
                     };
-                    vec![Envelope::new(
+                    outbox.push(
                         self.core.parent.expect("UpSend implies a parent"),
                         MstMsg::UpHasParent(own.or(self.cv_flag_agg)),
-                    )]
+                    );
                 }
                 (2, Step::DownSend) if triple == 0 => {
                     if self.core.is_root() {
@@ -830,27 +828,25 @@ impl Protocol for DeterministicMst {
                         };
                         self.cv_has_parent = own.or(self.cv_flag_agg).unwrap_or(false);
                     }
-                    children(&self.core)
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::DownHasParent(self.cv_has_parent)))
-                        .collect()
+                    for &p in &self.core.children {
+                        outbox.push(p, MstMsg::DownHasParent(self.cv_has_parent));
+                    }
                 }
 
                 // --- CV iteration triples ---
                 (0, Step::Side) if (1..=t).contains(&triple) => {
                     let color = self.cv_color_for_triple(triple);
-                    gports
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::SideColorWord(color)))
-                        .collect()
+                    for (p, _) in self.gprime_ports() {
+                        outbox.push(p, MstMsg::SideColorWord(color));
+                    }
                 }
                 (1, Step::UpSend) if (1..=t).contains(&triple) => {
                     let own = self.cv_recv.and_then(|(k, c)| (k == triple).then_some(c));
                     let agg = own.or(self.cv_agg.and_then(|(k, c)| (k == triple).then_some(c)));
-                    vec![Envelope::new(
+                    outbox.push(
                         self.core.parent.expect("UpSend implies a parent"),
                         MstMsg::UpColorWord(agg),
-                    )]
+                    );
                 }
                 (2, Step::DownSend) if (1..=t).contains(&triple) => {
                     if self.core.is_root() {
@@ -861,27 +857,25 @@ impl Protocol for DeterministicMst {
                         self.apply_cv_update(triple, parent);
                     }
                     let (_, parent) = self.cv_bcast.expect("broadcast value fixed upstream");
-                    children(&self.core)
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::DownColorWord(parent)))
-                        .collect()
+                    for &p in &self.core.children {
+                        outbox.push(p, MstMsg::DownColorWord(parent));
+                    }
                 }
 
                 // --- class-exchange triple ---
                 (0, Step::Side) if triple == t + 1 => {
                     let class = self.cv_class();
-                    gports
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::SideColorWord(class)))
-                        .collect()
+                    for (p, _) in self.gprime_ports() {
+                        outbox.push(p, MstMsg::SideColorWord(class));
+                    }
                 }
                 (1, Step::UpSend) if triple == t + 1 => {
                     let own = self.mask_recv.and_then(|(k, m)| (k == triple).then_some(m));
                     let agg = self.mask_agg.and_then(|(k, m)| (k == triple).then_some(m));
-                    vec![Envelope::new(
+                    outbox.push(
                         self.core.parent.expect("UpSend implies a parent"),
                         MstMsg::UpMask(own.unwrap_or(0) | agg.unwrap_or(0)),
-                    )]
+                    );
                 }
                 (2, Step::DownSend) if triple == t + 1 => {
                     if self.core.is_root() {
@@ -889,10 +883,9 @@ impl Protocol for DeterministicMst {
                         let agg = self.mask_agg.and_then(|(k, m)| (k == triple).then_some(m));
                         self.nbr_cv_mask = own.unwrap_or(0) | agg.unwrap_or(0);
                     }
-                    children(&self.core)
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::DownMask(self.nbr_cv_mask)))
-                        .collect()
+                    for &p in &self.core.children {
+                        outbox.push(p, MstMsg::DownMask(self.nbr_cv_mask));
+                    }
                 }
 
                 // --- recolor stages ---
@@ -900,21 +893,19 @@ impl Protocol for DeterministicMst {
                     let c = triple - t - 2;
                     if self.cv_class() == c {
                         let f = self.fix_final_color();
-                        gports
-                            .into_iter()
-                            .map(|p| Envelope::new(p, MstMsg::SideColor(f)))
-                            .collect()
-                    } else {
-                        Vec::new() // pure listener
+                        for (p, _) in self.gprime_ports() {
+                            outbox.push(p, MstMsg::SideColor(f));
+                        }
                     }
+                    // else: pure listener
                 }
                 (1, Step::UpSend) => {
                     let own = self.mask_recv.and_then(|(k, m)| (k == triple).then_some(m));
                     let agg = self.mask_agg.and_then(|(k, m)| (k == triple).then_some(m));
-                    vec![Envelope::new(
+                    outbox.push(
                         self.core.parent.expect("UpSend implies a parent"),
                         MstMsg::UpMask(own.unwrap_or(0) | agg.unwrap_or(0)),
-                    )]
+                    );
                 }
                 (2, Step::DownSend) => {
                     let c = triple - t - 2;
@@ -925,10 +916,9 @@ impl Protocol for DeterministicMst {
                         } else {
                             self.final_color.expect("received before forwarding")
                         };
-                        children(&self.core)
-                            .into_iter()
-                            .map(|p| Envelope::new(p, MstMsg::DownColor(f)))
-                            .collect()
+                        for &p in &self.core.children {
+                            outbox.push(p, MstMsg::DownColor(f));
+                        }
                     } else {
                         // Listening fragment: broadcast the stage's mask.
                         if self.core.is_root() {
@@ -939,33 +929,32 @@ impl Protocol for DeterministicMst {
                             self.mask_bcast = Some((triple, mask));
                         }
                         let (_, mask) = self.mask_bcast.expect("mask fixed upstream");
-                        children(&self.core)
-                            .into_iter()
-                            .map(|p| Envelope::new(p, MstMsg::DownMask(mask)))
-                            .collect()
+                        for &p in &self.core.children {
+                            outbox.push(p, MstMsg::DownMask(mask));
+                        }
                     }
                 }
-                _ => Vec::new(),
-            };
+                _ => {}
+            }
+            return;
         }
 
         if let Some((stage, sub)) = self.stage_of(block) {
-            return match (sub, step) {
+            match (sub, step) {
                 (0, Step::Side) if self.core.frag == stage => {
                     let color = self.my_color();
                     self.nbr_colors.insert(stage, color); // cache own color
-                    self.gprime_ports()
-                        .into_iter()
-                        .map(|(p, _)| Envelope::new(p, MstMsg::SideColor(color)))
-                        .collect()
+                    for (p, _) in self.gprime_ports() {
+                        outbox.push(p, MstMsg::SideColor(color));
+                    }
                 }
                 (1, Step::UpSend) => {
                     let own = self.stage_recv.and_then(|(s, c)| (s == stage).then_some(c));
                     let agg = own.or(self.stage_agg.and_then(|(s, c)| (s == stage).then_some(c)));
-                    vec![Envelope::new(
+                    outbox.push(
                         self.core.parent.expect("UpSend implies a parent"),
                         MstMsg::UpColor(agg),
-                    )]
+                    );
                 }
                 (2, Step::DownSend) => {
                     if self.core.is_root() {
@@ -979,29 +968,28 @@ impl Protocol for DeterministicMst {
                         .nbr_colors
                         .get(&stage)
                         .expect("broadcast color fixed at the root");
-                    children(&self.core)
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::DownColor(color)))
-                        .collect()
+                    for &p in &self.core.children {
+                        outbox.push(p, MstMsg::DownColor(color));
+                    }
                 }
-                _ => Vec::new(),
-            };
+                _ => {}
+            }
+            return;
         }
 
         match (block, step) {
-            (FRAG_ID_EXCHANGE, Step::Side) => ctx
-                .ports()
-                .map(|p| {
-                    Envelope::new(
+            (FRAG_ID_EXCHANGE, Step::Side) => {
+                for p in ctx.ports() {
+                    outbox.push(
                         p,
                         MstMsg::FragInfo {
                             frag: self.core.frag,
                             level: self.core.level,
                             attach: false,
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
 
             (UPCAST_MOE, Step::UpSend) => {
                 let local = self.core.local_moe(ctx).map(|(w, _)| w);
@@ -1009,10 +997,10 @@ impl Protocol for DeterministicMst {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
-                vec![Envelope::new(
+                outbox.push(
                     self.core.parent.expect("UpSend implies a parent"),
                     MstMsg::UpMoe(agg),
-                )]
+                );
             }
 
             (BCAST_MOE, Step::DownSend) => {
@@ -1031,65 +1019,58 @@ impl Protocol for DeterministicMst {
                         }
                     }
                 }
-                children(&self.core)
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::DownMoe(self.frag_moe)))
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(p, MstMsg::DownMoe(self.frag_moe));
+                }
             }
 
-            (MOE_FLAG_EXCHANGE, Step::Side) => ctx
-                .ports()
-                .map(|p| {
-                    Envelope::new(
+            (MOE_FLAG_EXCHANGE, Step::Side) => {
+                for p in ctx.ports() {
+                    outbox.push(
                         p,
                         MstMsg::SideMoeFlag {
                             over_moe: self.moe_port == Some(p),
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
 
-            (UP_COUNT, Step::UpSend) => vec![Envelope::new(
+            (UP_COUNT, Step::UpSend) => outbox.push(
                 self.core.parent.expect("UpSend implies a parent"),
                 MstMsg::UpCount(self.subtree_count()),
-            )],
+            ),
 
             (TOKEN_DOWN, Step::DownSend) => {
                 if self.core.is_root() {
                     let tokens = self.config.token_cap.min(self.subtree_count());
                     self.allocate_tokens(tokens);
                 }
-                children(&self.core)
-                    .into_iter()
-                    .map(|p| {
-                        Envelope::new(
-                            p,
-                            MstMsg::DownTokens(self.child_tokens.get(&p).copied().unwrap_or(0)),
-                        )
-                    })
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(
+                        p,
+                        MstMsg::DownTokens(self.child_tokens.get(&p).copied().unwrap_or(0)),
+                    );
+                }
             }
 
-            (VALID_NOTIFY, Step::Side) => self
-                .in_moe_ports
-                .iter()
-                .map(|&p| {
-                    Envelope::new(
+            (VALID_NOTIFY, Step::Side) => {
+                for &p in &self.in_moe_ports {
+                    outbox.push(
                         p,
                         MstMsg::SideValid {
                             valid: self.valid_in_ports.contains(&p),
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
 
             (UP_NBRS, Step::UpSend) => {
                 let mut set = self.own_nbr_entries();
                 set.union(&self.agg_nbrs);
-                vec![Envelope::new(
+                outbox.push(
                     self.core.parent.expect("UpSend implies a parent"),
                     MstMsg::UpNbrs(set),
-                )]
+                );
             }
 
             (BCAST_NBRS, Step::DownSend) => {
@@ -1098,10 +1079,9 @@ impl Protocol for DeterministicMst {
                     set.union(&self.agg_nbrs);
                     self.nbr_info = set;
                 }
-                children(&self.core)
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::DownNbrs(self.nbr_info.clone())))
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(p, MstMsg::DownNbrs(self.nbr_info.clone()));
+                }
             }
 
             (b, Step::Side) if b == self.merge_info1() || b == self.merge_info2() => {
@@ -1110,42 +1090,37 @@ impl Protocol for DeterministicMst {
                 } else {
                     self.merging2
                 };
-                ctx.ports()
-                    .map(|p| {
-                        let attach = active && self.attach_port == Some(p);
-                        Envelope::new(
-                            p,
-                            MstMsg::FragInfo {
-                                frag: self.core.frag,
-                                level: self.core.level,
-                                attach,
-                            },
-                        )
-                    })
-                    .collect()
+                for p in ctx.ports() {
+                    let attach = active && self.attach_port == Some(p);
+                    outbox.push(
+                        p,
+                        MstMsg::FragInfo {
+                            frag: self.core.frag,
+                            level: self.core.level,
+                            attach,
+                        },
+                    );
+                }
             }
 
             (b, Step::UpSend) if b == self.merge_up1() || b == self.merge_up2() => {
-                match self.core.new_vals {
-                    Some((level, frag)) => vec![Envelope::new(
+                if let Some((level, frag)) = self.core.new_vals {
+                    outbox.push(
                         self.core.parent.expect("UpSend implies a parent"),
                         MstMsg::MergeVals { level, frag },
-                    )],
-                    None => Vec::new(),
+                    );
                 }
             }
 
             (b, Step::DownSend) if b == self.merge_down1() || b == self.merge_down2() => {
-                match self.core.new_vals {
-                    Some((level, frag)) => children(&self.core)
-                        .into_iter()
-                        .map(|p| Envelope::new(p, MstMsg::MergeVals { level, frag }))
-                        .collect(),
-                    None => Vec::new(),
+                if let Some((level, frag)) = self.core.new_vals {
+                    for &p in &self.core.children {
+                        outbox.push(p, MstMsg::MergeVals { level, frag });
+                    }
                 }
             }
 
-            _ => Vec::new(),
+            _ => {}
         }
     }
 

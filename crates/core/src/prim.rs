@@ -19,7 +19,7 @@
 //! needed because the absorbed fragment is always a single node).
 
 use graphlib::Port;
-use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 
 use crate::fragment::{FragmentCore, Step};
 use crate::ldt::LdtView;
@@ -167,33 +167,31 @@ impl Protocol for PrimMst {
         self.advance(0, 0, None, ctx.degree())
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<MstMsg>> {
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<MstMsg>) {
         let (_, block, _, step) = self.next_step.expect("send only at planned wakes");
-        let children = |core: &FragmentCore| core.children.iter().copied().collect::<Vec<Port>>();
         match (block, step) {
-            (FRAG_ID_EXCHANGE, Step::Side) => ctx
-                .ports()
-                .map(|p| {
-                    Envelope::new(
+            (FRAG_ID_EXCHANGE, Step::Side) => {
+                for p in ctx.ports() {
+                    outbox.push(
                         p,
                         MstMsg::FragInfo {
                             frag: self.core.frag,
                             level: self.core.level,
                             attach: false,
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
             (UPCAST_MOE, Step::UpSend) => {
                 let local = self.core.local_moe(ctx).map(|(w, _)| w);
                 let agg = match (self.agg_moe, local) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
-                vec![Envelope::new(
+                outbox.push(
                     self.core.parent.expect("UpSend implies a parent"),
                     MstMsg::UpMoe(agg),
-                )]
+                );
             }
             (BCAST_MOE, Step::DownSend) => {
                 if self.core.is_root() {
@@ -211,26 +209,24 @@ impl Protocol for PrimMst {
                         }
                     }
                 }
-                children(&self.core)
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::DownMoe(self.frag_moe)))
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(p, MstMsg::DownMoe(self.frag_moe));
+                }
             }
-            (MERGE_INFO, Step::Side) => ctx
-                .ports()
-                .map(|p| {
+            (MERGE_INFO, Step::Side) => {
+                for p in ctx.ports() {
                     let attach = self.in_leader_fragment() && self.moe_port == Some(p);
-                    Envelope::new(
+                    outbox.push(
                         p,
                         MstMsg::FragInfo {
                             frag: self.core.frag,
                             level: self.core.level,
                             attach,
                         },
-                    )
-                })
-                .collect(),
-            _ => Vec::new(),
+                    );
+                }
+            }
+            _ => {}
         }
     }
 

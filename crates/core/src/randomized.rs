@@ -24,7 +24,7 @@
 //! round bounds.
 
 use graphlib::Port;
-use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -308,7 +308,7 @@ impl Protocol for RandomizedMst {
         self.advance(0, 0, None, ctx.degree())
     }
 
-    fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<MstMsg>> {
+    fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<MstMsg>) {
         let (_, block, _, step) = self.next_step.expect("send only at planned wakes");
         debug_assert_eq!(
             self.timeline.round(Position {
@@ -318,30 +318,28 @@ impl Protocol for RandomizedMst {
             }),
             round
         );
-        let children = || self.core.children.iter().copied().collect::<Vec<Port>>();
 
         match (block, step) {
-            (FRAG_ID_EXCHANGE, Step::Side) => ctx
-                .ports()
-                .map(|p| {
-                    Envelope::new(
+            (FRAG_ID_EXCHANGE, Step::Side) => {
+                for p in ctx.ports() {
+                    outbox.push(
                         p,
                         MstMsg::FragInfo {
                             frag: self.core.frag,
                             level: self.core.level,
                             attach: false,
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
 
             (UPCAST_MOE, Step::UpSend) => {
                 let local = self.local_candidate(ctx).map(|(w, _)| w);
                 let agg = min_opt(self.agg_moe, local);
-                vec![Envelope::new(
+                outbox.push(
                     self.core.parent.expect("UpSend implies a parent"),
                     MstMsg::UpMoe(agg),
-                )]
+                );
             }
 
             (BCAST_MOE, Step::DownSend) => {
@@ -358,10 +356,9 @@ impl Protocol for RandomizedMst {
                         }
                     }
                 }
-                children()
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::DownMoe(self.frag_moe)))
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(p, MstMsg::DownMoe(self.frag_moe));
+                }
             }
 
             (COIN_BCAST, Step::DownSend) => {
@@ -369,24 +366,22 @@ impl Protocol for RandomizedMst {
                     self.coin_heads = !self.config.prune_with_coins
                         || self.rng.gen_bool(self.config.heads_probability);
                 }
-                children()
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::DownCoin(self.coin_heads)))
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(p, MstMsg::DownCoin(self.coin_heads));
+                }
             }
 
-            (COIN_EXCHANGE, Step::Side) => ctx
-                .ports()
-                .map(|p| {
-                    Envelope::new(
+            (COIN_EXCHANGE, Step::Side) => {
+                for p in ctx.ports() {
+                    outbox.push(
                         p,
                         MstMsg::SideCoin {
                             heads: self.coin_heads,
                             over_moe: self.moe_port == Some(p),
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
 
             (UPCAST_VALIDITY, Step::UpSend) => {
                 let own = if self.moe_port.is_some() {
@@ -394,55 +389,54 @@ impl Protocol for RandomizedMst {
                 } else {
                     None
                 };
-                vec![Envelope::new(
+                outbox.push(
                     self.core.parent.expect("UpSend implies a parent"),
                     MstMsg::UpValid(own.or(self.agg_valid)),
-                )]
+                );
             }
 
             (BCAST_VALIDITY, Step::DownSend) => {
                 if self.core.is_root() {
                     self.merging = self.root_validity();
                 }
-                children()
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::DownMerging(self.merging)))
-                    .collect()
+                for &p in &self.core.children {
+                    outbox.push(p, MstMsg::DownMerging(self.merging));
+                }
             }
 
-            (MERGE_INFO, Step::Side) => ctx
-                .ports()
-                .map(|p| {
+            (MERGE_INFO, Step::Side) => {
+                for p in ctx.ports() {
                     let attach = self.merging && self.moe_port == Some(p);
-                    Envelope::new(
+                    outbox.push(
                         p,
                         MstMsg::FragInfo {
                             frag: self.core.frag,
                             level: self.core.level,
                             attach,
                         },
-                    )
-                })
-                .collect(),
+                    );
+                }
+            }
 
-            (MERGE_UP, Step::UpSend) => match self.core.new_vals {
-                Some((level, frag)) => vec![Envelope::new(
-                    self.core.parent.expect("UpSend implies a parent"),
-                    MstMsg::MergeVals { level, frag },
-                )],
-                None => Vec::new(),
-            },
+            (MERGE_UP, Step::UpSend) => {
+                if let Some((level, frag)) = self.core.new_vals {
+                    outbox.push(
+                        self.core.parent.expect("UpSend implies a parent"),
+                        MstMsg::MergeVals { level, frag },
+                    );
+                }
+            }
 
-            (MERGE_DOWN, Step::DownSend) => match self.core.new_vals {
-                Some((level, frag)) => children()
-                    .into_iter()
-                    .map(|p| Envelope::new(p, MstMsg::MergeVals { level, frag }))
-                    .collect(),
-                None => Vec::new(),
-            },
+            (MERGE_DOWN, Step::DownSend) => {
+                if let Some((level, frag)) = self.core.new_vals {
+                    for &p in &self.core.children {
+                        outbox.push(p, MstMsg::MergeVals { level, frag });
+                    }
+                }
+            }
 
             // Pure listening steps send nothing.
-            _ => Vec::new(),
+            _ => {}
         }
     }
 

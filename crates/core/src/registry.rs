@@ -18,15 +18,17 @@
 
 use graphlib::WeightedGraph;
 
+use crate::deterministic::DeterministicConfig;
+use crate::randomized::RandomizedConfig;
 use crate::runner::{
-    run_always_awake, run_deterministic, run_logstar, run_prim, run_randomized, run_spanning_tree,
-    MstOutcome, RunError,
+    run_always_awake_scratch, run_deterministic_scratch, run_logstar_scratch, run_prim_scratch,
+    run_randomized_scratch, run_spanning_tree_scratch, MstOutcome, MstScratch, RunError,
 };
 
 /// One registered algorithm: metadata plus a uniform entry point.
 ///
-/// `runner` takes `(graph, seed)`; algorithms that are deterministic
-/// simply ignore the seed (see [`AlgorithmSpec::needs_seed`]).
+/// `runner` takes `(graph, seed, scratch)`; algorithms that are
+/// deterministic simply ignore the seed (see [`AlgorithmSpec::needs_seed`]).
 #[derive(Clone, Copy)]
 pub struct AlgorithmSpec {
     /// Stable name used by the CLI (`--alg`), sweeps, and reports.
@@ -42,7 +44,7 @@ pub struct AlgorithmSpec {
     /// `true` if the output is the (unique) minimum spanning tree/forest
     /// rather than just some spanning tree.
     pub produces_mst: bool,
-    runner: fn(&WeightedGraph, u64) -> Result<MstOutcome, RunError>,
+    runner: fn(&WeightedGraph, u64, &mut MstScratch) -> Result<MstOutcome, RunError>,
 }
 
 /// Specs are equal iff they are the same registry entry (names are
@@ -69,11 +71,32 @@ impl std::fmt::Debug for AlgorithmSpec {
 impl AlgorithmSpec {
     /// Runs the algorithm on `graph` with `seed`.
     ///
+    /// Allocates a fresh [`MstScratch`] for the run; batch callers should
+    /// use [`AlgorithmSpec::run_with_scratch`] to amortize that.
+    ///
     /// # Errors
     ///
     /// Propagates the runner's [`RunError`].
     pub fn run(&self, graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
-        (self.runner)(graph, seed)
+        self.run_with_scratch(graph, seed, &mut MstScratch::new())
+    }
+
+    /// Runs the algorithm reusing a caller-provided executor scratch.
+    ///
+    /// The scratch is reset internally, so any [`MstScratch`] can be
+    /// threaded through consecutive runs of *different* algorithms and
+    /// graphs; keep one per worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runner's [`RunError`].
+    pub fn run_with_scratch(
+        &self,
+        graph: &WeightedGraph,
+        seed: u64,
+        scratch: &mut MstScratch,
+    ) -> Result<MstOutcome, RunError> {
+        (self.runner)(graph, seed, scratch)
     }
 }
 
@@ -85,7 +108,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: true,
         needs_connected: false,
         produces_mst: true,
-        runner: run_randomized,
+        runner: |g, seed, scratch| {
+            run_randomized_scratch(g, seed, RandomizedConfig::default(), scratch)
+        },
     },
     AlgorithmSpec {
         name: "deterministic",
@@ -93,7 +118,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: false,
         needs_connected: false,
         produces_mst: true,
-        runner: |g, _seed| run_deterministic(g),
+        runner: |g, _seed, scratch| {
+            run_deterministic_scratch(g, DeterministicConfig::default(), scratch)
+        },
     },
     AlgorithmSpec {
         name: "logstar",
@@ -101,7 +128,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: false,
         needs_connected: false,
         produces_mst: true,
-        runner: |g, _seed| run_logstar(g),
+        runner: |g, _seed, scratch| run_logstar_scratch(g, scratch),
     },
     AlgorithmSpec {
         name: "prim",
@@ -109,7 +136,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: false,
         needs_connected: true,
         produces_mst: true,
-        runner: |g, _seed| run_prim(g, 1),
+        runner: |g, _seed, scratch| run_prim_scratch(g, 1, scratch),
     },
     AlgorithmSpec {
         name: "spanning-tree",
@@ -117,7 +144,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: true,
         needs_connected: false,
         produces_mst: false,
-        runner: run_spanning_tree,
+        runner: run_spanning_tree_scratch,
     },
     AlgorithmSpec {
         name: "always-awake",
@@ -125,7 +152,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: true,
         needs_connected: false,
         produces_mst: true,
-        runner: run_always_awake,
+        runner: run_always_awake_scratch,
     },
 ];
 
@@ -176,6 +203,22 @@ mod tests {
             } else {
                 assert_eq!(out.edges.len(), 13, "{}", spec.name);
             }
+        }
+    }
+
+    #[test]
+    fn one_scratch_reused_across_all_algorithms_matches_fresh_runs() {
+        // A single pool threaded through all six algorithms (different
+        // message choreographies, graph reused) must leave no residue:
+        // every pooled run equals the allocate-fresh run bit for bit.
+        let g = generators::random_connected(14, 0.25, 6).unwrap();
+        let mut scratch = MstScratch::new();
+        for spec in ALGORITHMS {
+            let pooled = spec.run_with_scratch(&g, 3, &mut scratch).unwrap();
+            let fresh = spec.run(&g, 3).unwrap();
+            assert_eq!(pooled.edges, fresh.edges, "{}", spec.name);
+            assert_eq!(pooled.stats, fresh.stats, "{}", spec.name);
+            assert_eq!(pooled.phases, fresh.phases, "{}", spec.name);
         }
     }
 

@@ -9,11 +9,22 @@
 use std::fmt;
 
 use graphlib::{EdgeId, NodeId, Port, WeightedGraph};
-use netsim::{NodeCtx, Protocol, RunStats, SimConfig, SimError, Simulator};
+use netsim::{ExecutorScratch, NodeCtx, Protocol, RunStats, SimConfig, SimError, Simulator};
 
 use crate::baseline::ghs_always_awake;
 use crate::deterministic::{DeterministicConfig, DeterministicMst};
+use crate::msg::MstMsg;
 use crate::randomized::{RandomizedConfig, RandomizedMst};
+
+/// Reusable executor scratch for every registry algorithm.
+///
+/// All six algorithms exchange [`MstMsg`] payloads, so one pool serves
+/// them all: allocate once per worker thread, pass it to the
+/// `run_*_scratch` entry points (or
+/// [`AlgorithmSpec::run_with_scratch`](crate::registry::AlgorithmSpec::run_with_scratch)),
+/// and consecutive runs reuse the executor's wake queue, delivery arena,
+/// and stats buffers instead of reallocating them per run.
+pub type MstScratch = ExecutorScratch<MstMsg>;
 
 /// The result of one distributed MST execution.
 #[derive(Debug, Clone)]
@@ -146,20 +157,22 @@ pub fn collect_mst_edges<P>(
         .collect())
 }
 
-/// The one generic execution path all `run_*` wrappers share: simulate,
-/// collect the marked ports into an edge set, take the phase maximum.
+/// The one generic execution path all `run_*` wrappers share: simulate
+/// (reusing the caller's executor scratch), collect the marked ports into
+/// an edge set, take the phase maximum.
 fn run_and_collect<P, F>(
     graph: &WeightedGraph,
     config: SimConfig,
     factory: F,
     ports_of: impl Fn(&P) -> &[bool],
     phases_of: impl Fn(&P) -> u64,
+    scratch: &mut ExecutorScratch<P::Msg>,
 ) -> Result<MstOutcome, RunError>
 where
     P: Protocol,
     F: FnMut(&NodeCtx) -> P,
 {
-    let out = Simulator::new(graph, config).run(factory)?;
+    let out = Simulator::new(graph, config).run_with_scratch(scratch, factory)?;
     let edges = collect_mst_edges(graph, &out.states, &ports_of)?;
     let phases = out.states.iter().map(phases_of).max().unwrap_or(0);
     Ok(MstOutcome {
@@ -190,12 +203,32 @@ pub fn run_randomized_with(
     seed: u64,
     config: RandomizedConfig,
 ) -> Result<MstOutcome, RunError> {
+    run_randomized_scratch(graph, seed, config, &mut MstScratch::new())
+}
+
+/// Runs `Randomized-MST` reusing a caller-provided executor scratch.
+///
+/// Equivalent to [`run_randomized_with`] but without the per-run executor
+/// allocations: batch callers (sweeps, benches) keep one [`MstScratch`]
+/// per worker thread and thread it through every run.
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_randomized_scratch(
+    graph: &WeightedGraph,
+    seed: u64,
+    config: RandomizedConfig,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     run_and_collect(
         graph,
         SimConfig::default().with_seed(seed),
         |ctx| RandomizedMst::with_config(ctx, config.clone()),
         RandomizedMst::mst_ports,
         RandomizedMst::phases,
+        scratch,
     )
 }
 
@@ -219,12 +252,27 @@ pub fn run_deterministic_with(
     graph: &WeightedGraph,
     config: DeterministicConfig,
 ) -> Result<MstOutcome, RunError> {
+    run_deterministic_scratch(graph, config, &mut MstScratch::new())
+}
+
+/// Runs `Deterministic-MST` reusing a caller-provided executor scratch.
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_deterministic_scratch(
+    graph: &WeightedGraph,
+    config: DeterministicConfig,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     run_and_collect(
         graph,
         SimConfig::default(),
         |ctx| DeterministicMst::with_config(ctx, config.clone()),
         DeterministicMst::mst_ports,
         DeterministicMst::phases,
+        scratch,
     )
 }
 
@@ -239,13 +287,29 @@ pub fn run_deterministic_with(
 /// Propagates simulator failures and output-consistency violations
 /// ([`RunError`]).
 pub fn run_spanning_tree(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
-    run_randomized_with(
+    run_spanning_tree_scratch(graph, seed, &mut MstScratch::new())
+}
+
+/// Runs the spanning-tree variant reusing a caller-provided executor
+/// scratch.
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_spanning_tree_scratch(
+    graph: &WeightedGraph,
+    seed: u64,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
+    run_randomized_scratch(
         graph,
         seed,
         RandomizedConfig {
             selection: crate::randomized::EdgeSelection::MinPort,
             ..RandomizedConfig::default()
         },
+        scratch,
     )
 }
 
@@ -257,12 +321,27 @@ pub fn run_spanning_tree(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome,
 /// Propagates simulator failures and output-consistency violations
 /// ([`RunError`]).
 pub fn run_logstar(graph: &WeightedGraph) -> Result<MstOutcome, RunError> {
-    run_deterministic_with(
+    run_logstar_scratch(graph, &mut MstScratch::new())
+}
+
+/// Runs the Corollary 1 variant reusing a caller-provided executor
+/// scratch.
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_logstar_scratch(
+    graph: &WeightedGraph,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
+    run_deterministic_scratch(
         graph,
         DeterministicConfig {
             coloring: crate::deterministic::ColoringMode::ColeVishkin,
             ..DeterministicConfig::default()
         },
+        scratch,
     )
 }
 
@@ -278,6 +357,21 @@ pub fn run_logstar(graph: &WeightedGraph) -> Result<MstOutcome, RunError> {
 /// components never find the DONE signal and the run would spin forever.
 /// Also propagates simulator failures and output-consistency violations.
 pub fn run_prim(graph: &WeightedGraph, leader: u64) -> Result<MstOutcome, RunError> {
+    run_prim_scratch(graph, leader, &mut MstScratch::new())
+}
+
+/// Runs the Prim-style baseline reusing a caller-provided executor
+/// scratch.
+///
+/// # Errors
+///
+/// Returns [`RunError::Disconnected`] on disconnected inputs; also
+/// propagates simulator failures and output-consistency violations.
+pub fn run_prim_scratch(
+    graph: &WeightedGraph,
+    leader: u64,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     if !graphlib::traversal::is_connected(graph) {
         return Err(RunError::Disconnected { algorithm: "prim" });
     }
@@ -287,6 +381,7 @@ pub fn run_prim(graph: &WeightedGraph, leader: u64) -> Result<MstOutcome, RunErr
         |ctx| crate::prim::PrimMst::new(ctx, leader),
         crate::prim::PrimMst::mst_ports,
         crate::prim::PrimMst::phases,
+        scratch,
     )
 }
 
@@ -297,12 +392,28 @@ pub fn run_prim(graph: &WeightedGraph, leader: u64) -> Result<MstOutcome, RunErr
 /// Propagates simulator failures and output-consistency violations
 /// ([`RunError`]).
 pub fn run_always_awake(graph: &WeightedGraph, seed: u64) -> Result<MstOutcome, RunError> {
+    run_always_awake_scratch(graph, seed, &mut MstScratch::new())
+}
+
+/// Runs the always-awake baseline reusing a caller-provided executor
+/// scratch.
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_always_awake_scratch(
+    graph: &WeightedGraph,
+    seed: u64,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     run_and_collect(
         graph,
         SimConfig::default().with_seed(seed),
         ghs_always_awake,
         |s| s.inner().mst_ports(),
         |s| s.inner().phases(),
+        scratch,
     )
 }
 

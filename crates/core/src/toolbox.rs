@@ -19,7 +19,7 @@
 use std::collections::BTreeSet;
 
 use graphlib::{NodeId, Port, WeightedGraph};
-use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 
 use crate::schedule::ts_offsets;
 
@@ -114,18 +114,12 @@ impl Protocol for Broadcast {
         }
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<u64>> {
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<u64>) {
+        let _ = ctx;
         let sending = self.phase == 1 || (self.phase == 0 && self.spec.parent.is_none());
-        match (sending, self.value) {
-            (true, Some(v)) => self
-                .spec
-                .children
-                .iter()
-                .map(|&p| Envelope::new(p, v))
-                .collect(),
-            _ => {
-                let _ = ctx;
-                Vec::new()
+        if let (true, Some(v)) = (sending, self.value) {
+            for &p in &self.spec.children {
+                outbox.push(p, v);
             }
         }
     }
@@ -183,14 +177,11 @@ impl Protocol for UpcastMin {
         }
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<u64>> {
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<u64>) {
+        let _ = ctx;
         let at_up_send = self.phase == 1 || (self.phase == 0 && self.spec.children.is_empty());
-        match (at_up_send, self.spec.parent) {
-            (true, Some(p)) => vec![Envelope::new(p, self.value)],
-            _ => {
-                let _ = ctx;
-                Vec::new()
-            }
+        if let (true, Some(p)) = (at_up_send, self.spec.parent) {
+            outbox.push(p, self.value);
         }
     }
 
@@ -242,8 +233,10 @@ impl Protocol for TransmitAdjacent {
         NextWake::At(ts_offsets(ctx.n, self.spec.level).side + 1)
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<u64>> {
-        ctx.ports().map(|p| Envelope::new(p, self.own)).collect()
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<u64>) {
+        for p in ctx.ports() {
+            outbox.push(p, self.own);
+        }
     }
 
     fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<u64>]) -> NextWake {

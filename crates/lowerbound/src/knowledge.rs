@@ -189,7 +189,7 @@ mod tests {
         // Two deliveries in the same round must use pre-round knowledge:
         // a→b and b→c in round r gives c only b's old knowledge, not a's.
         use graphlib::GraphBuilder;
-        use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round};
+        use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 
         #[derive(Debug)]
         struct Chain;
@@ -198,8 +198,8 @@ mod tests {
             fn init(&mut self, _: &NodeCtx) -> NextWake {
                 NextWake::At(1)
             }
-            fn send(&mut self, ctx: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
-                ctx.ports().map(|p| Envelope::new(p, ())).collect()
+            fn send(&mut self, ctx: &NodeCtx, _: Round, outbox: &mut Outbox<()>) {
+                outbox.extend(ctx.ports().map(|p| Envelope::new(p, ())));
             }
             fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {
                 NextWake::Halt

@@ -9,8 +9,10 @@
 //!   independent of how many silent rounds the schedule spans. Message
 //!   routing uses the back ports precomputed by
 //!   [`graphlib::GraphBuilder::build`] — the hot loop never scans an
-//!   adjacency list — and the per-round send/inbox buffers are reused
-//!   across rounds.
+//!   adjacency list — and all per-round state (outbox, the flat inbox
+//!   arena, its grouping scratch) lives in an [`ExecutorScratch`]
+//!   that is reused across rounds *and across runs*, so the steady-state
+//!   hot path performs no allocations.
 //! * [`run_naive`] — a deliberately simple reference executor that walks
 //!   every round from 1 upward. It exists as a differential-testing oracle
 //!   for the event-driven hot loop (see `tests/differential.rs`); never
@@ -23,7 +25,7 @@ use std::collections::BinaryHeap;
 use graphlib::{NodeId, Port, WeightedGraph};
 
 use crate::{
-    Envelope, NextWake, NodeCtx, Payload, Protocol, Round, RunOutcome, RunStats, SimConfig,
+    Envelope, NextWake, NodeCtx, Outbox, Payload, Protocol, Round, RunOutcome, RunStats, SimConfig,
     SimError, Trace, TraceEvent,
 };
 
@@ -89,9 +91,10 @@ where
     Ok((ctxs, protocols, first_wake))
 }
 
-/// Validates one outgoing envelope, accounts its bits, and routes it to
-/// `(receiver, receiver port)` via the precomputed back port — no
-/// adjacency scan.
+/// Validates one outgoing envelope, accounts its per-edge bits, and routes
+/// it to `(receiver, receiver port, bits)` via the precomputed back port —
+/// no adjacency scan, and `bit_size` is computed exactly once per message
+/// (the result is threaded through delivery accounting and the trace).
 #[inline]
 fn route_envelope<M: Payload>(
     graph: &WeightedGraph,
@@ -101,7 +104,7 @@ fn route_envelope<M: Payload>(
     round: Round,
     port: Port,
     msg: &M,
-) -> Result<(u32, u32), SimError> {
+) -> Result<(u32, u32, usize), SimError> {
     if port.index() >= graph.degree(node) {
         return Err(SimError::PortOutOfRange { node, port, round });
     }
@@ -118,7 +121,7 @@ fn route_envelope<M: Payload>(
     }
     let entry = graph.port_entry(node, port);
     stats.bits_by_edge[entry.edge.index()] += bits as u64;
-    Ok((entry.neighbor.raw(), entry.back_port.raw()))
+    Ok((entry.neighbor.raw(), entry.back_port.raw(), bits))
 }
 
 /// The scheduled-wake priority queue with lazy deletion.
@@ -148,6 +151,19 @@ impl WakeQueue {
         }
     }
 
+    /// Re-initializes a recycled queue for a fresh `n`-node run, keeping
+    /// the allocations. Clearing `popped_stamp` is load-bearing: rounds
+    /// restart from 1 every run, so a stale stamp from a previous run
+    /// could silently swallow a wake (the reused-scratch differential
+    /// proptests pin this).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.heap.clear();
+        self.next_wake.clear();
+        self.next_wake.resize(n, None);
+        self.popped_stamp.clear();
+        self.popped_stamp.resize(n, 0);
+    }
+
     /// Schedules (or re-schedules) `node` to wake in `round`.
     pub(crate) fn schedule(&mut self, node: u32, round: Round) {
         self.next_wake[node as usize] = Some(round);
@@ -164,9 +180,16 @@ impl WakeQueue {
         self.heap.peek().map(|&Reverse((r, _))| r)
     }
 
+    /// Whether `node` was returned live by the pop for `round` (i.e. the
+    /// node is awake in the round currently being executed).
+    #[inline]
+    pub(crate) fn is_awake_in(&self, node: u32, round: Round) -> bool {
+        self.popped_stamp[node as usize] == round
+    }
+
     /// Pops every entry of the earliest round. Returns that round and
-    /// fills `live` with the nodes genuinely waking now, ascending; stale
-    /// entries are dropped (but still produce a returned round).
+    /// fills `live` with the nodes genuinely waking now, **ascending**;
+    /// stale entries are dropped (but still produce a returned round).
     pub(crate) fn pop_round(&mut self, live: &mut Vec<u32>) -> Option<Round> {
         live.clear();
         let Reverse((round, _)) = *self.heap.peek()?;
@@ -180,9 +203,139 @@ impl WakeQueue {
                 live.push(v);
             }
         }
-        live.sort_unstable();
+        // Most rounds of the paper's token-passing phases wake a single
+        // node; skip the sort machinery entirely for those.
+        if live.len() > 1 {
+            live.sort_unstable();
+        }
         Some(round)
     }
+}
+
+/// Reusable executor state: the wake queue, the per-round delivery
+/// buffers (outbox, flat inbox arena, grouping scratch), and a pool of
+/// recycled [`RunStats`].
+///
+/// [`Simulator::run_with_scratch`](crate::Simulator::run_with_scratch)
+/// threads one value through many runs — a sweep's worker thread creates
+/// one scratch and reuses it for its whole trial stream, so executor
+/// allocations are O(workers) instead of O(runs). Every run fully
+/// re-initializes the scratch before use; nothing observable leaks
+/// between runs (the reused-scratch differential proptests pin this).
+#[derive(Debug)]
+pub struct ExecutorScratch<M> {
+    queue: WakeQueue,
+    awake_now: Vec<u32>,
+    /// `slot_of[v]` = v's index in `awake_now`, valid only while
+    /// `queue.is_awake_in(v, round)` holds for the current round.
+    slot_of: Vec<u32>,
+    /// Flat inbox arena: every delivered envelope of the round, grouped by
+    /// receiver slot and sorted by receiver port within each group.
+    arena: Vec<Envelope<M>>,
+    /// `slots[i]` = receiver slot of `arena[i]` while the round's arena is
+    /// still in send order (before grouping).
+    slots: Vec<u32>,
+    /// Scratch permutation for the in-place counting-sort grouping.
+    perm: Vec<u32>,
+    /// `(start, len)` of each awake node's slice of `arena`, by slot.
+    inbox_ranges: Vec<(u32, u32)>,
+    outbox: Outbox<M>,
+    stats_pool: Vec<RunStats>,
+}
+
+impl<M> Default for ExecutorScratch<M> {
+    fn default() -> Self {
+        ExecutorScratch::new()
+    }
+}
+
+impl<M> ExecutorScratch<M> {
+    /// An empty scratch; buffers grow to their high-water marks during the
+    /// first run and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        ExecutorScratch {
+            queue: WakeQueue::new(0),
+            awake_now: Vec::new(),
+            slot_of: Vec::new(),
+            arena: Vec::new(),
+            slots: Vec::new(),
+            perm: Vec::new(),
+            inbox_ranges: Vec::new(),
+            outbox: Outbox::new(),
+            stats_pool: Vec::new(),
+        }
+    }
+
+    /// Returns a no-longer-needed [`RunStats`] to the pool so the next run
+    /// from this scratch reuses its vectors instead of allocating.
+    pub fn recycle(&mut self, stats: RunStats) {
+        self.stats_pool.push(stats);
+    }
+
+    /// Re-initializes every buffer for a fresh `n`-node run.
+    fn reset(&mut self, n: usize) {
+        self.queue.reset(n);
+        self.awake_now.clear();
+        self.slot_of.clear();
+        self.slot_of.resize(n, 0);
+        self.arena.clear();
+        self.slots.clear();
+        self.perm.clear();
+        self.inbox_ranges.clear();
+        self.outbox.clear();
+    }
+
+    /// A zeroed [`RunStats`] for an `n`-node, `m`-edge run — recycled
+    /// storage if the pool has any, freshly allocated otherwise.
+    fn take_stats(&mut self, n: usize, m: usize) -> RunStats {
+        match self.stats_pool.pop() {
+            Some(mut stats) => {
+                stats.reset(n, m);
+                stats
+            }
+            None => RunStats::new(n, m),
+        }
+    }
+}
+
+/// Buffers a `Delivered` trace event. Deliberately out-of-line: the
+/// `Debug` formatting machinery must stay off the untraced hot path.
+/// Delivery events buffer into `buf` (flushed after the round's send
+/// half-step) so the recorded order — every `Awake` of the round, then
+/// `Delivered`/`Lost` in send order — stays bit-identical to
+/// [`run_naive`] even though stats are accounted inline.
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn record_delivered<M: Payload>(
+    buf: &mut Vec<TraceEvent>,
+    round: Round,
+    from: u32,
+    to: u32,
+    recv_port: u32,
+    bits: usize,
+    msg: &M,
+) {
+    buf.push(TraceEvent::Delivered {
+        round,
+        from: NodeId::new(from),
+        to: NodeId::new(to),
+        port: Port::new(recv_port),
+        bits,
+        payload: format!("{msg:?}"),
+    });
+}
+
+/// Buffers a `Lost` trace event (out-of-line, like [`record_delivered`]).
+#[cold]
+#[inline(never)]
+fn record_lost(buf: &mut Vec<TraceEvent>, round: Round, from: u32, to: u32) {
+    buf.push(TraceEvent::Lost {
+        round,
+        from: NodeId::new(from),
+        to: NodeId::new(to),
+    });
 }
 
 /// The production event-driven executor. See the module docs.
@@ -191,6 +344,7 @@ pub(crate) fn run_event_driven<P, F, O>(
     config: &SimConfig,
     factory: F,
     mut observer: O,
+    scratch: &mut ExecutorScratch<P::Msg>,
 ) -> Result<RunOutcome<P>, SimError>
 where
     P: Protocol,
@@ -198,11 +352,22 @@ where
     O: FnMut(Round, &[P]),
 {
     let n = graph.node_count();
-    let mut stats = RunStats::new(n, graph.edge_count());
+    scratch.reset(n);
+    let mut stats = scratch.take_stats(n, graph.edge_count());
     let mut trace = Trace::default();
 
     let (ctxs, mut protocols, first_wake) = init_nodes(graph, config, factory, &mut trace)?;
-    let mut queue = WakeQueue::new(n);
+    let ExecutorScratch {
+        queue,
+        awake_now,
+        slot_of,
+        arena,
+        slots,
+        perm,
+        inbox_ranges,
+        outbox,
+        ..
+    } = scratch;
     let mut running = 0usize;
     for (v, wake) in first_wake.into_iter().enumerate() {
         if let Some(r) = wake {
@@ -210,13 +375,9 @@ where
             running += 1;
         }
     }
-
-    // Round-scoped buffers, reused across rounds: the set of awake nodes,
-    // the pending deliveries (receiver, recv_port, sender, msg), and the
-    // per-node inboxes.
-    let mut awake_now: Vec<u32> = Vec::new();
-    let mut pending: Vec<(u32, u32, u32, P::Msg)> = Vec::new();
-    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
+    // Round-local trace staging; stays empty (and allocation-free) unless
+    // the run records a trace.
+    let mut trace_buf: Vec<TraceEvent> = Vec::new();
 
     while let Some(round) = queue.peek_round() {
         if round > config.max_rounds {
@@ -225,66 +386,109 @@ where
                 running,
             });
         }
-        queue.pop_round(&mut awake_now);
+        queue.pop_round(awake_now);
         // The run extends to every scheduled round we processed, even one
         // whose wakes were all superseded (regression: stale final round).
         stats.rounds = round;
         if awake_now.is_empty() {
             continue;
         }
+        for (slot, &v) in awake_now.iter().enumerate() {
+            slot_of[v as usize] = slot as u32;
+        }
 
         // --- Send half-step ---
-        pending.clear();
-        for &v in &awake_now {
+        // Each message is fully adjudicated at routing time: the awake set
+        // is fixed before any send, so delivered-vs-lost is already known
+        // here. Stats are order-independent sums and accrue inline; lost
+        // messages are accounted and dropped without ever materializing.
+        // Delivered envelopes land in `arena` in send order, with the
+        // receiver slot recorded alongside in `slots`. Trace events buffer
+        // so their order matches [`run_naive`] (see [`record_delivered`]).
+        arena.clear();
+        slots.clear();
+        for &v in awake_now.iter() {
             let node = NodeId::new(v);
             stats.awake_by_node[v as usize] += 1;
             if config.record_trace {
                 trace.push(TraceEvent::Awake { round, node });
             }
-            let outbox = protocols[v as usize].send(&ctxs[v as usize], round);
-            for Envelope { port, msg } in outbox {
-                let (to, recv_port) =
+            outbox.clear();
+            protocols[v as usize].send(&ctxs[v as usize], round, outbox);
+            for Envelope { port, msg } in outbox.drain() {
+                let (to, recv_port, bits) =
                     route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
-                pending.push((to, recv_port, v, msg));
+                if queue.is_awake_in(to, round) {
+                    stats.messages_delivered += 1;
+                    stats.bits_received_by_node[to as usize] += bits as u64;
+                    if config.record_trace {
+                        record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
+                    }
+                    slots.push(slot_of[to as usize]);
+                    arena.push(Envelope::new(Port::new(recv_port), msg));
+                } else {
+                    stats.messages_lost += 1;
+                    if config.record_trace {
+                        record_lost(&mut trace_buf, round, v, to);
+                    }
+                }
+            }
+        }
+        if config.record_trace {
+            for event in trace_buf.drain(..) {
+                trace.push(event);
             }
         }
 
         // --- Deliver half-step ---
-        for (to, port, from, msg) in pending.drain(..) {
-            // A node is a valid receiver iff it woke this round.
-            if queue.popped_stamp[to as usize] == round {
-                stats.messages_delivered += 1;
-                stats.bits_received_by_node[to as usize] += msg.bit_size() as u64;
-                if config.record_trace {
-                    trace.push(TraceEvent::Delivered {
-                        round,
-                        from: NodeId::new(from),
-                        to: NodeId::new(to),
-                        port: Port::new(port),
-                        bits: msg.bit_size(),
-                        payload: format!("{msg:?}"),
-                    });
+        // Group the arena by receiver slot with an O(M) counting sort
+        // (count, prefix-sum, in-place cycle permutation) rather than a
+        // comparison sort of the whole round. The permutation targets are
+        // assigned in send order, so within one slot the grouped arena
+        // preserves send order; the stable per-range sort by port then
+        // reproduces exactly the old executor's per-inbox
+        // `sort_by_key(|e| e.port)` — deliver order is bit-identical.
+        inbox_ranges.clear();
+        inbox_ranges.resize(awake_now.len(), (0u32, 0u32));
+        for &s in slots.iter() {
+            inbox_ranges[s as usize].1 += 1;
+        }
+        let mut acc = 0u32;
+        for range in inbox_ranges.iter_mut() {
+            range.0 = acc;
+            acc += range.1;
+        }
+        if arena.len() > 1 {
+            // `range.0` doubles as the placement cursor; it ends at the
+            // range's end and is rewound by `len` afterwards.
+            perm.clear();
+            for &s in slots.iter() {
+                let range = &mut inbox_ranges[s as usize];
+                perm.push(range.0);
+                range.0 += 1;
+            }
+            for range in inbox_ranges.iter_mut() {
+                range.0 -= range.1;
+            }
+            for i in 0..perm.len() {
+                while perm[i] != i as u32 {
+                    let j = perm[i] as usize;
+                    arena.swap(i, j);
+                    perm.swap(i, j);
                 }
-                inboxes[to as usize].push(Envelope::new(Port::new(port), msg));
-            } else {
-                stats.messages_lost += 1;
-                if config.record_trace {
-                    trace.push(TraceEvent::Lost {
-                        round,
-                        from: NodeId::new(from),
-                        to: NodeId::new(to),
-                    });
+            }
+            for &(start, len) in inbox_ranges.iter() {
+                if len > 1 {
+                    arena[start as usize..(start + len) as usize].sort_by_key(|e| e.port);
                 }
             }
         }
 
-        for &v in &awake_now {
+        for (slot, &v) in awake_now.iter().enumerate() {
             let node = NodeId::new(v);
-            let inbox = &mut inboxes[v as usize];
-            inbox.sort_by_key(|e| e.port);
-            let next = protocols[v as usize].deliver(&ctxs[v as usize], round, inbox);
-            inbox.clear();
-            match next {
+            let (start, len) = inbox_ranges[slot];
+            let inbox = &arena[start as usize..(start + len) as usize];
+            match protocols[v as usize].deliver(&ctxs[v as usize], round, inbox) {
                 NextWake::At(r) => {
                     if r <= round {
                         return Err(SimError::WakeNotInFuture {
@@ -325,9 +529,10 @@ where
 ///
 /// Semantically identical to the event-driven executor — identical final
 /// states, [`RunStats`], and trace — but costs time proportional to the
-/// run's round count. It exists as the differential-testing oracle that
-/// locks in the hot loop's behavior; it is not part of the supported
-/// simulation API surface.
+/// run's round count and allocates freely (fresh outboxes and inboxes
+/// every round: its simplicity is the point). It exists as the
+/// differential-testing oracle that locks in the hot loop's behavior; it
+/// is not part of the supported simulation API surface.
 ///
 /// # Errors
 ///
@@ -370,32 +575,34 @@ where
         }
         stats.rounds = round;
 
-        let mut pending: Vec<(u32, u32, u32, P::Msg)> = Vec::new();
+        let mut pending: Vec<(u32, u32, u32, usize, P::Msg)> = Vec::new();
         for &v in &awake_now {
             let node = NodeId::new(v);
             stats.awake_by_node[v as usize] += 1;
             if config.record_trace {
                 trace.push(TraceEvent::Awake { round, node });
             }
-            for Envelope { port, msg } in protocols[v as usize].send(&ctxs[v as usize], round) {
-                let (to, recv_port) =
+            let mut outbox = Outbox::new();
+            protocols[v as usize].send(&ctxs[v as usize], round, &mut outbox);
+            for Envelope { port, msg } in outbox.into_envelopes() {
+                let (to, recv_port, bits) =
                     route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
-                pending.push((to, recv_port, v, msg));
+                pending.push((to, recv_port, v, bits, msg));
             }
         }
 
         let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-        for (to, port, from, msg) in pending {
+        for (to, port, from, bits, msg) in pending {
             if next_wake[to as usize] == Some(round) {
                 stats.messages_delivered += 1;
-                stats.bits_received_by_node[to as usize] += msg.bit_size() as u64;
+                stats.bits_received_by_node[to as usize] += bits as u64;
                 if config.record_trace {
                     trace.push(TraceEvent::Delivered {
                         round,
                         from: NodeId::new(from),
                         to: NodeId::new(to),
                         port: Port::new(port),
-                        bits: msg.bit_size(),
+                        bits,
                         payload: format!("{msg:?}"),
                     });
                 }
@@ -492,5 +699,45 @@ mod tests {
         assert_eq!(q.pop_round(&mut live), Some(9));
         assert!(live.is_empty());
         assert_eq!(q.pop_round(&mut live), None);
+    }
+
+    /// The ascending-order contract of `pop_round`: the live set comes
+    /// back sorted regardless of scheduling order, through both the
+    /// multi-element path (which sorts) and the ≤1-element early-out.
+    #[test]
+    fn wake_queue_pop_round_yields_ascending_live_set() {
+        let mut q = WakeQueue::new(6);
+        // Scheduled in descending node order, with a superseded entry and
+        // a duplicate-round reschedule mixed in.
+        for v in (0..6u32).rev() {
+            q.schedule(v, 3);
+        }
+        q.schedule(4, 8); // supersedes node 4's round-3 entry
+        q.schedule(2, 3); // duplicate heap entry for the same (round, node)
+        let mut live = Vec::new();
+        assert_eq!(q.pop_round(&mut live), Some(3));
+        assert_eq!(live, vec![0, 1, 2, 3, 5]);
+        let mut sorted = live.clone();
+        sorted.sort_unstable();
+        assert_eq!(live, sorted);
+        // Single-element round: the early-out path must also deliver.
+        assert_eq!(q.pop_round(&mut live), Some(8));
+        assert_eq!(live, vec![4]);
+    }
+
+    /// Resetting a queue must clear the popped stamps: rounds restart at 1
+    /// every run, and a stale stamp would swallow a genuine wake.
+    #[test]
+    fn wake_queue_reset_clears_stamps_and_state() {
+        let mut q = WakeQueue::new(2);
+        q.schedule(0, 7);
+        let mut live = Vec::new();
+        assert_eq!(q.pop_round(&mut live), Some(7));
+        assert_eq!(live, vec![0]);
+        q.reset(2);
+        assert_eq!(q.peek_round(), None);
+        q.schedule(0, 7); // same round number as the previous run
+        assert_eq!(q.pop_round(&mut live), Some(7));
+        assert_eq!(live, vec![0], "stale stamp swallowed the wake");
     }
 }

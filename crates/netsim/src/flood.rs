@@ -4,7 +4,7 @@
 //! traditional-model behaviour the sleeping model improves on (every node
 //! stays awake until the wave passes it).
 
-use crate::{Envelope, NextWake, NodeCtx, Protocol, Round};
+use crate::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round};
 
 /// Floods a one-bit token from the source node(s) to the whole graph.
 ///
@@ -40,12 +40,10 @@ impl Protocol for Flood {
         NextWake::At(1)
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<()>> {
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<()>) {
         if self.informed && !self.sent {
             self.sent = true;
-            ctx.ports().map(|p| Envelope::new(p, ())).collect()
-        } else {
-            Vec::new()
+            outbox.extend(ctx.ports().map(|p| Envelope::new(p, ())));
         }
     }
 

@@ -52,9 +52,10 @@ pub mod engine;
 pub mod flood;
 pub mod radio;
 
+pub use engine::ExecutorScratch;
 pub use error::SimError;
 pub use payload::{bits_for_range, bits_for_value, Payload};
-pub use protocol::{Envelope, NextWake, NodeCtx, Protocol};
+pub use protocol::{Envelope, NextWake, NodeCtx, Outbox, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};
 pub use stats::RunStats;
 pub use trace::{Trace, TraceEvent};

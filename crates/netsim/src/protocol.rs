@@ -75,6 +75,90 @@ impl NodeCtx {
     }
 }
 
+/// The buffer a protocol writes its outgoing envelopes into during the
+/// send half-step.
+///
+/// The executor owns one `Outbox` per run and hands it to every
+/// [`Protocol::send`] call, cleared; the protocol appends envelopes and the
+/// executor drains them afterwards. After the first few rounds the backing
+/// storage has reached its high-water mark and sends stop allocating —
+/// this is the heart of the allocation-free hot path (see the "Executor
+/// memory model" section of DESIGN.md).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outbox<M> {
+    envelopes: Vec<Envelope<M>>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox with no backing storage yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Outbox {
+            envelopes: Vec::new(),
+        }
+    }
+
+    /// Queues `msg` for sending through `port`.
+    #[inline]
+    pub fn push(&mut self, port: Port, msg: M) {
+        self.envelopes.push(Envelope::new(port, msg));
+    }
+
+    /// Queues an already-built envelope.
+    #[inline]
+    pub fn push_envelope(&mut self, envelope: Envelope<M>) {
+        self.envelopes.push(envelope);
+    }
+
+    /// Queues every envelope of an iterator (the `collect` replacement for
+    /// protocols that build their sends with iterator chains).
+    pub fn extend(&mut self, envelopes: impl IntoIterator<Item = Envelope<M>>) {
+        self.envelopes.extend(envelopes);
+    }
+
+    /// Number of queued envelopes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.envelopes.len()
+    }
+
+    /// Whether no envelope is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.envelopes.is_empty()
+    }
+
+    /// The queued envelopes, in push order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Envelope<M>] {
+        &self.envelopes
+    }
+
+    /// Drops the queued envelopes, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.envelopes.clear();
+    }
+
+    /// Removes and yields the queued envelopes, keeping the backing
+    /// storage for the next send.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Envelope<M>> {
+        self.envelopes.drain(..)
+    }
+
+    /// Consumes the outbox into its envelope list (test/oracle helper; the
+    /// hot path uses [`Outbox::drain`] to keep the storage).
+    #[must_use]
+    pub fn into_envelopes(self) -> Vec<Envelope<M>> {
+        self.envelopes
+    }
+}
+
 /// A distributed protocol, written from a single node's point of view.
 ///
 /// One value of the implementing type is created per node. In each round
@@ -91,12 +175,12 @@ pub trait Protocol {
     /// Called before round 1; returns the node's first wake.
     fn init(&mut self, ctx: &NodeCtx) -> NextWake;
 
-    /// Send half-step of an awake round. Returns at most one message per
-    /// port (later envelopes to the same port overwrite earlier ones is
-    /// *not* done — the simulator delivers every envelope, so send one per
-    /// port per round to stay within the CONGEST discipline; the bit limit
-    /// is enforced per envelope).
-    fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<Self::Msg>>;
+    /// Send half-step of an awake round: append outgoing messages to
+    /// `outbox` (handed in cleared; its storage is reused across rounds).
+    /// Send at most one message per port per round to stay within the
+    /// CONGEST discipline — the simulator delivers every envelope and
+    /// enforces the bit limit per envelope, not per port.
+    fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<Self::Msg>);
 
     /// Deliver half-step of an awake round; `inbox` holds the messages from
     /// awake neighbors, in ascending port order. Returns the node's next
@@ -129,5 +213,21 @@ mod tests {
         let e = Envelope::new(Port::new(1), 42u64);
         assert_eq!(e.port, Port::new(1));
         assert_eq!(e.msg, 42);
+    }
+
+    #[test]
+    fn outbox_accumulates_and_reuses_storage() {
+        let mut out: Outbox<u64> = Outbox::new();
+        assert!(out.is_empty());
+        out.push(Port::new(0), 7);
+        out.extend((1..3).map(|p| Envelope::new(Port::new(p), u64::from(p))));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.as_slice()[0], Envelope::new(Port::new(0), 7));
+        let drained: Vec<Envelope<u64>> = out.drain().collect();
+        assert_eq!(drained.len(), 3);
+        assert!(out.is_empty());
+        // The storage survives the drain: pushing again must not grow it.
+        out.push(Port::new(4), 9);
+        assert_eq!(out.into_envelopes(), vec![Envelope::new(Port::new(4), 9)]);
     }
 }

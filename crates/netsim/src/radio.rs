@@ -218,6 +218,9 @@ impl<'g> RadioSimulator<'g> {
         }
 
         let mut active_stamp: Vec<Round> = vec![0; n];
+        // `listen_stamp[v] == round` marks v listening this round — a
+        // reusable stamp array instead of a per-round listener Vec.
+        let mut listen_stamp: Vec<Round> = vec![0; n];
         let mut active_now: Vec<u32> = Vec::new();
         // Transmission of the round per node (None = not transmitting).
         let mut on_air: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
@@ -243,11 +246,12 @@ impl<'g> RadioSimulator<'g> {
             if active_now.is_empty() {
                 continue;
             }
-            active_now.sort_unstable();
+            if active_now.len() > 1 {
+                active_now.sort_unstable();
+            }
             stats.rounds = round;
 
             // --- action half-step ---
-            let mut listeners = Vec::new();
             for &v in &active_now {
                 match protocols[v as usize].act(&ctxs[v as usize], round) {
                     RadioAction::Transmit(msg) => {
@@ -257,7 +261,7 @@ impl<'g> RadioSimulator<'g> {
                     }
                     RadioAction::Listen => {
                         stats.energy_by_node[v as usize] += 1;
-                        listeners.push(v);
+                        listen_stamp[v as usize] = round;
                     }
                     RadioAction::Idle => {}
                 }
@@ -268,18 +272,33 @@ impl<'g> RadioSimulator<'g> {
                 let node = NodeId::new(v);
                 let outcome = if on_air[v as usize].is_some() {
                     Heard::Transmitted
-                } else if listeners.contains(&v) {
-                    let heard: Vec<P::Msg> = self
+                } else if listen_stamp[v as usize] == round {
+                    // Count the audible transmissions first: only the
+                    // `Local` rule ever needs them gathered into a Vec,
+                    // and silence (the common case) allocates nothing.
+                    let audible = self
                         .graph
                         .ports(node)
                         .iter()
-                        .filter_map(|e| on_air[e.neighbor.index()].clone())
-                        .collect();
-                    stats.receptions += heard.len() as u64;
-                    match (self.rule, heard.len()) {
+                        .filter(|e| on_air[e.neighbor.index()].is_some())
+                        .count();
+                    stats.receptions += audible as u64;
+                    match (self.rule, audible) {
                         (_, 0) => Heard::Silence,
-                        (CollisionRule::Local, _) => Heard::All(heard),
-                        (_, 1) => Heard::One(heard.into_iter().next().expect("len 1")),
+                        (CollisionRule::Local, _) => Heard::All(
+                            self.graph
+                                .ports(node)
+                                .iter()
+                                .filter_map(|e| on_air[e.neighbor.index()].clone())
+                                .collect(),
+                        ),
+                        (_, 1) => Heard::One(
+                            self.graph
+                                .ports(node)
+                                .iter()
+                                .find_map(|e| on_air[e.neighbor.index()].clone())
+                                .expect("one audible transmission"),
+                        ),
                         (CollisionRule::Detection, _) => {
                             stats.collisions += 1;
                             Heard::Collision

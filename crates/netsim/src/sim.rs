@@ -3,7 +3,7 @@
 
 use graphlib::WeightedGraph;
 
-use crate::engine;
+use crate::engine::{self, ExecutorScratch};
 use crate::{NodeCtx, Protocol, Round, RunStats, SimError, Trace};
 
 /// Configuration of one simulation run.
@@ -107,7 +107,31 @@ impl<'g> Simulator<'g> {
         P: Protocol,
         F: FnMut(&NodeCtx) -> P,
     {
-        self.run_with_observer(factory, |_, _: &[P]| {})
+        self.run_with_scratch(&mut ExecutorScratch::new(), factory)
+    }
+
+    /// Like [`Simulator::run`], but reuses a caller-provided
+    /// [`ExecutorScratch`] for all executor state (wake queue, outbox,
+    /// delivery arena, recycled stats vectors). Callers executing many
+    /// runs — the bench sweep's worker threads, the differential
+    /// proptests — thread one scratch through every run so the executor
+    /// allocates O(1) times per worker instead of per run. The scratch is
+    /// fully re-initialized at the start of every run; results are
+    /// bit-identical to [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised during execution.
+    pub fn run_with_scratch<P, F>(
+        &self,
+        scratch: &mut ExecutorScratch<P::Msg>,
+        factory: F,
+    ) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx) -> P,
+    {
+        self.run_with_observer_scratch(scratch, factory, |_, _: &[P]| {})
     }
 
     /// Like [`Simulator::run`], but invokes `observer` after every round in
@@ -127,7 +151,27 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeCtx) -> P,
         O: FnMut(Round, &[P]),
     {
-        engine::run_event_driven(self.graph, &self.config, factory, observer)
+        self.run_with_observer_scratch(&mut ExecutorScratch::new(), factory, observer)
+    }
+
+    /// The most general entry point: observer + reusable scratch. All
+    /// other `run*` methods delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised during execution.
+    pub fn run_with_observer_scratch<P, F, O>(
+        &self,
+        scratch: &mut ExecutorScratch<P::Msg>,
+        factory: F,
+        observer: O,
+    ) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx) -> P,
+        O: FnMut(Round, &[P]),
+    {
+        engine::run_event_driven(self.graph, &self.config, factory, observer, scratch)
     }
 }
 
@@ -135,7 +179,7 @@ impl<'g> Simulator<'g> {
 mod tests {
     use super::*;
     use crate::flood::Flood;
-    use crate::{Envelope, NextWake, SimError, TraceEvent};
+    use crate::{Envelope, NextWake, Outbox, SimError, TraceEvent};
     use graphlib::{generators, GraphBuilder, Port};
 
     /// Node i wakes only in round i+1, sends a unit message on every port,
@@ -153,8 +197,8 @@ mod tests {
             NextWake::At(self.my_round)
         }
 
-        fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<()>> {
-            ctx.ports().map(|p| Envelope::new(p, ())).collect()
+        fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<()>) {
+            outbox.extend(ctx.ports().map(|p| Envelope::new(p, ())));
         }
 
         fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<()>]) -> NextWake {
@@ -212,8 +256,8 @@ mod tests {
             fn init(&mut self, _: &NodeCtx) -> NextWake {
                 NextWake::At(1)
             }
-            fn send(&mut self, ctx: &NodeCtx, _: Round) -> Vec<Envelope<u64>> {
-                ctx.ports().map(|p| Envelope::new(p, u64::MAX)).collect()
+            fn send(&mut self, ctx: &NodeCtx, _: Round, outbox: &mut Outbox<u64>) {
+                outbox.extend(ctx.ports().map(|p| Envelope::new(p, u64::MAX)));
             }
             fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
                 NextWake::Halt
@@ -242,8 +286,8 @@ mod tests {
             fn init(&mut self, _: &NodeCtx) -> NextWake {
                 NextWake::At(1)
             }
-            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
-                vec![Envelope::new(Port::new(99), ())]
+            fn send(&mut self, _: &NodeCtx, _: Round, outbox: &mut Outbox<()>) {
+                outbox.push(Port::new(99), ());
             }
             fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {
                 NextWake::Halt
@@ -265,9 +309,7 @@ mod tests {
             fn init(&mut self, _: &NodeCtx) -> NextWake {
                 NextWake::At(5)
             }
-            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
-                Vec::new()
-            }
+            fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<()>) {}
             fn deliver(&mut self, _: &NodeCtx, round: Round, _: &[Envelope<()>]) -> NextWake {
                 NextWake::At(round) // not in the future
             }
@@ -291,9 +333,7 @@ mod tests {
             fn init(&mut self, _: &NodeCtx) -> NextWake {
                 NextWake::At(1)
             }
-            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
-                Vec::new()
-            }
+            fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<()>) {}
             fn deliver(&mut self, _: &NodeCtx, round: Round, _: &[Envelope<()>]) -> NextWake {
                 NextWake::At(round + 1)
             }
@@ -320,7 +360,7 @@ mod tests {
             fn init(&mut self, _: &NodeCtx) -> NextWake {
                 NextWake::Halt
             }
-            fn send(&mut self, _: &NodeCtx, _: Round) -> Vec<Envelope<()>> {
+            fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<()>) {
                 unreachable!()
             }
             fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {

@@ -36,6 +36,21 @@ impl RunStats {
         }
     }
 
+    /// Re-initializes recycled stats for a fresh run on an `n`-node,
+    /// `m`-edge graph, keeping the vector storage (scratch-pool reuse; see
+    /// `ExecutorScratch::recycle`).
+    pub(crate) fn reset(&mut self, n: usize, m: usize) {
+        self.rounds = 0;
+        self.messages_delivered = 0;
+        self.messages_lost = 0;
+        self.awake_by_node.clear();
+        self.awake_by_node.resize(n, 0);
+        self.bits_by_edge.clear();
+        self.bits_by_edge.resize(m, 0);
+        self.bits_received_by_node.clear();
+        self.bits_received_by_node.resize(n, 0);
+    }
+
     /// The paper's awake complexity: the maximum number of awake rounds
     /// over all nodes.
     pub fn awake_max(&self) -> u64 {

@@ -11,7 +11,10 @@
 use proptest::prelude::*;
 
 use graphlib::generators;
-use netsim::{engine, Envelope, NextWake, NodeCtx, Protocol, Round, SimConfig, Simulator};
+use netsim::{
+    engine, Envelope, ExecutorScratch, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
+    Simulator,
+};
 
 /// SplitMix64 — the same tiny generator the protocols in `mst-core` use
 /// for their private coins. Deterministic from the seed alone.
@@ -65,14 +68,12 @@ impl Protocol for Chaotic {
         NextWake::At(1 + self.rng.next() % self.max_gap)
     }
 
-    fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<u64>> {
-        let mut out = Vec::new();
+    fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<u64>) {
         for p in ctx.ports() {
             if self.rng.next().is_multiple_of(2) {
-                out.push(Envelope::new(p, round ^ (self.rng.next() % 1024)));
+                outbox.push(p, round ^ (self.rng.next() % 1024));
             }
         }
-        out
     }
 
     fn deliver(&mut self, _ctx: &NodeCtx, round: Round, inbox: &[Envelope<u64>]) -> NextWake {
@@ -146,6 +147,62 @@ proptest! {
         let g = generators::complete(n, 11).unwrap();
         assert_executors_agree(&g, master_seed, wakes, max_gap)?;
     }
+
+    /// One [`ExecutorScratch`] threaded through a *sequence* of random
+    /// runs (different graphs, sizes, seeds, schedules) must behave
+    /// exactly like allocating fresh buffers each time. This is the test
+    /// that catches stale-buffer leaks: a wake-queue stamp, arena range,
+    /// or stats vector surviving from run k would corrupt run k+1.
+    #[test]
+    fn reused_scratch_matches_naive_across_consecutive_runs(
+        runs in proptest::collection::vec(
+            (3usize..12, 0u64..1000, 0u64..1000, 1u32..5, 1u64..30), 2..6),
+    ) {
+        let mut scratch = ExecutorScratch::new();
+        for &(n, graph_seed, master_seed, wakes, max_gap) in &runs {
+            let g = generators::random_connected(n, 0.3, graph_seed).unwrap();
+            let config = SimConfig::default().with_seed(master_seed).with_trace();
+            let factory = |ctx: &NodeCtx| Chaotic::new(ctx, wakes, max_gap);
+
+            let pooled = Simulator::new(&g, config.clone())
+                .run_with_scratch(&mut scratch, factory)
+                .unwrap();
+            let slow = engine::run_naive(&g, &config, factory).unwrap();
+
+            prop_assert_eq!(&pooled.stats, &slow.stats);
+            prop_assert_eq!(&pooled.trace, &slow.trace);
+            for (a, b) in pooled.states.iter().zip(&slow.states) {
+                prop_assert_eq!(&a.received, &b.received);
+                prop_assert_eq!(a.digest, b.digest);
+            }
+        }
+    }
+
+    /// Shrinking-size sequences are the nastiest reuse case: buffers sized
+    /// for a big run must not leak entries into a smaller one (ranges,
+    /// stamps, and per-node vectors all shrink).
+    #[test]
+    fn reused_scratch_survives_shrinking_graphs(
+        master_seed in 0u64..1000,
+        wakes in 1u32..5,
+    ) {
+        let mut scratch = ExecutorScratch::new();
+        for n in [13usize, 7, 3] {
+            let g = generators::complete(n, 11).unwrap();
+            let config = SimConfig::default().with_seed(master_seed).with_trace();
+            let factory = |ctx: &NodeCtx| Chaotic::new(ctx, wakes, 8);
+
+            let pooled = Simulator::new(&g, config.clone())
+                .run_with_scratch(&mut scratch, factory)
+                .unwrap();
+            let slow = engine::run_naive(&g, &config, factory).unwrap();
+            prop_assert_eq!(&pooled.stats, &slow.stats);
+            prop_assert_eq!(&pooled.trace, &slow.trace);
+            for (a, b) in pooled.states.iter().zip(&slow.states) {
+                prop_assert_eq!(a.digest, b.digest);
+            }
+        }
+    }
 }
 
 /// The executors also agree on a real protocol run end to end: the
@@ -165,10 +222,10 @@ fn executors_agree_under_dense_synchronous_load() {
         fn init(&mut self, _ctx: &NodeCtx) -> NextWake {
             NextWake::At(1)
         }
-        fn send(&mut self, ctx: &NodeCtx, round: Round) -> Vec<Envelope<u64>> {
-            ctx.ports()
-                .map(|p| Envelope::new(p, round + u64::from(p.raw())))
-                .collect()
+        fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<u64>) {
+            for p in ctx.ports() {
+                outbox.push(p, round + u64::from(p.raw()));
+            }
         }
         fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<u64>]) -> NextWake {
             self.sum += inbox.iter().map(|e| e.msg).sum::<u64>();

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use graphlib::generators;
-use netsim::{Envelope, NextWake, NodeCtx, Protocol, Round, SimConfig, Simulator};
+use netsim::{Envelope, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig, Simulator};
 
 /// A node that wakes at an arbitrary (per-node) schedule of rounds, sends
 /// a unit message on every port at each wake, and halts after its last
@@ -37,8 +37,8 @@ impl Protocol for Scheduled {
         }
     }
 
-    fn send(&mut self, ctx: &NodeCtx, _round: Round) -> Vec<Envelope<()>> {
-        ctx.ports().map(|p| Envelope::new(p, ())).collect()
+    fn send(&mut self, ctx: &NodeCtx, _round: Round, outbox: &mut Outbox<()>) {
+        outbox.extend(ctx.ports().map(|p| Envelope::new(p, ())));
     }
 
     fn deliver(&mut self, _ctx: &NodeCtx, _round: Round, inbox: &[Envelope<()>]) -> NextWake {

@@ -146,6 +146,45 @@ pub fn render_json(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
     )
 }
 
+/// Renders the executor-throughput report a `sweep --bench-out FILE`
+/// writes (the `BENCH_engine.json` artifact): wall-clock time over the
+/// whole grid plus aggregate runs-, messages-, and rounds-per-second.
+///
+/// The trial *work* (messages, rounds, per-trial stats) is deterministic
+/// in the grid; only the wall-clock fields vary between machines.
+pub fn render_bench_report(
+    template: &str,
+    threads: usize,
+    results: &[harness::TrialResult],
+    wall: std::time::Duration,
+) -> String {
+    let algorithms: Vec<&str> = {
+        let mut names: Vec<&str> = results.iter().map(|r| r.algorithm.as_str()).collect();
+        names.dedup();
+        names
+    };
+    let messages: u64 = results.iter().map(|r| r.stats.messages_delivered).sum();
+    let rounds: u64 = results.iter().map(|r| r.stats.rounds).sum();
+    let secs = wall.as_secs_f64().max(1e-9);
+    format!(
+        "{{\"kind\":\"engine_throughput\",\"graph_template\":\"{}\",\
+         \"algorithms\":\"{}\",\"threads\":{},\"trials\":{},\
+         \"wall_seconds\":{:.6},\"runs_per_sec\":{:.3},\
+         \"messages_delivered\":{},\"messages_per_sec\":{:.1},\
+         \"rounds\":{},\"rounds_per_sec\":{:.1}}}\n",
+        template,
+        algorithms.join(","),
+        threads,
+        results.len(),
+        secs,
+        results.len() as f64 / secs,
+        messages,
+        messages as f64 / secs,
+        rounds,
+        rounds as f64 / secs,
+    )
+}
+
 /// Verifies an outcome against Kruskal (for MST algorithms) or against
 /// the spanning-tree property.
 ///
@@ -229,6 +268,9 @@ pub enum Command {
         threads: usize,
         /// Emit raw per-trial JSON instead of the aggregated table.
         json: bool,
+        /// Write executor-throughput metrics (runs/sec, messages/sec,
+        /// rounds/sec over the whole grid) to this file as JSON.
+        bench_out: Option<String>,
     },
     /// `help`: usage text.
     Help,
@@ -278,6 +320,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut sizes: Option<Vec<usize>> = None;
     let mut threads = 0usize;
     let mut json = false;
+    let mut bench_out: Option<String> = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--alg" => {
@@ -306,6 +349,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| format!("'{v}' is not a thread count"))?;
             }
             "--json" => json = true,
+            "--bench-out" => {
+                bench_out = Some(it.next().ok_or("--bench-out needs a file path")?.clone());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -347,6 +393,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seeds: seeds.unwrap_or_else(|| vec![seed]),
                 threads,
                 json,
+                bench_out,
             })
         }
         other => Err(format!(
@@ -371,6 +418,7 @@ USAGE:
     sleeping-mst info   --graph <SPEC> [--seed S]
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
+                        [--bench-out FILE]
 
 ALGORITHMS:
 {algorithms}
@@ -382,7 +430,9 @@ SWEEP:
     The template is a graph spec with {{n}} in place of the size, e.g.
     `--graph random:{{n}}:0.1 --sizes 32,64,128 --seeds 0..5`. Trials run
     in parallel (one graph+run per (algorithm, n, seed) cell); results are
-    deterministic per seed and independent of --threads.
+    deterministic per seed and independent of --threads. With --bench-out,
+    an executor-throughput JSON report (wall clock, runs/sec, messages/sec,
+    rounds/sec over the whole grid) is also written to FILE.
 "
     )
 }
@@ -443,6 +493,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             seeds,
             threads,
             json,
+            bench_out,
         } => {
             let family =
                 |n: usize, seed: u64| build_graph(&template.replace("{n}", &n.to_string()), seed);
@@ -453,9 +504,17 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             for &alg in algs {
                 sweep = sweep.algorithm(alg);
             }
+            let start = std::time::Instant::now();
             match sweep.run() {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(results) => {
+                    let wall = start.elapsed();
+                    if let Some(path) = bench_out {
+                        let report = render_bench_report(template, *threads, &results, wall);
+                        if let Err(e) = std::fs::write(path, report) {
+                            return (1, format!("error: cannot write {path}: {e}\n"));
+                        }
+                    }
                     let text = if *json {
                         harness::render_json(&results) + "\n"
                     } else {
@@ -528,6 +587,7 @@ mod tests {
                 seeds: vec![0, 1, 2],
                 threads: 2,
                 json: false,
+                bench_out: None,
             }
         );
         assert!(parse_args(&args(&[
@@ -645,6 +705,7 @@ mod tests {
             seeds: vec![0, 1],
             threads: 2,
             json: false,
+            bench_out: None,
         };
         let (code, text) = execute(&cmd);
         assert_eq!(code, 0, "{text}");
@@ -657,10 +718,73 @@ mod tests {
             seeds: vec![0],
             threads: 1,
             json: true,
+            bench_out: None,
         };
         let (code, text) = execute(&cmd_json);
         assert_eq!(code, 0, "{text}");
         assert!(text.trim_end().starts_with('[') && text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn sweep_bench_out_writes_throughput_report() {
+        let path = std::env::temp_dir().join("sleeping-mst-bench-out-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:{n}",
+            "--sizes",
+            "8,12",
+            "--seeds",
+            "0..2",
+            "--threads",
+            "1",
+            "--bench-out",
+            &path_str,
+        ]))
+        .unwrap();
+        let (code, text) = execute(&cmd);
+        assert_eq!(code, 0, "{text}");
+        let report = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            report.contains("\"kind\":\"engine_throughput\""),
+            "{report}"
+        );
+        assert!(report.contains("\"trials\":4"), "{report}");
+        for key in [
+            "\"wall_seconds\":",
+            "\"runs_per_sec\":",
+            "\"messages_per_sec\":",
+            "\"rounds_per_sec\":",
+            "\"messages_delivered\":",
+        ] {
+            assert!(report.contains(key), "missing {key} in {report}");
+        }
+    }
+
+    #[test]
+    fn bench_report_aggregates_deterministic_totals() {
+        let family = |n: usize, seed: u64| build_graph(&format!("ring:{n}"), seed);
+        let results = bench::Sweep::new(&family)
+            .algorithm(registry::find("randomized").unwrap())
+            .sizes([8])
+            .seeds([0, 1])
+            .threads(1)
+            .run()
+            .unwrap();
+        let report =
+            render_bench_report("ring:{n}", 1, &results, std::time::Duration::from_secs(2));
+        let messages: u64 = results.iter().map(|r| r.stats.messages_delivered).sum();
+        assert!(report.contains(&format!("\"messages_delivered\":{messages}")));
+        assert!(report.contains(&format!(
+            "\"messages_per_sec\":{:.1}",
+            messages as f64 / 2.0
+        )));
+        assert!(report.contains("\"algorithms\":\"randomized\""));
+        assert!(report.ends_with("}\n"));
     }
 
     #[test]

@@ -51,6 +51,52 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+/// Work performed per iteration, enabling rate reporting.
+///
+/// Set on a group via [`BenchmarkGroup::throughput`]; subsequent
+/// benchmarks in that group report elements (or bytes) per second derived
+/// from the median sample, alongside the per-iteration wall-clock times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many abstract elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// The raw per-iteration count.
+    fn count(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+
+    /// The unit suffix for rate display.
+    fn unit(self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        }
+    }
+}
+
+/// Formats `count / seconds` with a 1000-based scale prefix, e.g.
+/// `12.345 Melem/s`.
+fn format_rate(count: u64, seconds: f64, unit: &str) -> String {
+    let rate = count as f64 / seconds;
+    let (scaled, prefix) = if rate >= 1e9 {
+        (rate / 1e9, "G")
+    } else if rate >= 1e6 {
+        (rate / 1e6, "M")
+    } else if rate >= 1e3 {
+        (rate / 1e3, "K")
+    } else {
+        (rate, "")
+    };
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
 /// Timing loop handle passed to benchmark closures.
 #[derive(Debug)]
 pub struct Bencher {
@@ -76,7 +122,7 @@ impl Bencher {
     }
 }
 
-fn report(group: Option<&str>, id: &str, samples: &mut [Duration]) {
+fn report(group: Option<&str>, id: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
     let name = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
@@ -89,8 +135,17 @@ fn report(group: Option<&str>, id: &str, samples: &mut [Duration]) {
     let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let rate = throughput
+        .filter(|_| median > Duration::ZERO)
+        .map(|t| {
+            format!(
+                "   {}",
+                format_rate(t.count(), median.as_secs_f64(), t.unit())
+            )
+        })
+        .unwrap_or_default();
     println!(
-        "{name:<40} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}   ({} samples)",
+        "{name:<40} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}   ({} samples){rate}",
         samples.len()
     );
 }
@@ -99,6 +154,7 @@ fn report(group: Option<&str>, id: &str, samples: &mut [Duration]) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -110,6 +166,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the per-iteration work of subsequent benchmarks; their report
+    /// lines gain an elements- (or bytes-) per-second rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs a benchmark with no extra input.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
@@ -118,7 +181,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        report(Some(&self.name), &id.id, &mut b.samples);
+        report(Some(&self.name), &id.id, &mut b.samples, self.throughput);
         self
     }
 
@@ -134,7 +197,7 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b, input);
-        report(Some(&self.name), &id.id, &mut b.samples);
+        report(Some(&self.name), &id.id, &mut b.samples, self.throughput);
         self
     }
 
@@ -159,6 +222,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -170,7 +234,7 @@ impl Criterion {
     {
         let mut b = Bencher::new(20);
         f(&mut b);
-        report(None, id, &mut b.samples);
+        report(None, id, &mut b.samples, None);
         self
     }
 }
@@ -229,5 +293,36 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
         assert_eq!(BenchmarkId::from_parameter("4x8").to_string(), "4x8");
+    }
+
+    #[test]
+    fn throughput_rates_scale_and_label() {
+        // 2_000_000 elements in 0.5 s → 4 Melem/s; 500 bytes in 1 s stays
+        // unscaled.
+        assert_eq!(
+            format_rate(Throughput::Elements(2_000_000).count(), 0.5, "elem/s"),
+            "4.000 Melem/s"
+        );
+        assert_eq!(
+            format_rate(
+                Throughput::Bytes(500).count(),
+                1.0,
+                Throughput::Bytes(500).unit()
+            ),
+            "500.000 B/s"
+        );
+        assert_eq!(format_rate(3_000, 1.0, "elem/s"), "3.000 Kelem/s");
+        assert_eq!(format_rate(5_000_000_000, 1.0, "elem/s"), "5.000 Gelem/s");
+    }
+
+    #[test]
+    fn group_with_throughput_still_runs_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("rate");
+        group.sample_size(4).throughput(Throughput::Elements(128));
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 4);
     }
 }
