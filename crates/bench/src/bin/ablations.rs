@@ -56,8 +56,11 @@ fn unpruned_chain_depths(n: usize, seed: u64) -> Vec<usize> {
         }
         // Depth of merge components: BFS over the fragment supergraph whose
         // edges are ALL the MOEs (what naive merging must traverse).
-        let mut adj: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: `max_depth` depends on which node of each
+        // component the BFS starts from, so iteration order below must be
+        // deterministic or the reported depths drift run to run.
+        let mut adj: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (r, moe) in best.iter().enumerate() {
             if let Some(id) = moe {
                 let e = g.edge(*id);
@@ -68,7 +71,7 @@ fn unpruned_chain_depths(n: usize, seed: u64) -> Vec<usize> {
                 debug_assert!(a == r || b == r);
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut max_depth = 0usize;
         for &start in adj.keys() {
             if !seen.insert(start) {

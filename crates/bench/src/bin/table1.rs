@@ -16,6 +16,7 @@
 //! run their trials on all available cores (results are seed-deterministic
 //! and identical to a single-threaded run).
 
+// lint:allow(wall-clock) -- throughput column reports real elapsed time
 use std::time::Instant;
 
 use bench::{aggregate, Sweep};
@@ -37,6 +38,7 @@ fn main() {
     println!("| n    | awake max | awake/log2(n) | rounds    | rounds/(n·log2 n) | phases |");
     println!("|------|-----------|---------------|-----------|-------------------|--------|");
     let family = sparse_family(0.05);
+    // lint:allow(wall-clock) -- throughput column reports real elapsed time
     let started = Instant::now();
     let results = Sweep::new(&family)
         .algorithm(randomized)

@@ -327,7 +327,8 @@ pub fn render_json(results: &[TrialResult]) -> String {
                  \"graph_edges\":{},\"max_external_id\":{},\"tree_edges\":{},\
                  \"total_weight\":{},\"phases\":{},\"awake_max\":{},\
                  \"awake_avg\":{:.3},\"rounds\":{},\"awake_round_product\":{},\
-                 \"messages_delivered\":{},\"messages_lost\":{}}}",
+                 \"messages_delivered\":{},\"messages_lost\":{},\
+                 \"max_message_bits\":{},\"log_constant\":{}}}",
                 r.algorithm,
                 r.n,
                 r.seed,
@@ -343,6 +344,8 @@ pub fn render_json(results: &[TrialResult]) -> String {
                 r.stats.awake_round_product(),
                 r.stats.messages_delivered,
                 r.stats.messages_lost,
+                r.stats.max_message_bits,
+                r.stats.log_constant(r.nodes),
             )
         })
         .collect();

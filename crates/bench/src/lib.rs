@@ -22,9 +22,10 @@ pub mod harness;
 
 pub use harness::{aggregate, Cell, Sweep, TrialResult};
 
-/// Simple fixed-width markdown row printing.
-pub fn print_row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
+/// Renders one markdown table row; the binaries print it themselves
+/// (library code stays print-free — see the `print-in-lib` lint rule).
+pub fn format_row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
 }
 
 /// Geometric mean of a nonempty slice.

@@ -1,0 +1,30 @@
+//! `conformance-lint` — the workspace's sleeping-model source lint.
+//!
+//! Usage: `conformance-lint [ROOT]` (default: current directory). Walks
+//! every `src/**/*.rs` under `ROOT`, applies the rules documented in the
+//! `conformance` crate, and prints one `file:line: rule: message` per
+//! finding. Exit codes: 0 clean, 1 findings, 2 I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match conformance::lint_tree(Path::new(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("conformance-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            eprintln!("conformance-lint: {} finding(s)", findings.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("conformance-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

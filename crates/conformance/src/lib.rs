@@ -1,0 +1,594 @@
+//! The static half of model conformance: a repo-specific source lint.
+//!
+//! The paper's guarantees (Section 1.1) and every number in
+//! `EXPERIMENTS.md` rest on the simulation being a *deterministic*
+//! implementation of the sleeping model. This crate enforces the source
+//! hygiene that keeps it one — the dynamic half (the trace auditor) lives
+//! in `netsim::validate`. No external dependencies: the scanner is a
+//! line-based analyzer, deliberately dumb and fast, tuned to this
+//! workspace's idioms rather than general Rust.
+//!
+//! # Rules
+//!
+//! | rule | scope | what it forbids |
+//! |------|-------|-----------------|
+//! | `hash-container` | netsim, core, bench, lowerbound, root (tests included) | `HashMap`/`HashSet`: iteration order is randomized per process, which has already produced a real nondeterminism bug (merge-depth BFS in `ablations.rs`) |
+//! | `wall-clock` | every crate, non-test | `std::time`, `SystemTime`, `Instant::now`, `thread_rng`: ambient nondeterminism outside the vendored, seeded shims |
+//! | `print-in-lib` | every crate, non-bin, non-test | `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`: library code must return strings; only binaries print |
+//! | `bare-unwrap` | netsim, core, non-test | `.unwrap()` with no message: hot-path panics must be typed errors or `.expect("reason")` documenting the invariant |
+//! | `engine-panic-path` | `netsim/src/engine.rs`, `netsim/src/sim.rs`, non-test | any panic machinery (`unwrap`, `expect`, `panic!`, `unreachable!`, …): the executor hot path returns `SimError`, never panics |
+//! | `bad-pragma` | everywhere | a `lint:allow` pragma naming an unknown rule or missing its ` -- reason` |
+//!
+//! `graphlib` is deliberately outside the `hash-container` scope: its hash
+//! sets back membership-only rejection sampling (insert/contains, order
+//! never observed), and its generators are seeded.
+//!
+//! # Allow pragma
+//!
+//! A finding is suppressed by a pragma on the same line or on a comment
+//! line directly above, naming the rule and giving a reason:
+//!
+//! ```text
+//! // lint:allow(wall-clock) -- throughput report needs real elapsed time
+//! let started = std::time::Instant::now();
+//! ```
+//!
+//! A pragma with an unknown rule name or without the ` -- reason` tail is
+//! itself reported (`bad-pragma`), so the allowlist stays auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Names of every rule the scanner knows, in report order.
+pub const RULE_NAMES: &[&str] = &[
+    "hash-container",
+    "wall-clock",
+    "print-in-lib",
+    "bare-unwrap",
+    "engine-panic-path",
+    "bad-pragma",
+];
+
+/// Crates whose sources are checked for `hash-container` (directory names
+/// under `crates/`, plus `sleeping-mst` for the root package).
+const HASH_SCOPE: &[&str] = &["netsim", "core", "bench", "lowerbound", "sleeping-mst"];
+
+/// Crates whose non-test sources are checked for `bare-unwrap`.
+const UNWRAP_SCOPE: &[&str] = &["netsim", "core"];
+
+/// One lint finding, reported as `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// The violated rule (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file is classified for rule scoping, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileCtx<'a> {
+    /// Directory name under `crates/`, or `sleeping-mst` for the root
+    /// package's `src/`.
+    crate_name: &'a str,
+    /// Binary target (`src/bin/…` or `src/main.rs`): prints are its job.
+    is_bin: bool,
+    /// The executor hot path held to the zero-panic rule.
+    is_engine_hot_path: bool,
+}
+
+fn classify(path: &str) -> FileCtx<'_> {
+    let crate_name = match path.find("crates/") {
+        Some(i) => {
+            let rest = &path[i + "crates/".len()..];
+            rest.split('/').next().unwrap_or("")
+        }
+        None if path.starts_with("src/") || path.contains("/src/") => "sleeping-mst",
+        None => "",
+    };
+    FileCtx {
+        crate_name,
+        is_bin: path.contains("/bin/") || path.ends_with("main.rs"),
+        is_engine_hot_path: path.ends_with("crates/netsim/src/engine.rs")
+            || path.ends_with("crates/netsim/src/sim.rs")
+            || path == "crates/netsim/src/engine.rs"
+            || path == "crates/netsim/src/sim.rs",
+    }
+}
+
+/// Brace balance of `code`, ignoring braces inside string and char
+/// literals (format strings like `"{x}"` would otherwise skew the
+/// `#[cfg(test)]` region tracking).
+fn brace_balance(code: &str) -> i64 {
+    let mut balance = 0i64;
+    let mut chars = code.chars().peekable();
+    let mut in_string = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_string || in_char => {
+                chars.next();
+            }
+            '"' if !in_char => in_string = !in_string,
+            '\'' if !in_string => {
+                // A char literal ('x', '\n', '{') — consume up to the
+                // closing quote; lifetimes ('a) have none and fall through.
+                let mut look = chars.clone();
+                match look.next() {
+                    Some('\\') => {
+                        look.next();
+                        if look.next() == Some('\'') {
+                            chars.next();
+                            chars.next();
+                            chars.next();
+                        }
+                    }
+                    Some(_) if look.next() == Some('\'') => {
+                        chars.next();
+                        chars.next();
+                    }
+                    _ => in_char = false,
+                }
+            }
+            '{' if !in_string && !in_char => balance += 1,
+            '}' if !in_string && !in_char => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// The code portion of a line: everything before a `//` comment that is
+/// not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1,
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// A parsed `lint:allow` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pragma {
+    rule: String,
+    has_reason: bool,
+}
+
+/// Extracts a `lint:allow(<rule>) -- reason` pragma from a line, if any.
+fn parse_pragma(line: &str) -> Option<Pragma> {
+    let start = line.find("lint:allow(")?;
+    let after = &line[start + "lint:allow(".len()..];
+    let close = after.find(')')?;
+    let rule = after[..close].trim().to_string();
+    let tail = &after[close + 1..];
+    let has_reason = tail
+        .trim_start()
+        .strip_prefix("--")
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(Pragma { rule, has_reason })
+}
+
+/// Per-line state for `#[cfg(test)]` / `#[test]` region tracking.
+#[derive(Debug, Default)]
+struct TestRegion {
+    /// `Some(depth)` while inside a test item's braces.
+    depth: Option<i64>,
+    /// A test attribute was seen; waiting for the item's opening brace.
+    pending: bool,
+}
+
+impl TestRegion {
+    /// Advances over one line of code and reports whether that line is
+    /// part of a test region (the attribute and header lines count).
+    fn step(&mut self, code: &str, trimmed: &str) -> bool {
+        if let Some(depth) = self.depth.as_mut() {
+            *depth += brace_balance(code);
+            if *depth <= 0 {
+                self.depth = None;
+            }
+            return true;
+        }
+        if self.pending {
+            if code.contains('{') {
+                self.pending = false;
+                let balance = brace_balance(code);
+                if balance > 0 {
+                    self.depth = Some(balance);
+                }
+            } else if trimmed.starts_with("#[") || trimmed.is_empty() {
+                // Stacked attributes / blank line: keep waiting.
+            } else if code.trim_end().ends_with(';') {
+                // `#[cfg(test)] use …;` — a single gated item, done.
+                self.pending = false;
+            }
+            return true;
+        }
+        if trimmed.starts_with("#[cfg(test)") || trimmed == "#[test]" {
+            self.pending = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// Lints one source file. `path` is the workspace-relative path (used for
+/// rule scoping and in findings); `source` its full contents.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let ctx = classify(path);
+    if ctx.crate_name == "conformance" {
+        // The linter's own sources and fixtures mention every needle.
+        return Vec::new();
+    }
+
+    let lines: Vec<&str> = source.lines().collect();
+
+    // Pass 1: pragmas. `allows[i]` = rules suppressed on line i (0-based),
+    // from a same-line pragma or a pragma comment directly above.
+    let mut allows: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(pragma) = parse_pragma(line) else {
+            continue;
+        };
+        if !RULE_NAMES.contains(&pragma.rule.as_str()) {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "bad-pragma",
+                message: format!(
+                    "unknown rule '{}' (known: {})",
+                    pragma.rule,
+                    RULE_NAMES.join(", ")
+                ),
+            });
+            continue;
+        }
+        if !pragma.has_reason {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "bad-pragma",
+                message: format!(
+                    "pragma for '{}' lacks a reason; write `lint:allow({}) -- why`",
+                    pragma.rule, pragma.rule
+                ),
+            });
+            continue;
+        }
+        allows[i].push(pragma.rule.clone());
+        if i + 1 < lines.len() && lines[i].trim_start().starts_with("//") {
+            let rule = pragma.rule;
+            allows[i + 1].push(rule);
+        }
+    }
+
+    // Pass 2: rules.
+    let mut region = TestRegion::default();
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        let code = strip_comment(line);
+        let in_test = region.step(code, trimmed);
+        if trimmed.starts_with("//") || code.trim().is_empty() {
+            continue;
+        }
+        let allowed = |rule: &str| allows[i].iter().any(|a| a == rule);
+        let mut report = |rule: &'static str, message: String| {
+            if !allowed(rule) {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: i + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        // hash-container: tests included — trace-pinning and differential
+        // tests are exactly where iteration order corrupts expectations.
+        if HASH_SCOPE.contains(&ctx.crate_name)
+            && (code.contains("HashMap") || code.contains("HashSet"))
+        {
+            report(
+                "hash-container",
+                "std hash containers iterate in randomized order; use BTreeMap/BTreeSet \
+                 or sort the keys"
+                    .to_string(),
+            );
+        }
+
+        if in_test {
+            continue;
+        }
+
+        if !ctx.crate_name.is_empty()
+            && (code.contains("std::time")
+                || code.contains("SystemTime")
+                || code.contains("Instant::now(")
+                || code.contains("thread_rng"))
+        {
+            report(
+                "wall-clock",
+                "ambient time/randomness breaks run reproducibility; derive everything \
+                 from the seeded shims"
+                    .to_string(),
+            );
+        }
+
+        if !ctx.crate_name.is_empty()
+            && !ctx.is_bin
+            && (code.contains("println!")
+                || code.contains("eprintln!")
+                || code.contains("print!(")
+                || code.contains("eprint!(")
+                || code.contains("dbg!("))
+        {
+            report(
+                "print-in-lib",
+                "library code must not print; return a String and let the binary emit it"
+                    .to_string(),
+            );
+        }
+
+        if UNWRAP_SCOPE.contains(&ctx.crate_name) && code.contains(".unwrap()") {
+            report(
+                "bare-unwrap",
+                "unreasoned panic in protocol/engine code; use a typed error or \
+                 .expect(\"invariant\")"
+                    .to_string(),
+            );
+        }
+
+        if ctx.is_engine_hot_path
+            && [
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+            ]
+            .iter()
+            .any(|needle| code.contains(needle))
+        {
+            report(
+                "engine-panic-path",
+                "the executor hot path must return SimError, never panic".to_string(),
+            );
+        }
+    }
+
+    findings
+}
+
+/// Walks `root` and lints every `src/**/*.rs` file of the workspace (root
+/// package and member crates), skipping `vendor/`, `target/`, `.git`, and
+/// the conformance crate itself. Files are visited in sorted path order,
+/// so output is deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O failures (unreadable directories or files).
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, PathBuf::new(), &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let source = fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(&rel_str, &source));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, rel: PathBuf, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let dir = root.join(&rel);
+    let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let sub = rel.join(name.as_ref());
+        if entry.file_type()?.is_dir() {
+            if matches!(name.as_ref(), "vendor" | "target" | ".git" | "conformance") {
+                continue;
+            }
+            collect_rs_files(root, sub, out)?;
+        } else if name.ends_with(".rs") {
+            let sub_str = sub.to_string_lossy().replace('\\', "/");
+            if sub_str.starts_with("src/") || sub_str.contains("/src/") {
+                out.push(sub);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/netsim/src/engine.rs").crate_name, "netsim");
+        assert!(classify("crates/netsim/src/engine.rs").is_engine_hot_path);
+        assert!(!classify("crates/netsim/src/radio.rs").is_engine_hot_path);
+        assert_eq!(classify("src/cli.rs").crate_name, "sleeping-mst");
+        assert!(classify("crates/bench/src/bin/table1.rs").is_bin);
+        assert!(!classify("crates/bench/src/lib.rs").is_bin);
+    }
+
+    #[test]
+    fn hash_container_fires_in_scope_and_in_tests() {
+        let src = "fn f() {\n    let m = std::collections::HashMap::new();\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", src)),
+            vec!["hash-container"]
+        );
+        // graphlib is out of scope (membership-only use, documented).
+        assert!(lint_source("crates/graphlib/src/x.rs", src).is_empty());
+        // Tests are NOT exempt for this rule.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { let s = HashSet::new(); }\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/netsim/src/x.rs", test_src)),
+            vec!["hash-container"]
+        );
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_tests_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/bench/src/bin/table1.rs", src)),
+            vec!["wall-clock"]
+        );
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { let t = std::time::Instant::now(); }\n}\n";
+        assert!(lint_source("crates/bench/src/bin/table1.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn print_in_lib_exempts_binaries() {
+        let src = "fn f() { println!(\"hi\"); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/bench/src/lib.rs", src)),
+            vec!["print-in-lib"]
+        );
+        assert!(lint_source("crates/bench/src/bin/table1.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_unwrap_scope_and_expect_distinction() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", src)),
+            vec!["bare-unwrap"]
+        );
+        // .expect with a reason is fine outside the engine hot path…
+        let expect_src = "fn f() { x.expect(\"reason\"); }\n";
+        assert!(lint_source("crates/core/src/x.rs", expect_src).is_empty());
+        // …but not inside it.
+        assert_eq!(
+            rules_of(&lint_source("crates/netsim/src/engine.rs", expect_src)),
+            vec!["engine-panic-path"]
+        );
+        // bench is outside the bare-unwrap scope.
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn engine_hot_path_rejects_all_panic_machinery() {
+        for needle in ["a.unwrap();", "panic!(\"x\");", "unreachable!();"] {
+            let src = format!("fn f() {{ {needle} }}\n");
+            let findings = lint_source("crates/netsim/src/sim.rs", &src);
+            assert!(
+                findings.iter().any(|f| f.rule == "engine-panic-path"),
+                "{needle}: {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line_and_next_line() {
+        let same = "fn f() { x.unwrap(); } // lint:allow(bare-unwrap) -- init-only path\n";
+        assert!(lint_source("crates/core/src/x.rs", same).is_empty());
+        let above = "// lint:allow(bare-unwrap) -- init-only path\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source("crates/core/src/x.rs", above).is_empty());
+        // The pragma only covers its own rule.
+        let wrong = "// lint:allow(wall-clock) -- misdirected\nfn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", wrong)),
+            vec!["bare-unwrap"]
+        );
+    }
+
+    #[test]
+    fn bad_pragmas_are_reported() {
+        let unknown = "// lint:allow(made-up-rule) -- whatever\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", unknown)),
+            vec!["bad-pragma"]
+        );
+        let reasonless = "// lint:allow(bare-unwrap)\nfn f() { x.unwrap(); }\n";
+        let findings = lint_source("crates/core/src/x.rs", reasonless);
+        // Reported as bad AND not honored.
+        assert_eq!(rules_of(&findings), vec!["bad-pragma", "bare-unwrap"]);
+    }
+
+    #[test]
+    fn comments_and_doc_comments_do_not_fire() {
+        let src = "//! Example: `println!(\"{}\", x)` and HashMap talk.\n// std::time discussion\nfn f() {}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_needle_does_not_fire() {
+        let src = "fn f() {} // HashMap would be wrong here\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn format_string_braces_do_not_break_region_tracking() {
+        // The "{{" inside the test's string must not make the tracker
+        // believe the test region never closes.
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let s = format!(\"{{\"); }\n}\nfn prod() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", src)),
+            vec!["bare-unwrap"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_single_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", src)),
+            vec!["bare-unwrap"]
+        );
+    }
+
+    #[test]
+    fn finding_display_is_file_line_rule() {
+        let f = Finding {
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            rule: "bare-unwrap",
+            message: "m".into(),
+        };
+        assert_eq!(f.to_string(), "crates/core/src/x.rs:3: bare-unwrap: m");
+    }
+}

@@ -1,0 +1,11 @@
+//! Counter-fixture: correctly suppressed findings. The lint must report
+//! nothing for this file. Never compiled.
+
+// lint:allow(wall-clock) -- fixture demonstrating a well-formed pragma
+use std::time::Instant;
+
+fn timed(x: Option<u32>) -> u32 {
+    // lint:allow(bare-unwrap) -- fixture demonstrating a same-line pragma
+    let v = x.unwrap(); // lint:allow(bare-unwrap) -- caller guarantees Some
+    v
+}

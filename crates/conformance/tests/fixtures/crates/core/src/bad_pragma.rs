@@ -1,0 +1,10 @@
+//! Seeded violation fixture: malformed allow pragmas. Never compiled.
+
+// lint:allow(no-such-rule) -- the rule name does not exist
+fn misdirected() {}
+
+// lint:allow(bare-unwrap)
+fn reasonless(x: Option<u32>) -> u32 {
+    // The reasonless pragma above is reported AND not honored:
+    x.unwrap()
+}

@@ -1,0 +1,21 @@
+//! Seeded violation fixture: a "protocol" that breaks every determinism
+//! rule at once. Never compiled; input for the lint's integration tests.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn choose_moe(weights: &HashMap<u64, u64>) -> u64 {
+    // hash-container: iteration order decides the answer.
+    let mut best = 0;
+    for (&edge, &w) in weights.iter() {
+        if w > best {
+            best = edge;
+        }
+    }
+    // wall-clock: timing-dependent protocol state.
+    let jitter = Instant::now().elapsed().as_nanos() as u64;
+    // print-in-lib: library code talking to stdout.
+    println!("chose {best} with jitter {jitter}");
+    // bare-unwrap: unreasoned panic in protocol code.
+    weights.get(&best).copied().unwrap()
+}

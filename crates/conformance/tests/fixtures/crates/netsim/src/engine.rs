@@ -1,0 +1,19 @@
+//! Seeded violation fixture: panic machinery in the executor hot path.
+//! This file is never compiled — the lint's integration tests (and CI's
+//! nonzero-exit check) run `conformance-lint` over the fixtures tree and
+//! expect exactly these findings.
+
+fn deliver(slot: usize, arena: &[u32]) -> u32 {
+    // engine-panic-path + bare-unwrap: indexing fallback panics.
+    let first = arena.get(slot).unwrap();
+    if *first == 0 {
+        // engine-panic-path: the hot path must return SimError.
+        panic!("empty inbox slot");
+    }
+    *first
+}
+
+fn route(port: usize, backs: &[usize]) -> usize {
+    // engine-panic-path: expect() is still a panic here.
+    *backs.get(port).expect("port in range")
+}

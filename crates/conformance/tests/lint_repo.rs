@@ -1,0 +1,82 @@
+//! Integration tests: the lint is clean on the real workspace and fires
+//! on every seeded fixture — the same checks CI runs via the
+//! `conformance-lint` binary's exit code.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use conformance::lint_tree;
+
+fn repo_root() -> PathBuf {
+    // crates/conformance → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/conformance")
+        .to_path_buf()
+}
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn repo_tree_is_clean() {
+    let findings = lint_tree(&repo_root()).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixtures_trip_every_rule() {
+    let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
+    let fired: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    for rule in conformance::RULE_NAMES {
+        assert!(
+            fired.contains(rule),
+            "no fixture fires '{rule}': {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_findings_name_file_and_line() {
+    let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
+    let engine_panic = findings
+        .iter()
+        .find(|f| f.rule == "engine-panic-path")
+        .expect("engine fixture finding");
+    assert_eq!(engine_panic.file, "crates/netsim/src/engine.rs");
+    assert!(engine_panic.line > 0);
+    assert!(engine_panic
+        .to_string()
+        .starts_with("crates/netsim/src/engine.rs:"));
+}
+
+#[test]
+fn allowed_fixture_is_silent() {
+    let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
+    assert!(
+        !findings.iter().any(|f| f.file.ends_with("allowed.rs")),
+        "well-formed pragmas must suppress: {findings:?}"
+    );
+}
+
+#[test]
+fn reasonless_pragma_is_reported_and_not_honored() {
+    let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
+    let in_bad: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.file.ends_with("bad_pragma.rs"))
+        .map(|f| f.rule)
+        .collect();
+    assert!(in_bad.contains(&"bad-pragma"), "{in_bad:?}");
+    assert!(in_bad.contains(&"bare-unwrap"), "{in_bad:?}");
+}

@@ -53,7 +53,7 @@ pub fn check_forest(graph: &WeightedGraph, views: &[LdtView]) -> Result<(), Stri
     }
 
     let mut tree_edges = 0usize;
-    let mut roots_per_fragment = std::collections::HashMap::new();
+    let mut roots_per_fragment = std::collections::BTreeMap::new();
 
     for v in graph.nodes() {
         let w = &views[v.index()];
@@ -82,9 +82,11 @@ pub fn check_forest(graph: &WeightedGraph, views: &[LdtView]) -> Result<(), Stri
             }
             let parent_node = graph.port_entry(v, p).neighbor;
             let pw = &views[parent_node.index()];
-            let back = graph
-                .port_to(parent_node, v)
-                .expect("adjacency is symmetric");
+            let Some(back) = graph.port_to(parent_node, v) else {
+                return Err(format!(
+                    "adjacency is not symmetric between {parent_node} and {v}"
+                ));
+            };
             if !pw.children.contains(&back) {
                 return Err(format!("{parent_node} does not list {v} as a child"));
             }
@@ -109,9 +111,11 @@ pub fn check_forest(graph: &WeightedGraph, views: &[LdtView]) -> Result<(), Stri
             }
             let child_node = graph.port_entry(v, c).neighbor;
             let cw = &views[child_node.index()];
-            let back = graph
-                .port_to(child_node, v)
-                .expect("adjacency is symmetric");
+            let Some(back) = graph.port_to(child_node, v) else {
+                return Err(format!(
+                    "adjacency is not symmetric between {child_node} and {v}"
+                ));
+            };
             if cw.parent != Some(back) {
                 return Err(format!("{child_node} does not list {v} as its parent"));
             }

@@ -309,12 +309,12 @@ impl Protocol for RandomizedMst {
     }
 
     fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<MstMsg>) {
-        let (_, block, _, step) = self.next_step.expect("send only at planned wakes");
+        let (phase, block, offset, step) = self.next_step.expect("send only at planned wakes");
         debug_assert_eq!(
             self.timeline.round(Position {
-                phase: self.next_step.unwrap().0,
+                phase,
                 block,
-                offset: self.next_step.unwrap().2
+                offset
             }),
             round
         );

@@ -21,8 +21,10 @@ use graphlib::WeightedGraph;
 use crate::deterministic::DeterministicConfig;
 use crate::randomized::RandomizedConfig;
 use crate::runner::{
-    run_always_awake_scratch, run_deterministic_scratch, run_logstar_scratch, run_prim_scratch,
-    run_randomized_scratch, run_spanning_tree_scratch, MstOutcome, MstScratch, RunError,
+    check_always_awake, check_deterministic, check_logstar, check_prim, check_randomized,
+    check_spanning_tree, run_always_awake_scratch, run_deterministic_scratch, run_logstar_scratch,
+    run_prim_scratch, run_randomized_scratch, run_spanning_tree_scratch, MstOutcome, MstScratch,
+    RunError,
 };
 
 /// One registered algorithm: metadata plus a uniform entry point.
@@ -44,7 +46,14 @@ pub struct AlgorithmSpec {
     /// `true` if the output is the (unique) minimum spanning tree/forest
     /// rather than just some spanning tree.
     pub produces_mst: bool,
+    /// The algorithm's CONGEST constant `C`: the conformance checker holds
+    /// every message to `C·⌈log₂ n⌉` bits. The values are measured ceilings
+    /// with headroom (see `EXPERIMENTS.md`, "Message-width constants");
+    /// they are dominated by the `⌈log₂ W⌉ ≈ ⌈log₂ 64n³⌉` weight field at
+    /// small `n`, which is why none of them is a tight `O(1)`.
+    pub congest_constant: u64,
     runner: fn(&WeightedGraph, u64, &mut MstScratch) -> Result<MstOutcome, RunError>,
+    checker: fn(&WeightedGraph, u64, u64) -> Result<MstOutcome, RunError>,
 }
 
 /// Specs are equal iff they are the same registry entry (names are
@@ -98,6 +107,54 @@ impl AlgorithmSpec {
     ) -> Result<MstOutcome, RunError> {
         (self.runner)(graph, seed, scratch)
     }
+
+    /// The per-message bit budget the conformance checker enforces for this
+    /// algorithm on an `n`-node graph: `congest_constant · ⌈log₂ n⌉`.
+    pub fn bit_budget(&self, n: usize) -> usize {
+        self.congest_constant as usize * netsim::bits_for_range(n.max(2) as u64)
+    }
+
+    /// Runs the algorithm under the model-conformance checker
+    /// ([`netsim::ValidatingExecutor`]): tracing forced on, every message
+    /// held to [`AlgorithmSpec::bit_budget`], the full trace audited
+    /// against the Section 1.1 rules, and the run repeated with the same
+    /// seed to prove determinism. Roughly 2× the cost of
+    /// [`AlgorithmSpec::run`] plus tracing overhead.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Model`] listing the violated rules, or any error the
+    /// plain run path can produce.
+    pub fn check(&self, graph: &WeightedGraph, seed: u64) -> Result<ModelCheck, RunError> {
+        let outcome = (self.checker)(graph, seed, self.congest_constant)?;
+        let n = graph.node_count();
+        Ok(ModelCheck {
+            algorithm: self.name,
+            n,
+            bit_budget: self.bit_budget(n),
+            max_message_bits: outcome.stats.max_message_bits,
+            log_constant: outcome.stats.log_constant(n),
+            outcome,
+        })
+    }
+}
+
+/// The report of a passed conformance check (a failed one is a
+/// [`RunError::Model`] listing the violations).
+#[derive(Debug, Clone)]
+pub struct ModelCheck {
+    /// Registry name of the checked algorithm.
+    pub algorithm: &'static str,
+    /// Node count of the checked graph.
+    pub n: usize,
+    /// The enforced per-message budget, in bits.
+    pub bit_budget: usize,
+    /// Largest message actually observed, in bits.
+    pub max_message_bits: u64,
+    /// Observed CONGEST constant `⌈max_message_bits / ⌈log₂ n⌉⌉`.
+    pub log_constant: u64,
+    /// The validated run's ordinary outcome.
+    pub outcome: MstOutcome,
 }
 
 /// Every algorithm the workspace can execute, in presentation order.
@@ -108,9 +165,11 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: true,
         needs_connected: false,
         produces_mst: true,
+        congest_constant: 14,
         runner: |g, seed, scratch| {
             run_randomized_scratch(g, seed, RandomizedConfig::default(), scratch)
         },
+        checker: check_randomized,
     },
     AlgorithmSpec {
         name: "deterministic",
@@ -118,9 +177,11 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: false,
         needs_connected: false,
         produces_mst: true,
+        congest_constant: 14,
         runner: |g, _seed, scratch| {
             run_deterministic_scratch(g, DeterministicConfig::default(), scratch)
         },
+        checker: |g, _seed, c| check_deterministic(g, c),
     },
     AlgorithmSpec {
         name: "logstar",
@@ -128,7 +189,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: false,
         needs_connected: false,
         produces_mst: true,
+        congest_constant: 14,
         runner: |g, _seed, scratch| run_logstar_scratch(g, scratch),
+        checker: |g, _seed, c| check_logstar(g, c),
     },
     AlgorithmSpec {
         name: "prim",
@@ -136,7 +199,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: false,
         needs_connected: true,
         produces_mst: true,
+        congest_constant: 14,
         runner: |g, _seed, scratch| run_prim_scratch(g, 1, scratch),
+        checker: |g, _seed, c| check_prim(g, 1, c),
     },
     AlgorithmSpec {
         name: "spanning-tree",
@@ -144,7 +209,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: true,
         needs_connected: false,
         produces_mst: false,
+        congest_constant: 14,
         runner: run_spanning_tree_scratch,
+        checker: check_spanning_tree,
     },
     AlgorithmSpec {
         name: "always-awake",
@@ -152,7 +219,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_seed: true,
         needs_connected: false,
         produces_mst: true,
+        congest_constant: 14,
         runner: run_always_awake_scratch,
+        checker: check_always_awake,
     },
 ];
 
@@ -178,7 +247,7 @@ mod tests {
     #[test]
     fn registry_has_all_six_unique_names() {
         assert_eq!(ALGORITHMS.len(), 6);
-        let uniq: std::collections::HashSet<&str> = ALGORITHMS.iter().map(|a| a.name).collect();
+        let uniq: std::collections::BTreeSet<&str> = ALGORITHMS.iter().map(|a| a.name).collect();
         assert_eq!(uniq.len(), 6);
         assert!(names().contains("randomized"));
     }
@@ -220,6 +289,36 @@ mod tests {
             assert_eq!(pooled.stats, fresh.stats, "{}", spec.name);
             assert_eq!(pooled.phases, fresh.phases, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn every_algorithm_passes_the_model_check() {
+        let g = generators::random_connected(12, 0.3, 5).unwrap();
+        for spec in ALGORITHMS {
+            let check = spec
+                .check(&g, 4)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(check.algorithm, spec.name);
+            assert!(check.max_message_bits > 0, "{}", spec.name);
+            assert!(
+                check.max_message_bits <= check.bit_budget as u64,
+                "{}: {} bits over the {}-bit budget",
+                spec.name,
+                check.max_message_bits,
+                check.bit_budget
+            );
+            assert!(check.log_constant <= spec.congest_constant, "{}", spec.name);
+            // The validated run produces the same answer as the plain one.
+            let plain = spec.run(&g, 4).unwrap();
+            assert_eq!(check.outcome.edges, plain.edges, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn check_reports_budget_for_the_graph_size() {
+        let spec = find("randomized").unwrap();
+        // ⌈log₂ 12⌉ = 4.
+        assert_eq!(spec.bit_budget(12), spec.congest_constant as usize * 4);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 use std::fmt;
 
 use graphlib::{EdgeId, NodeId, Port, WeightedGraph};
-use netsim::{ExecutorScratch, NodeCtx, Protocol, RunStats, SimConfig, SimError, Simulator};
+use netsim::{
+    ExecutorScratch, NodeCtx, Protocol, RunStats, SimConfig, SimError, Simulator, ValidateError,
+    ValidatingExecutor, Violation,
+};
 
 use crate::baseline::ghs_always_awake;
 use crate::deterministic::{DeterministicConfig, DeterministicMst};
@@ -74,6 +77,9 @@ pub enum RunError {
         /// Registry name of the algorithm that was refused.
         algorithm: &'static str,
     },
+    /// The run broke one or more sleeping-model rules (Section 1.1) —
+    /// reported by the validating executor on the `check_*` paths.
+    Model(Vec<Violation>),
 }
 
 impl fmt::Display for RunError {
@@ -86,6 +92,13 @@ impl fmt::Display for RunError {
                 "algorithm '{algorithm}' requires a connected graph \
                  (non-leader components would never terminate)"
             ),
+            RunError::Model(violations) => {
+                write!(f, "{} sleeping-model violation(s)", violations.len())?;
+                for v in violations {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -95,7 +108,16 @@ impl std::error::Error for RunError {
         match self {
             RunError::Sim(e) => Some(e),
             RunError::Collect(e) => Some(e),
-            RunError::Disconnected { .. } => None,
+            RunError::Disconnected { .. } | RunError::Model(_) => None,
+        }
+    }
+}
+
+impl From<ValidateError> for RunError {
+    fn from(e: ValidateError) -> Self {
+        match e {
+            ValidateError::Sim(s) => RunError::Sim(s),
+            ValidateError::Model(v) => RunError::Model(v),
         }
     }
 }
@@ -180,6 +202,191 @@ where
         stats: out.stats,
         phases,
     })
+}
+
+/// The validated twin of [`run_and_collect`]: executes under the
+/// [`ValidatingExecutor`] (tracing forced, per-message budget
+/// `congest_constant·⌈log₂ n⌉`, double-run determinism check) and collects
+/// the same [`MstOutcome`]. Slower than the plain path — it runs the
+/// protocol twice with tracing on — so it backs `AlgorithmSpec::check` and
+/// the `sleeping-mst check` subcommand, not the benchmarks.
+fn check_and_collect<P, F>(
+    graph: &WeightedGraph,
+    config: SimConfig,
+    congest_constant: u64,
+    factory: F,
+    ports_of: impl Fn(&P) -> &[bool],
+    phases_of: impl Fn(&P) -> u64,
+) -> Result<MstOutcome, RunError>
+where
+    P: Protocol,
+    F: FnMut(&NodeCtx) -> P,
+{
+    let out = ValidatingExecutor::new(graph, config)
+        .with_congest_constant(congest_constant)
+        .run(factory)?;
+    let edges = collect_mst_edges(graph, &out.states, &ports_of)?;
+    let phases = out.states.iter().map(phases_of).max().unwrap_or(0);
+    Ok(MstOutcome {
+        edges,
+        stats: out.stats,
+        phases,
+    })
+}
+
+/// Conformance-checked run of `Randomized-MST` under the
+/// [`ValidatingExecutor`].
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_randomized`].
+pub fn check_randomized(
+    graph: &WeightedGraph,
+    seed: u64,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    check_randomized_with(graph, seed, RandomizedConfig::default(), congest_constant)
+}
+
+/// Conformance-checked run of `Randomized-MST` with ablation overrides.
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_randomized_with`].
+pub fn check_randomized_with(
+    graph: &WeightedGraph,
+    seed: u64,
+    config: RandomizedConfig,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    check_and_collect(
+        graph,
+        SimConfig::default().with_seed(seed),
+        congest_constant,
+        |ctx| RandomizedMst::with_config(ctx, config.clone()),
+        RandomizedMst::mst_ports,
+        RandomizedMst::phases,
+    )
+}
+
+/// Conformance-checked run of `Deterministic-MST`.
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_deterministic`].
+pub fn check_deterministic(
+    graph: &WeightedGraph,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    check_deterministic_with(graph, DeterministicConfig::default(), congest_constant)
+}
+
+/// Conformance-checked run of `Deterministic-MST` with ablation overrides.
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_deterministic_with`].
+pub fn check_deterministic_with(
+    graph: &WeightedGraph,
+    config: DeterministicConfig,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    check_and_collect(
+        graph,
+        SimConfig::default(),
+        congest_constant,
+        |ctx| DeterministicMst::with_config(ctx, config.clone()),
+        DeterministicMst::mst_ports,
+        DeterministicMst::phases,
+    )
+}
+
+/// Conformance-checked run of the Corollary 1 log* variant.
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_logstar`].
+pub fn check_logstar(graph: &WeightedGraph, congest_constant: u64) -> Result<MstOutcome, RunError> {
+    check_deterministic_with(
+        graph,
+        DeterministicConfig {
+            coloring: crate::deterministic::ColoringMode::ColeVishkin,
+            ..DeterministicConfig::default()
+        },
+        congest_constant,
+    )
+}
+
+/// Conformance-checked run of the spanning-tree variant.
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_spanning_tree`].
+pub fn check_spanning_tree(
+    graph: &WeightedGraph,
+    seed: u64,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    check_randomized_with(
+        graph,
+        seed,
+        RandomizedConfig {
+            selection: crate::randomized::EdgeSelection::MinPort,
+            ..RandomizedConfig::default()
+        },
+        congest_constant,
+    )
+}
+
+/// Conformance-checked run of the Prim-style baseline.
+///
+/// # Errors
+///
+/// [`RunError::Disconnected`] on disconnected inputs, [`RunError::Model`]
+/// on any sleeping-model violation; otherwise as [`run_prim`].
+pub fn check_prim(
+    graph: &WeightedGraph,
+    leader: u64,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    if !graphlib::traversal::is_connected(graph) {
+        return Err(RunError::Disconnected { algorithm: "prim" });
+    }
+    check_and_collect(
+        graph,
+        SimConfig::default(),
+        congest_constant,
+        |ctx| crate::prim::PrimMst::new(ctx, leader),
+        crate::prim::PrimMst::mst_ports,
+        crate::prim::PrimMst::phases,
+    )
+}
+
+/// Conformance-checked run of the always-awake GHS baseline.
+///
+/// # Errors
+///
+/// [`RunError::Model`] on any sleeping-model violation; otherwise as
+/// [`run_always_awake`].
+pub fn check_always_awake(
+    graph: &WeightedGraph,
+    seed: u64,
+    congest_constant: u64,
+) -> Result<MstOutcome, RunError> {
+    check_and_collect(
+        graph,
+        SimConfig::default().with_seed(seed),
+        congest_constant,
+        ghs_always_awake,
+        |s| s.inner().mst_ports(),
+        |s| s.inner().phases(),
+    )
 }
 
 /// Runs `Randomized-MST` with the paper's parameters.

@@ -131,7 +131,7 @@ mod tests {
             let mut all = vec![o.down_send, o.side, o.up_receive];
             all.extend(o.down_receive);
             all.extend(o.up_send);
-            let uniq: std::collections::HashSet<u64> = all.iter().copied().collect();
+            let uniq: std::collections::BTreeSet<u64> = all.iter().copied().collect();
             assert_eq!(uniq.len(), all.len(), "distance {i} collides: {all:?}");
         }
     }

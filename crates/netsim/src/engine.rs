@@ -121,6 +121,7 @@ fn route_envelope<M: Payload>(
     }
     let entry = graph.port_entry(node, port);
     stats.bits_by_edge[entry.edge.index()] += bits as u64;
+    stats.max_message_bits = stats.max_message_bits.max(bits as u64);
     Ok((entry.neighbor.raw(), entry.back_port.raw(), bits))
 }
 

@@ -51,6 +51,8 @@ mod trace;
 pub mod engine;
 pub mod flood;
 pub mod radio;
+#[cfg(feature = "validate")]
+pub mod validate;
 
 pub use engine::ExecutorScratch;
 pub use error::SimError;
@@ -59,6 +61,8 @@ pub use protocol::{Envelope, NextWake, NodeCtx, Outbox, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};
 pub use stats::RunStats;
 pub use trace::{Trace, TraceEvent};
+#[cfg(feature = "validate")]
+pub use validate::{audit, ModelRule, ValidateError, ValidatingExecutor, Violation};
 
 /// A round number; rounds are numbered from 1 as in the paper.
 pub type Round = u64;

@@ -452,7 +452,7 @@ mod tests {
                 }
             })
             .unwrap();
-        let uniq: std::collections::HashSet<u64> = seeds_a.iter().copied().collect();
+        let uniq: std::collections::BTreeSet<u64> = seeds_a.iter().copied().collect();
         assert_eq!(uniq.len(), 4);
 
         let mut seeds_b = Vec::new();

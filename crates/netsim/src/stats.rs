@@ -22,6 +22,12 @@ pub struct RunStats {
     /// Total bits received per node (delivered messages only), indexed by
     /// node — Lemma 8 lower-bounds awake time by received bits / log n.
     pub bits_received_by_node: Vec<u64>,
+    /// Largest single-message wire size of the run, in bits, counting both
+    /// delivered and lost messages (the sender transmitted either way).
+    /// This is the quantity the CONGEST `O(log n)` discipline bounds; the
+    /// per-algorithm constant `C` with `max_message_bits ≤ C·⌈log₂ n⌉` is
+    /// what [`RunStats::log_constant`] reports and `EXPERIMENTS.md` records.
+    pub max_message_bits: u64,
 }
 
 impl RunStats {
@@ -33,6 +39,7 @@ impl RunStats {
             messages_lost: 0,
             bits_by_edge: vec![0; m],
             bits_received_by_node: vec![0; n],
+            max_message_bits: 0,
         }
     }
 
@@ -49,6 +56,7 @@ impl RunStats {
         self.bits_by_edge.resize(m, 0);
         self.bits_received_by_node.clear();
         self.bits_received_by_node.resize(n, 0);
+        self.max_message_bits = 0;
     }
 
     /// The paper's awake complexity: the maximum number of awake rounds
@@ -86,6 +94,15 @@ impl RunStats {
     pub fn messages_sent(&self) -> u64 {
         self.messages_delivered + self.messages_lost
     }
+
+    /// The observed CONGEST constant: the smallest `C` with
+    /// `max_message_bits ≤ C·⌈log₂ n⌉` for an `n`-node run (0 if no message
+    /// was sent). This is the per-algorithm `log n` constant the model
+    /// conformance checker enforces and `EXPERIMENTS.md` reports.
+    pub fn log_constant(&self, n: usize) -> u64 {
+        let log_n = crate::bits_for_range(n.max(2) as u64) as u64;
+        self.max_message_bits.div_ceil(log_n)
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +118,7 @@ mod tests {
             messages_lost: 4,
             bits_by_edge: vec![8, 64, 32],
             bits_received_by_node: vec![10, 20, 30],
+            max_message_bits: 21,
         };
         assert_eq!(stats.awake_max(), 7);
         assert_eq!(stats.awake_total(), 15);
@@ -108,6 +126,18 @@ mod tests {
         assert_eq!(stats.awake_round_product(), 70);
         assert_eq!(stats.max_edge_bits(), 64);
         assert_eq!(stats.messages_sent(), 15);
+        // 21 bits on a 3-node graph: ⌈log₂ 3⌉ = 2, ⌈21/2⌉ = 11.
+        assert_eq!(stats.log_constant(3), 11);
+    }
+
+    #[test]
+    fn log_constant_degenerate() {
+        let stats = RunStats::new(1, 0);
+        assert_eq!(stats.log_constant(1), 0);
+        let mut stats = RunStats::new(2, 1);
+        stats.max_message_bits = 5;
+        // n clamped to 2: ⌈log₂ 2⌉ = 1.
+        assert_eq!(stats.log_constant(0), 5);
     }
 
     #[test]

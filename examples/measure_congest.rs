@@ -1,0 +1,44 @@
+//! Measures the per-algorithm CONGEST constant: the worst observed
+//! `⌈max_message_bits / ⌈log₂ n⌉⌉` across a panel of graph shapes and
+//! sizes. The `congest_constant` values recorded in the algorithm registry
+//! (and enforced by `sleeping-mst check` / `AlgorithmSpec::check`) are
+//! these measurements plus headroom; re-run this after changing any
+//! message format:
+//!
+//! ```text
+//! cargo run --release --example measure_congest
+//! ```
+//!
+//! As of the current `MstMsg` encoding every algorithm peaks at C = 11,
+//! at n = 4: the dominant field is the edge weight, and `weight_span`
+//! floors the weight domain at 2^16, so the widest message is ~22 bits
+//! while `⌈log₂ 4⌉ = 2`. The ratio shrinks as n grows (the weight field
+//! is `6 + 3·log₂ n` bits against a `log₂ n` budget unit).
+
+use graphlib::generators;
+use mst_core::registry;
+
+fn main() {
+    for spec in registry::ALGORITHMS {
+        let mut worst = 0u64;
+        for &n in &[4usize, 5, 6, 8, 12, 16, 32, 64, 128, 256] {
+            for seed in 0..6u64 {
+                let g = generators::random_connected(n, 0.4, seed).unwrap();
+                let out = spec.run(&g, seed).unwrap();
+                worst = worst.max(out.stats.log_constant(n));
+            }
+            if n <= 64 {
+                let g = generators::complete(n, 1).unwrap();
+                let out = spec.run(&g, 1).unwrap();
+                worst = worst.max(out.stats.log_constant(n));
+            }
+            let g = generators::ring(n, 2).unwrap();
+            let out = spec.run(&g, 2).unwrap();
+            worst = worst.max(out.stats.log_constant(n));
+        }
+        println!(
+            "{:15} worst observed C = {:2}   (registry records {})",
+            spec.name, worst, spec.congest_constant
+        );
+    }
+}

@@ -106,7 +106,8 @@ pub fn render_text(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
          awake / log2(n)  : {:.1}\n\
          run time         : {} rounds\n\
          awake x rounds   : {}\n\
-         messages         : {} delivered, {} lost\n",
+         messages         : {} delivered, {} lost\n\
+         max message bits : {} (observed C = {}, budget C = {})\n",
         alg.name,
         graph.node_count(),
         graph.edge_count(),
@@ -120,6 +121,9 @@ pub fn render_text(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
         out.stats.awake_round_product(),
         out.stats.messages_delivered,
         out.stats.messages_lost,
+        out.stats.max_message_bits,
+        out.stats.log_constant(graph.node_count()),
+        alg.congest_constant,
     )
 }
 
@@ -130,7 +134,7 @@ pub fn render_json(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
         "{{\"algorithm\":\"{}\",\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
          \"total_weight\":{},\"phases\":{},\"awake_max\":{},\"awake_avg\":{:.3},\
          \"rounds\":{},\"awake_round_product\":{},\"messages_delivered\":{},\
-         \"messages_lost\":{}}}",
+         \"messages_lost\":{},\"max_message_bits\":{},\"log_constant\":{}}}",
         alg.name,
         graph.node_count(),
         graph.edge_count(),
@@ -143,6 +147,8 @@ pub fn render_json(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
         out.stats.awake_round_product(),
         out.stats.messages_delivered,
         out.stats.messages_lost,
+        out.stats.max_message_bits,
+        out.stats.log_constant(graph.node_count()),
     )
 }
 
@@ -156,6 +162,7 @@ pub fn render_bench_report(
     template: &str,
     threads: usize,
     results: &[harness::TrialResult],
+    // lint:allow(wall-clock) -- bench report carries the measured wall time
     wall: std::time::Duration,
 ) -> String {
     let algorithms: Vec<&str> = {
@@ -165,13 +172,24 @@ pub fn render_bench_report(
     };
     let messages: u64 = results.iter().map(|r| r.stats.messages_delivered).sum();
     let rounds: u64 = results.iter().map(|r| r.stats.rounds).sum();
+    let max_bits: u64 = results
+        .iter()
+        .map(|r| r.stats.max_message_bits)
+        .max()
+        .unwrap_or(0);
+    let log_constant: u64 = results
+        .iter()
+        .map(|r| r.stats.log_constant(r.nodes))
+        .max()
+        .unwrap_or(0);
     let secs = wall.as_secs_f64().max(1e-9);
     format!(
         "{{\"kind\":\"engine_throughput\",\"graph_template\":\"{}\",\
          \"algorithms\":\"{}\",\"threads\":{},\"trials\":{},\
          \"wall_seconds\":{:.6},\"runs_per_sec\":{:.3},\
          \"messages_delivered\":{},\"messages_per_sec\":{:.1},\
-         \"rounds\":{},\"rounds_per_sec\":{:.1}}}\n",
+         \"rounds\":{},\"rounds_per_sec\":{:.1},\
+         \"max_message_bits\":{},\"log_constant\":{}}}\n",
         template,
         algorithms.join(","),
         threads,
@@ -182,6 +200,8 @@ pub fn render_bench_report(
         messages as f64 / secs,
         rounds,
         rounds as f64 / secs,
+        max_bits,
+        log_constant,
     )
 }
 
@@ -251,6 +271,18 @@ pub enum Command {
         /// Graph spec.
         graph: String,
         /// Seed for weights.
+        seed: u64,
+    },
+    /// `check`: run under the validating executor ([`netsim::validate`])
+    /// and report model conformance — per-message bit budget, observed
+    /// message widths, and every dynamic sleeping-model invariant. Exits
+    /// non-zero if any rule fires.
+    Check {
+        /// Algorithms to check; empty means the whole registry.
+        algs: Vec<&'static AlgorithmSpec>,
+        /// Graph spec.
+        graph: String,
+        /// Seed for weights and coins.
         seed: u64,
     },
     /// `sweep`: run an (algorithm × n × seed) grid through the shared
@@ -376,6 +408,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             seed,
         }),
         "info" => Ok(Command::Info { graph, seed }),
+        "check" => Ok(Command::Check { algs, graph, seed }),
         "sweep" => {
             if algs.is_empty() {
                 return Err("--alg is required for 'sweep' (comma-separate for several)".into());
@@ -416,6 +449,7 @@ USAGE:
     sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
     sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
     sleeping-mst info   --graph <SPEC> [--seed S]
+    sleeping-mst check  --graph <SPEC> [--alg <ALG[,ALG…]>] [--seed S]
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
                         [--bench-out FILE]
@@ -425,6 +459,13 @@ ALGORITHMS:
 GRAPH SPECS:
     ring:N  path:N  star:N  complete:N  bintree:N  grid:RxC
     random:N:P  barbell:K:B  caterpillar:S:L
+
+CHECK:
+    Runs each algorithm (all of them when --alg is omitted) under the
+    validating executor: sends only from awake nodes, loss exactly to
+    sleeping receivers, every message within C·⌈log₂ n⌉ bits, message
+    conservation, and same-seed bit-identity. Exits non-zero with the
+    violation list if any sleeping-model rule fires.
 
 SWEEP:
     The template is a graph spec with {{n}} in place of the size, e.g.
@@ -486,6 +527,46 @@ pub fn execute(cmd: &Command) -> (i32, String) {
                 },
             },
         },
+        Command::Check { algs, graph, seed } => match build_graph(graph, *seed) {
+            Err(e) => (2, format!("error: {e}\n")),
+            Ok(g) => {
+                let specs: Vec<&'static AlgorithmSpec> = if algs.is_empty() {
+                    registry::ALGORITHMS.iter().collect()
+                } else {
+                    algs.clone()
+                };
+                let mut text = String::new();
+                let mut code = 0;
+                for spec in specs {
+                    match spec.check(&g, *seed) {
+                        Ok(check) => text.push_str(&format!(
+                            "ok: {:<15} max message bits {} <= budget {} \
+                             (observed C = {}, recorded C = {})\n",
+                            check.algorithm,
+                            check.max_message_bits,
+                            check.bit_budget,
+                            check.log_constant,
+                            spec.congest_constant,
+                        )),
+                        Err(mst_core::RunError::Model(violations)) => {
+                            code = 1;
+                            text.push_str(&format!(
+                                "FAIL: {} breaks the sleeping model on {graph}:\n",
+                                spec.name
+                            ));
+                            for v in &violations {
+                                text.push_str(&format!("  {v}\n"));
+                            }
+                        }
+                        Err(e) => {
+                            code = 1;
+                            text.push_str(&format!("error: {}: {e}\n", spec.name));
+                        }
+                    }
+                }
+                (code, text)
+            }
+        },
         Command::Sweep {
             algs,
             template,
@@ -504,6 +585,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             for &alg in algs {
                 sweep = sweep.algorithm(alg);
             }
+            // lint:allow(wall-clock) -- sweep timing is reporting, not simulation input
             let start = std::time::Instant::now();
             match sweep.run() {
                 Err(e) => (1, format!("error: {e}\n")),
@@ -657,7 +739,36 @@ mod tests {
         let json = render_json(alg, &g, &out);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"awake_max\":"));
+        assert!(json.contains("\"max_message_bits\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn check_command_passes_the_whole_registry() {
+        let cmd = parse_args(&args(&["check", "--graph", "random:12:0.3", "--seed", "2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                algs: vec![],
+                graph: "random:12:0.3".into(),
+                seed: 2
+            }
+        );
+        let (code, text) = execute(&cmd);
+        assert_eq!(code, 0, "{text}");
+        for spec in registry::ALGORITHMS {
+            assert!(text.contains(spec.name), "missing {}: {text}", spec.name);
+        }
+        assert!(text.contains("budget"), "{text}");
+
+        // A single named algorithm works too.
+        let cmd = parse_args(&args(&["check", "--alg", "prim", "--graph", "ring:9"])).unwrap();
+        let (code, text) = execute(&cmd);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.lines().count() == 1 && text.starts_with("ok: prim"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -760,6 +871,8 @@ mod tests {
             "\"messages_per_sec\":",
             "\"rounds_per_sec\":",
             "\"messages_delivered\":",
+            "\"max_message_bits\":",
+            "\"log_constant\":",
         ] {
             assert!(report.contains(key), "missing {key} in {report}");
         }

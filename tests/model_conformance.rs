@@ -1,0 +1,108 @@
+//! Model-conformance integration tests: every registered algorithm obeys
+//! the sleeping model (Section 1.1) under the validating executor, the
+//! checker rejects cheats through the public API, and the determinism
+//! fixes of this layer (`HashMap` → `BTreeMap` etc.) left execution
+//! pinned bit-for-bit.
+
+use proptest::prelude::*;
+
+use sleeping_mst::graphlib::generators;
+use sleeping_mst::mst_core::registry;
+use sleeping_mst::netsim::{
+    audit, Envelope, ModelRule, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
+    ValidatingExecutor,
+};
+
+proptest! {
+    // Each case runs every algorithm twice (determinism re-run) with
+    // tracing on; keep the counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: the validating executor accepts all registry algorithms
+    /// on the random panel — no model rule fires, the per-message budget
+    /// `C·⌈log₂ n⌉` holds, and every run is same-seed reproducible.
+    #[test]
+    fn every_algorithm_validates_on_random_panel(
+        n in 4usize..24, p in 0.1f64..0.5, seed in 0u64..300, run_seed in 0u64..100
+    ) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        for spec in registry::ALGORITHMS {
+            let check = spec
+                .check(&g, run_seed)
+                .unwrap_or_else(|e| panic!("{} on n={n} seed={seed}: {e}", spec.name));
+            prop_assert!(check.max_message_bits as usize <= check.bit_budget,
+                "{}: {} > {}", spec.name, check.max_message_bits, check.bit_budget);
+            prop_assert!(check.log_constant <= spec.congest_constant);
+        }
+    }
+}
+
+/// Cheating fixture (public API): a protocol whose payload blows the
+/// CONGEST budget. The oversized-message rule must fire.
+#[test]
+fn oversized_message_cheat_is_rejected() {
+    #[derive(Debug)]
+    struct Bloated;
+    impl Protocol for Bloated {
+        type Msg = u64;
+        fn init(&mut self, _: &NodeCtx) -> NextWake {
+            NextWake::At(1)
+        }
+        fn send(&mut self, ctx: &NodeCtx, _: Round, outbox: &mut Outbox<u64>) {
+            outbox.extend(ctx.ports().map(|p| Envelope::new(p, u64::MAX)));
+        }
+        fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+            NextWake::Halt
+        }
+    }
+    let g = generators::ring(8, 1).unwrap();
+    let err = ValidatingExecutor::new(&g, SimConfig::default())
+        .with_congest_constant(4) // 4·⌈log₂ 8⌉ = 12 bits; the payload is 64
+        .run(|_| Bloated)
+        .unwrap_err();
+    assert!(err.breaks(ModelRule::OversizedMessage), "{err}");
+}
+
+/// Cheating fixture (public API): stats that disagree with the recorded
+/// trace — the conservation rule must fire. (Send-while-asleep needs a
+/// forged *trace*, which only `netsim`'s internal tests can build; see
+/// `netsim::validate::tests::audit_rejects_send_while_asleep`.)
+#[test]
+fn cooked_stats_cheat_is_rejected() {
+    use sleeping_mst::netsim::{flood::Flood, Simulator};
+    let g = generators::ring(8, 1).unwrap();
+    let out = Simulator::new(&g, SimConfig::default().with_trace())
+        .run(|ctx| Flood::new(ctx.node.raw() == 0))
+        .unwrap();
+    let mut stats = out.stats.clone();
+    stats.messages_delivered += 1;
+    let violations = audit(&stats, &out.trace, None);
+    assert!(violations.iter().any(|v| v.rule == ModelRule::Conservation));
+}
+
+/// Satellite: the `HashMap` → `BTreeMap` determinism fixes left execution
+/// untouched. These fingerprints were recorded before the conversion;
+/// any drift in rounds, awake totals, message counts, or message widths
+/// means a run is no longer bit-stable.
+#[test]
+fn execution_fingerprints_are_pinned() {
+    let g = generators::random_connected(16, 0.25, 11).unwrap();
+    let golden: &[(&str, u64, u64, u64, u64, u64)] = &[
+        // (name, rounds, awake_total, delivered, lost, max_message_bits)
+        ("randomized", 2715, 1182, 2496, 0, 24),
+        ("deterministic", 8389, 1133, 1886, 0, 29),
+        ("logstar", 7995, 2232, 2948, 0, 24),
+        ("prim", 2052, 883, 2844, 0, 24),
+        ("spanning-tree", 2385, 1034, 2221, 0, 24),
+        ("always-awake", 2715, 43373, 2496, 0, 24),
+    ];
+    for &(name, rounds, awake_total, delivered, lost, max_bits) in golden {
+        let spec = registry::find(name).unwrap();
+        let out = spec.run(&g, 7).unwrap();
+        assert_eq!(out.stats.rounds, rounds, "{name} rounds");
+        assert_eq!(out.stats.awake_total(), awake_total, "{name} awake");
+        assert_eq!(out.stats.messages_delivered, delivered, "{name} delivered");
+        assert_eq!(out.stats.messages_lost, lost, "{name} lost");
+        assert_eq!(out.stats.max_message_bits, max_bits, "{name} max bits");
+    }
+}
