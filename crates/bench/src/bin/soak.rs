@@ -1,0 +1,89 @@
+//! Fault-tolerance soak: every registry algorithm × graph family ×
+//! fault level, outcomes classified (see `bench::chaos`).
+//!
+//! ```text
+//! soak [--seed S] [--sizes 8,12] [--trials K] [--out matrix.json]
+//! ```
+//!
+//! Prints the algorithm × level matrix (`correct/typed/wrong` per cell)
+//! and exits nonzero if any trial lands in the wrong-output bucket —
+//! injected faults may degrade a run, but never silently corrupt it.
+
+use std::process::ExitCode;
+
+use bench::chaos::{run_chaos, ChaosSpec, Outcome};
+
+fn parse_args() -> Result<(ChaosSpec, Option<String>), String> {
+    let mut spec = ChaosSpec::default();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--seed" => {
+                spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--trials" => {
+                spec.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?
+            }
+            "--sizes" => {
+                spec.sizes = value("--sizes")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--sizes: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--out" => out = Some(value("--out")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok((spec, out))
+}
+
+fn main() -> ExitCode {
+    let (spec, out_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            eprintln!("usage: soak [--seed S] [--sizes 8,12] [--trials K] [--out matrix.json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# fault-tolerance soak: seed={} sizes={:?} trials/cell={}",
+        spec.seed, spec.sizes, spec.trials
+    );
+    let report = run_chaos(&spec);
+    println!("{}", report.summary_table());
+    println!("(cell = correct/typed-failure/wrong-output)");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("soak: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("matrix written to {path}");
+    }
+    let wrong = report.wrong_outputs();
+    if !wrong.is_empty() {
+        eprintln!(
+            "soak: {} wrong-output trial(s) — this is a bug:",
+            wrong.len()
+        );
+        for t in wrong {
+            let detail = match &t.outcome {
+                Outcome::WrongOutput(d) => d.as_str(),
+                _ => "",
+            };
+            eprintln!(
+                "  {} family={} level={} n={} seed={}: {}",
+                t.algorithm, t.family, t.level, t.n, t.seed, detail
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("no wrong outputs: every trial was correct or failed with a typed error");
+    ExitCode::SUCCESS
+}

@@ -18,8 +18,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod harness;
 
+pub use chaos::{run_chaos, ChaosReport, ChaosSpec, ChaosTrial, Outcome};
 pub use harness::{aggregate, Cell, Sweep, TrialResult};
 
 /// Renders one markdown table row; the binaries print it themselves

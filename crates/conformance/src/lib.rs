@@ -17,6 +17,7 @@
 //! | `print-in-lib` | every crate, non-bin, non-test | `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`: library code must return strings; only binaries print |
 //! | `bare-unwrap` | netsim, core, non-test | `.unwrap()` with no message: hot-path panics must be typed errors or `.expect("reason")` documenting the invariant |
 //! | `engine-panic-path` | `netsim/src/engine.rs`, `netsim/src/sim.rs`, non-test | any panic machinery (`unwrap`, `expect`, `panic!`, `unreachable!`, …): the executor hot path returns `SimError`, never panics |
+//! | `fault-stream` | `netsim/src/faults.rs`, non-test | touching any RNG source other than the plan's own `fault_seed` (`master_seed`, `rng_seed`, `thread_rng`, `SmallRng`): fault decisions must be a pure function of `(fault_seed, tag, round, edge)` so both executors reach identical verdicts and `run --json` replays exactly |
 //! | `bad-pragma` | everywhere | a `lint:allow` pragma naming an unknown rule or missing its ` -- reason` |
 //!
 //! `graphlib` is deliberately outside the `hash-container` scope: its hash
@@ -51,6 +52,7 @@ pub const RULE_NAMES: &[&str] = &[
     "print-in-lib",
     "bare-unwrap",
     "engine-panic-path",
+    "fault-stream",
     "bad-pragma",
 ];
 
@@ -94,6 +96,9 @@ struct FileCtx<'a> {
     is_bin: bool,
     /// The executor hot path held to the zero-panic rule.
     is_engine_hot_path: bool,
+    /// The fault-decision module: its randomness must derive only from
+    /// the plan's own `fault_seed`, never the protocol RNG streams.
+    is_fault_plane: bool,
 }
 
 fn classify(path: &str) -> FileCtx<'_> {
@@ -112,6 +117,8 @@ fn classify(path: &str) -> FileCtx<'_> {
             || path.ends_with("crates/netsim/src/sim.rs")
             || path == "crates/netsim/src/engine.rs"
             || path == "crates/netsim/src/sim.rs",
+        is_fault_plane: path.ends_with("crates/netsim/src/faults.rs")
+            || path == "crates/netsim/src/faults.rs",
     }
 }
 
@@ -385,6 +392,20 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                 "the executor hot path must return SimError, never panic".to_string(),
             );
         }
+
+        if ctx.is_fault_plane
+            && ["master_seed", "rng_seed", "thread_rng", "SmallRng"]
+                .iter()
+                .any(|needle| code.contains(needle))
+        {
+            report(
+                "fault-stream",
+                "fault decisions must derive only from the plan's fault_seed (a pure \
+                 function of (fault_seed, tag, round, edge)); mixing in protocol RNG \
+                 streams breaks replay and executor agreement"
+                    .to_string(),
+            );
+        }
     }
 
     findings
@@ -520,6 +541,25 @@ mod tests {
                 "{needle}: {findings:?}"
             );
         }
+    }
+
+    #[test]
+    fn fault_stream_fires_only_in_the_fault_plane() {
+        let src = "fn decide(seed: u64) -> bool { seed ^ self.master_seed != 0 }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/netsim/src/faults.rs", src)),
+            vec!["fault-stream"]
+        );
+        // The same code elsewhere in netsim is someone else's business.
+        assert!(lint_source("crates/netsim/src/radio.rs", src).is_empty());
+        // Tests inside faults.rs may exercise cross-seed behavior.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(master_seed: u64) -> u64 { master_seed }\n}\n";
+        assert!(lint_source("crates/netsim/src/faults.rs", test_src).is_empty());
+        // Doc comments naming the needles do not fire.
+        let doc =
+            "/// Independent of `master_seed`: replay under many wake schedules.\nfn f() {}\n";
+        assert!(lint_source("crates/netsim/src/faults.rs", doc).is_empty());
     }
 
     #[test]

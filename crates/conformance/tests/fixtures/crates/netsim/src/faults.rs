@@ -1,0 +1,8 @@
+// Fixture: the fault plane must not touch any RNG source other than the
+// plan's own fault_seed (`fault-stream`).
+
+pub fn decide_drop(fault_seed: u64, master_seed: u64, round: u64) -> bool {
+    // Mixing the protocol's master_seed into a fault decision breaks the
+    // replay contract; this line must trip `fault-stream`.
+    (fault_seed ^ master_seed ^ round) % 2 == 0
+}

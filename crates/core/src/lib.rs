@@ -40,6 +40,7 @@ mod fragment;
 
 pub mod baseline;
 pub mod deterministic;
+pub mod exec;
 pub mod ldt;
 pub mod msg;
 pub mod prim;
@@ -51,6 +52,7 @@ pub mod schedule;
 pub mod timeline;
 pub mod toolbox;
 
+pub use exec::{round_budget, ExecOptions};
 pub use registry::{AlgorithmSpec, ALGORITHMS};
 pub use runner::{
     collect_mst_edges, run_always_awake, run_always_awake_scratch, run_deterministic,

@@ -17,19 +17,20 @@
 //! ```
 
 use graphlib::WeightedGraph;
+use netsim::FaultPlan;
 
 use crate::deterministic::DeterministicConfig;
+use crate::exec::{round_budget, run_caught, ExecOptions};
 use crate::randomized::RandomizedConfig;
 use crate::runner::{
     check_always_awake, check_deterministic, check_logstar, check_prim, check_randomized,
-    check_spanning_tree, run_always_awake_scratch, run_deterministic_scratch, run_logstar_scratch,
-    run_prim_scratch, run_randomized_scratch, run_spanning_tree_scratch, MstOutcome, MstScratch,
-    RunError,
+    check_spanning_tree, run_always_awake_exec, run_deterministic_exec, run_logstar_exec,
+    run_prim_exec, run_randomized_exec, run_spanning_tree_exec, MstOutcome, MstScratch, RunError,
 };
 
 /// One registered algorithm: metadata plus a uniform entry point.
 ///
-/// `runner` takes `(graph, seed, scratch)`; algorithms that are
+/// `runner` takes `(graph, options, scratch)`; algorithms that are
 /// deterministic simply ignore the seed (see [`AlgorithmSpec::needs_seed`]).
 #[derive(Clone, Copy)]
 pub struct AlgorithmSpec {
@@ -52,7 +53,7 @@ pub struct AlgorithmSpec {
     /// they are dominated by the `⌈log₂ W⌉ ≈ ⌈log₂ 64n³⌉` weight field at
     /// small `n`, which is why none of them is a tight `O(1)`.
     pub congest_constant: u64,
-    runner: fn(&WeightedGraph, u64, &mut MstScratch) -> Result<MstOutcome, RunError>,
+    runner: fn(&WeightedGraph, &ExecOptions, &mut MstScratch) -> Result<MstOutcome, RunError>,
     checker: fn(&WeightedGraph, u64, u64) -> Result<MstOutcome, RunError>,
 }
 
@@ -105,7 +106,64 @@ impl AlgorithmSpec {
         seed: u64,
         scratch: &mut MstScratch,
     ) -> Result<MstOutcome, RunError> {
-        (self.runner)(graph, seed, scratch)
+        self.run_with_options(graph, &ExecOptions::seeded(seed), scratch)
+    }
+
+    /// Runs the algorithm under explicit [`ExecOptions`].
+    ///
+    /// Fault-free options take the exact [`AlgorithmSpec::run_with_scratch`]
+    /// path. When the plan is active (non-inert), two safeguards engage:
+    ///
+    /// * a **round-budget watchdog** — unless the caller set an explicit
+    ///   budget, [`round_budget`] caps the run so fault-induced livelock
+    ///   (a protocol re-scheduling wakes forever for a signal a drop or
+    ///   crash destroyed) surfaces as
+    ///   [`netsim::SimError::MaxRoundsExceeded`], never a hang;
+    /// * **panic capture** — a protocol invariant tripped by a lost
+    ///   coordination message becomes [`RunError::Panicked`] instead of
+    ///   aborting the process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runner's [`RunError`]; under active faults also
+    /// [`RunError::Panicked`] and watchdog-capped simulator errors.
+    pub fn run_with_options(
+        &self,
+        graph: &WeightedGraph,
+        opts: &ExecOptions,
+        scratch: &mut MstScratch,
+    ) -> Result<MstOutcome, RunError> {
+        match opts.active_faults() {
+            None => (self.runner)(graph, opts, scratch),
+            Some(plan) => {
+                let mut opts = opts.clone();
+                if opts.max_rounds.is_none() {
+                    opts.max_rounds = Some(round_budget(graph.node_count(), plan));
+                }
+                run_caught(|| (self.runner)(graph, &opts, scratch))
+            }
+        }
+    }
+
+    /// Runs the algorithm under an injected [`FaultPlan`]: the uniform
+    /// chaos-harness entry point, equal to [`AlgorithmSpec::run_with_options`]
+    /// with `ExecOptions::seeded(seed).with_faults(plan)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`AlgorithmSpec::run_with_options`].
+    pub fn run_with_faults(
+        &self,
+        graph: &WeightedGraph,
+        seed: u64,
+        plan: &FaultPlan,
+        scratch: &mut MstScratch,
+    ) -> Result<MstOutcome, RunError> {
+        self.run_with_options(
+            graph,
+            &ExecOptions::seeded(seed).with_faults(plan.clone()),
+            scratch,
+        )
     }
 
     /// The per-message bit budget the conformance checker enforces for this
@@ -166,8 +224,8 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
-        runner: |g, seed, scratch| {
-            run_randomized_scratch(g, seed, RandomizedConfig::default(), scratch)
+        runner: |g, opts, scratch| {
+            run_randomized_exec(g, opts, RandomizedConfig::default(), scratch)
         },
         checker: check_randomized,
     },
@@ -178,8 +236,8 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
-        runner: |g, _seed, scratch| {
-            run_deterministic_scratch(g, DeterministicConfig::default(), scratch)
+        runner: |g, opts, scratch| {
+            run_deterministic_exec(g, opts, DeterministicConfig::default(), scratch)
         },
         checker: |g, _seed, c| check_deterministic(g, c),
     },
@@ -190,7 +248,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
-        runner: |g, _seed, scratch| run_logstar_scratch(g, scratch),
+        runner: |g, opts, scratch| run_logstar_exec(g, opts, scratch),
         checker: |g, _seed, c| check_logstar(g, c),
     },
     AlgorithmSpec {
@@ -200,7 +258,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: true,
         produces_mst: true,
         congest_constant: 14,
-        runner: |g, _seed, scratch| run_prim_scratch(g, 1, scratch),
+        runner: |g, opts, scratch| run_prim_exec(g, opts, 1, scratch),
         checker: |g, _seed, c| check_prim(g, 1, c),
     },
     AlgorithmSpec {
@@ -210,7 +268,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: false,
         congest_constant: 14,
-        runner: run_spanning_tree_scratch,
+        runner: run_spanning_tree_exec,
         checker: check_spanning_tree,
     },
     AlgorithmSpec {
@@ -220,7 +278,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
-        runner: run_always_awake_scratch,
+        runner: run_always_awake_exec,
         checker: check_always_awake,
     },
 ];

@@ -16,6 +16,7 @@ use netsim::{
 
 use crate::baseline::ghs_always_awake;
 use crate::deterministic::{DeterministicConfig, DeterministicMst};
+use crate::exec::ExecOptions;
 use crate::msg::MstMsg;
 use crate::randomized::{RandomizedConfig, RandomizedMst};
 
@@ -80,6 +81,26 @@ pub enum RunError {
     /// The run broke one or more sleeping-model rules (Section 1.1) —
     /// reported by the validating executor on the `check_*` paths.
     Model(Vec<Violation>),
+    /// The protocol panicked mid-run — driven outside its design
+    /// envelope by injected faults (see [`crate::exec::run_caught`]) and
+    /// converted into a typed, classifiable failure.
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The run completed under injected faults, but the collected output
+    /// is not a spanning forest of the input (nodes halted before
+    /// marking their tree edges, or marked a cycle). Surfaced as a typed
+    /// error so fault harnesses never mistake degradation for an answer;
+    /// checked only when the run's fault plan is active.
+    Degraded {
+        /// Edges in the claimed output.
+        edges: usize,
+        /// Trees the output's acyclic part forms.
+        output_trees: usize,
+        /// Connected components of the input graph.
+        graph_components: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -99,6 +120,18 @@ impl fmt::Display for RunError {
                 }
                 Ok(())
             }
+            RunError::Panicked { message } => {
+                write!(f, "protocol panicked under injected faults: {message}")
+            }
+            RunError::Degraded {
+                edges,
+                output_trees,
+                graph_components,
+            } => write!(
+                f,
+                "degraded output under injected faults: {edges} edges forming \
+                 {output_trees} tree(s) on a graph with {graph_components} component(s)"
+            ),
         }
     }
 }
@@ -108,7 +141,10 @@ impl std::error::Error for RunError {
         match self {
             RunError::Sim(e) => Some(e),
             RunError::Collect(e) => Some(e),
-            RunError::Disconnected { .. } | RunError::Model(_) => None,
+            RunError::Disconnected { .. }
+            | RunError::Model(_)
+            | RunError::Panicked { .. }
+            | RunError::Degraded { .. } => None,
         }
     }
 }
@@ -194,14 +230,46 @@ where
     P: Protocol,
     F: FnMut(&NodeCtx) -> P,
 {
+    let faulted = config.faults.as_ref().is_some_and(|p| !p.is_inert());
     let out = Simulator::new(graph, config).run_with_scratch(scratch, factory)?;
     let edges = collect_mst_edges(graph, &out.states, &ports_of)?;
+    if faulted {
+        check_spanning_forest(graph, &edges)?;
+    }
     let phases = out.states.iter().map(phases_of).max().unwrap_or(0);
     Ok(MstOutcome {
         edges,
         stats: out.stats,
         phases,
     })
+}
+
+/// The degradation gate for fault-injected runs: a completed run's output
+/// must still be a spanning forest of the input (one tree per connected
+/// component, no cycles), else the "success" is a fault artifact —
+/// reported as [`RunError::Degraded`]. Only minimality remains for the
+/// caller to judge; partial or cyclic outputs never pass.
+fn check_spanning_forest(graph: &WeightedGraph, edges: &[EdgeId]) -> Result<(), RunError> {
+    let n = graph.node_count();
+    let mut output = graphlib::UnionFind::new(n);
+    for &id in edges {
+        let e = graph.edge(id);
+        output.union(e.u.index(), e.v.index());
+    }
+    let mut components = graphlib::UnionFind::new(n);
+    for e in graph.edges() {
+        components.union(e.u.index(), e.v.index());
+    }
+    // A forest satisfies edges + trees = n; a cycle or a missed component
+    // breaks one of the two equalities.
+    if edges.len() + output.set_count() != n || output.set_count() != components.set_count() {
+        return Err(RunError::Degraded {
+            edges: edges.len(),
+            output_trees: output.set_count(),
+            graph_components: components.set_count(),
+        });
+    }
+    Ok(())
 }
 
 /// The validated twin of [`run_and_collect`]: executes under the
@@ -429,9 +497,25 @@ pub fn run_randomized_scratch(
     config: RandomizedConfig,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
+    run_randomized_exec(graph, &ExecOptions::seeded(seed), config, scratch)
+}
+
+/// Runs `Randomized-MST` under explicit [`ExecOptions`] (seed, fault
+/// plan, round budget).
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_randomized_exec(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    config: RandomizedConfig,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     run_and_collect(
         graph,
-        SimConfig::default().with_seed(seed),
+        opts.sim_config(),
         |ctx| RandomizedMst::with_config(ctx, config.clone()),
         RandomizedMst::mst_ports,
         RandomizedMst::phases,
@@ -473,9 +557,25 @@ pub fn run_deterministic_scratch(
     config: DeterministicConfig,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
+    run_deterministic_exec(graph, &ExecOptions::default(), config, scratch)
+}
+
+/// Runs `Deterministic-MST` under explicit [`ExecOptions`]. The seed is
+/// ignored by the protocol; the fault plan and round budget apply.
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_deterministic_exec(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    config: DeterministicConfig,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     run_and_collect(
         graph,
-        SimConfig::default(),
+        opts.sim_config(),
         |ctx| DeterministicMst::with_config(ctx, config.clone()),
         DeterministicMst::mst_ports,
         DeterministicMst::phases,
@@ -509,9 +609,23 @@ pub fn run_spanning_tree_scratch(
     seed: u64,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
-    run_randomized_scratch(
+    run_spanning_tree_exec(graph, &ExecOptions::seeded(seed), scratch)
+}
+
+/// Runs the spanning-tree variant under explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_spanning_tree_exec(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
+    run_randomized_exec(
         graph,
-        seed,
+        opts,
         RandomizedConfig {
             selection: crate::randomized::EdgeSelection::MinPort,
             ..RandomizedConfig::default()
@@ -542,8 +656,23 @@ pub fn run_logstar_scratch(
     graph: &WeightedGraph,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
-    run_deterministic_scratch(
+    run_logstar_exec(graph, &ExecOptions::default(), scratch)
+}
+
+/// Runs the Corollary 1 variant under explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_logstar_exec(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
+    run_deterministic_exec(
         graph,
+        opts,
         DeterministicConfig {
             coloring: crate::deterministic::ColoringMode::ColeVishkin,
             ..DeterministicConfig::default()
@@ -579,12 +708,27 @@ pub fn run_prim_scratch(
     leader: u64,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
+    run_prim_exec(graph, &ExecOptions::default(), leader, scratch)
+}
+
+/// Runs the Prim-style baseline under explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// Returns [`RunError::Disconnected`] on disconnected inputs; also
+/// propagates simulator failures and output-consistency violations.
+pub fn run_prim_exec(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    leader: u64,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     if !graphlib::traversal::is_connected(graph) {
         return Err(RunError::Disconnected { algorithm: "prim" });
     }
     run_and_collect(
         graph,
-        SimConfig::default(),
+        opts.sim_config(),
         |ctx| crate::prim::PrimMst::new(ctx, leader),
         crate::prim::PrimMst::mst_ports,
         crate::prim::PrimMst::phases,
@@ -614,9 +758,23 @@ pub fn run_always_awake_scratch(
     seed: u64,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
+    run_always_awake_exec(graph, &ExecOptions::seeded(seed), scratch)
+}
+
+/// Runs the always-awake baseline under explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator failures and output-consistency violations
+/// ([`RunError`]).
+pub fn run_always_awake_exec(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError> {
     run_and_collect(
         graph,
-        SimConfig::default().with_seed(seed),
+        opts.sim_config(),
         ghs_always_awake,
         |s| s.inner().mst_ports(),
         |s| s.inner().phases(),

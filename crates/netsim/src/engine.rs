@@ -25,9 +25,17 @@ use std::collections::BinaryHeap;
 use graphlib::{NodeId, Port, WeightedGraph};
 
 use crate::{
-    Envelope, NextWake, NodeCtx, Outbox, Payload, Protocol, Round, RunOutcome, RunStats, SimConfig,
-    SimError, Trace, TraceEvent,
+    Envelope, FaultPlan, NextWake, NodeCtx, Outbox, Payload, Protocol, Round, RunOutcome, RunStats,
+    SimConfig, SimError, Trace, TraceEvent,
 };
+
+/// The active fault plan of a config, if it can affect the run at all.
+/// Inert plans (every intensity zero, no crashes) are filtered out here,
+/// so both executors take the exact no-fault path for them — fault
+/// support costs nothing unless a fault can actually fire.
+fn active_faults(config: &SimConfig) -> Option<&FaultPlan> {
+    config.faults.as_ref().filter(|plan| !plan.is_inert())
+}
 
 /// Builds the initial knowledge handed to `node` (KT0 plus run
 /// parameters). Both executors must derive identical contexts — notably
@@ -174,6 +182,15 @@ impl WakeQueue {
     /// Marks `node` as halted; its pending entry (if any) goes stale.
     pub(crate) fn halt(&mut self, node: u32) {
         self.next_wake[node as usize] = None;
+    }
+
+    /// Withdraws `node` from the round it was just popped live for: the
+    /// popped stamp is cleared, so [`WakeQueue::is_awake_in`] reports the
+    /// node asleep again. The fault path uses this for spurious sleeps
+    /// and crashes — the node must look asleep to the round's routing so
+    /// messages to it are lost per the model.
+    pub(crate) fn retract(&mut self, node: u32) {
+        self.popped_stamp[node as usize] = 0;
     }
 
     /// The earliest scheduled round, if any entry (live or stale) remains.
@@ -339,6 +356,17 @@ fn record_lost(buf: &mut Vec<TraceEvent>, round: Round, from: u32, to: u32) {
     });
 }
 
+/// Buffers a `Dropped` trace event (out-of-line, like [`record_lost`]).
+#[cold]
+#[inline(never)]
+fn record_dropped(buf: &mut Vec<TraceEvent>, round: Round, from: u32, to: u32) {
+    buf.push(TraceEvent::Dropped {
+        round,
+        from: NodeId::new(from),
+        to: NodeId::new(to),
+    });
+}
+
 /// The production event-driven executor. See the module docs.
 pub(crate) fn run_event_driven<P, F, O>(
     graph: &WeightedGraph,
@@ -356,6 +384,7 @@ where
     scratch.reset(n);
     let mut stats = scratch.take_stats(n, graph.edge_count());
     let mut trace = Trace::default();
+    let faults = active_faults(config);
 
     let (ctxs, mut protocols, first_wake) = init_nodes(graph, config, factory, &mut trace)?;
     let ExecutorScratch {
@@ -372,6 +401,10 @@ where
     let mut running = 0usize;
     for (v, wake) in first_wake.into_iter().enumerate() {
         if let Some(r) = wake {
+            let r = match faults {
+                Some(plan) => plan.jittered(v as u32, r),
+                None => r,
+            };
             queue.schedule(v as u32, r);
             running += 1;
         }
@@ -391,6 +424,33 @@ where
         // The run extends to every scheduled round we processed, even one
         // whose wakes were all superseded (regression: stale final round).
         stats.rounds = round;
+        if let Some(plan) = faults {
+            // Crash and spurious-sleep adjudication, before any send: a
+            // filtered node must look asleep to the whole round, so its
+            // stamp is retracted and messages to it are lost per the
+            // model. `retain` preserves the ascending order contract.
+            awake_now.retain(|&v| {
+                if plan.crashes_at(v, round) {
+                    queue.retract(v);
+                    queue.halt(v);
+                    running -= 1;
+                    stats.crashed_nodes += 1;
+                    if config.record_trace {
+                        trace.push(TraceEvent::Crashed {
+                            round,
+                            node: NodeId::new(v),
+                        });
+                    }
+                    return false;
+                }
+                if plan.suppresses(round, v) {
+                    queue.retract(v);
+                    queue.schedule(v, round + 1);
+                    return false;
+                }
+                true
+            });
+        }
         if awake_now.is_empty() {
             continue;
         }
@@ -419,6 +479,19 @@ where
             for Envelope { port, msg } in outbox.drain() {
                 let (to, recv_port, bits) =
                     route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
+                if let Some(plan) = faults {
+                    // A dropped message is destroyed in flight after the
+                    // sender paid for it (bits accrued above), regardless
+                    // of the receiver's state — it is an injected fault,
+                    // not a model loss.
+                    if plan.drops(round, v, port.raw()) {
+                        stats.injected_drops += 1;
+                        if config.record_trace {
+                            record_dropped(&mut trace_buf, round, v, to);
+                        }
+                        continue;
+                    }
+                }
                 if queue.is_awake_in(to, round) {
                     stats.messages_delivered += 1;
                     stats.bits_received_by_node[to as usize] += bits as u64;
@@ -426,6 +499,23 @@ where
                         record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
                     }
                     slots.push(slot_of[to as usize]);
+                    // An injected duplication delivers a second identical
+                    // copy; it counts as a delivery of its own so the
+                    // conservation audit reconciles.
+                    let dup = match faults {
+                        Some(plan) => plan.duplicates(round, v, port.raw()),
+                        None => false,
+                    };
+                    if dup {
+                        stats.messages_delivered += 1;
+                        stats.dup_deliveries += 1;
+                        stats.bits_received_by_node[to as usize] += bits as u64;
+                        if config.record_trace {
+                            record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
+                        }
+                        slots.push(slot_of[to as usize]);
+                        arena.push(Envelope::new(Port::new(recv_port), msg.clone()));
+                    }
                     arena.push(Envelope::new(Port::new(recv_port), msg));
                 } else {
                     stats.messages_lost += 1;
@@ -498,6 +588,10 @@ where
                             requested: r,
                         });
                     }
+                    let r = match faults {
+                        Some(plan) => plan.jittered(v, r),
+                        None => r,
+                    };
                     queue.schedule(v, r);
                 }
                 NextWake::Halt => {
@@ -551,8 +645,16 @@ where
     let n = graph.node_count();
     let mut stats = RunStats::new(n, graph.edge_count());
     let mut trace = Trace::default();
+    let faults = active_faults(config);
 
     let (ctxs, mut protocols, mut next_wake) = init_nodes(graph, config, factory, &mut trace)?;
+    if let Some(plan) = faults {
+        for (v, wake) in next_wake.iter_mut().enumerate() {
+            if let Some(r) = wake.as_mut() {
+                *r = plan.jittered(v as u32, *r);
+            }
+        }
+    }
 
     let mut round: Round = 1;
     loop {
@@ -567,16 +669,47 @@ where
             });
         }
 
-        let awake_now: Vec<u32> = (0..n as u32)
-            .filter(|&v| next_wake[v as usize] == Some(round))
-            .collect();
-        if awake_now.is_empty() {
+        // Crash and spurious-sleep adjudication happens while collecting
+        // the awake set, exactly as the event-driven executor filters its
+        // popped live set — a scheduled round still counts toward
+        // `stats.rounds` even if faults empty it.
+        let mut scheduled_now = false;
+        let mut awake_now: Vec<u32> = Vec::new();
+        for v in 0..n as u32 {
+            if next_wake[v as usize] != Some(round) {
+                continue;
+            }
+            scheduled_now = true;
+            if let Some(plan) = faults {
+                if plan.crashes_at(v, round) {
+                    next_wake[v as usize] = None;
+                    stats.crashed_nodes += 1;
+                    if config.record_trace {
+                        trace.push(TraceEvent::Crashed {
+                            round,
+                            node: NodeId::new(v),
+                        });
+                    }
+                    continue;
+                }
+                if plan.suppresses(round, v) {
+                    next_wake[v as usize] = Some(round + 1);
+                    continue;
+                }
+            }
+            awake_now.push(v);
+        }
+        if !scheduled_now {
             round += 1;
             continue;
         }
         stats.rounds = round;
+        if awake_now.is_empty() {
+            round += 1;
+            continue;
+        }
 
-        let mut pending: Vec<(u32, u32, u32, usize, P::Msg)> = Vec::new();
+        let mut pending: Vec<(u32, u32, u32, u32, usize, P::Msg)> = Vec::new();
         for &v in &awake_now {
             let node = NodeId::new(v);
             stats.awake_by_node[v as usize] += 1;
@@ -588,26 +721,47 @@ where
             for Envelope { port, msg } in outbox.into_envelopes() {
                 let (to, recv_port, bits) =
                     route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
-                pending.push((to, recv_port, v, bits, msg));
+                pending.push((to, recv_port, v, port.raw(), bits, msg));
             }
         }
 
         let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-        for (to, port, from, bits, msg) in pending {
-            if next_wake[to as usize] == Some(round) {
-                stats.messages_delivered += 1;
-                stats.bits_received_by_node[to as usize] += bits as u64;
-                if config.record_trace {
-                    trace.push(TraceEvent::Delivered {
-                        round,
-                        from: NodeId::new(from),
-                        to: NodeId::new(to),
-                        port: Port::new(port),
-                        bits,
-                        payload: format!("{msg:?}"),
-                    });
+        for (to, port, from, from_port, bits, msg) in pending {
+            if let Some(plan) = faults {
+                if plan.drops(round, from, from_port) {
+                    stats.injected_drops += 1;
+                    if config.record_trace {
+                        trace.push(TraceEvent::Dropped {
+                            round,
+                            from: NodeId::new(from),
+                            to: NodeId::new(to),
+                        });
+                    }
+                    continue;
                 }
-                inboxes[to as usize].push(Envelope::new(Port::new(port), msg));
+            }
+            if next_wake[to as usize] == Some(round) {
+                let dup = match faults {
+                    Some(plan) => plan.duplicates(round, from, from_port),
+                    None => false,
+                };
+                let copies = 1 + u64::from(dup);
+                stats.messages_delivered += copies;
+                stats.dup_deliveries += u64::from(dup);
+                stats.bits_received_by_node[to as usize] += copies * bits as u64;
+                for _ in 0..copies {
+                    if config.record_trace {
+                        trace.push(TraceEvent::Delivered {
+                            round,
+                            from: NodeId::new(from),
+                            to: NodeId::new(to),
+                            port: Port::new(port),
+                            bits,
+                            payload: format!("{msg:?}"),
+                        });
+                    }
+                    inboxes[to as usize].push(Envelope::new(Port::new(port), msg.clone()));
+                }
             } else {
                 stats.messages_lost += 1;
                 if config.record_trace {
@@ -633,6 +787,10 @@ where
                             requested: r,
                         });
                     }
+                    let r = match faults {
+                        Some(plan) => plan.jittered(v, r),
+                        None => r,
+                    };
                     next_wake[v as usize] = Some(r);
                 }
                 NextWake::Halt => {

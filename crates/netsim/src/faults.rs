@@ -1,0 +1,365 @@
+//! Seeded, fully deterministic fault injection for the executors.
+//!
+//! A [`FaultPlan`] perturbs a run at the model boundary — messages
+//! vanish or arrive twice, wakes slip, nodes crash — without touching a
+//! single protocol line. Every decision is a pure function of
+//! `(fault_seed, stream tag, key)`, so:
+//!
+//! * the same `(SimConfig, FaultPlan)` pair replays bit-identically, on
+//!   either executor (the fault differential proptests pin this);
+//! * decisions are **order-independent**: there is no mutable RNG cursor
+//!   that the two executors could advance in different interleavings —
+//!   each stream hashes its own key (`(round, sender, port)` for message
+//!   faults, `(round, node)` for sleep faults, `(node, requested round)`
+//!   for jitter) through a SplitMix64-style finalizer;
+//! * the streams are mutually independent: distinct tag constants keep a
+//!   drop decision from ever correlating with the duplicate decision for
+//!   the same message.
+//!
+//! Intensities are integers in **parts per million** ([`PPM_SCALE`]) so
+//! [`FaultPlan`] — and therefore [`SimConfig`](crate::SimConfig) — stays
+//! `Eq` and hashable-by-value, and so a plan serialized into a report can
+//! be replayed exactly (no float round-tripping).
+//!
+//! A plan with every intensity at zero and no crashes is *inert*
+//! ([`FaultPlan::is_inert`]); the executors skip the fault path entirely
+//! for inert plans, making fault support pay-for-what-you-use: a run
+//! under an inert plan is bit-identical to a run with no plan at all.
+
+use crate::Round;
+
+/// Intensity denominator: an intensity of `PPM_SCALE` means "always".
+pub const PPM_SCALE: u32 = 1_000_000;
+
+// Stream tags: arbitrary distinct odd constants that separate the
+// decision streams drawn from one `fault_seed`.
+const TAG_DROP: u64 = 0xd3c5_a7e9_1b4f_6a21;
+const TAG_DUPLICATE: u64 = 0x5e8b_2c91_f0d7_43b5;
+const TAG_SLEEP: u64 = 0x9f31_6d05_8ae4_c773;
+const TAG_JITTER: u64 = 0x27c8_514e_b96a_0d8f;
+
+/// SplitMix64-style stateless mixer: one draw per `(tag, a, b)` key.
+fn decide(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(a.wrapping_mul(0xff51_afd7_ed55_8ccd))
+        .wrapping_add(b.wrapping_mul(0xc4ce_b9fe_1a85_ec53));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `true` with probability `ppm / PPM_SCALE` for this key.
+fn hit(seed: u64, tag: u64, a: u64, b: u64, ppm: u32) -> bool {
+    ppm != 0 && decide(seed, tag, a, b) % u64::from(PPM_SCALE) < u64::from(ppm)
+}
+
+/// A deterministic fault-injection plan.
+///
+/// All five fault kinds of the chaos harness in one value. The plan is
+/// plain data — construct it literally or through the builder methods —
+/// and threading it through a run is
+/// [`SimConfig::with_faults`](crate::SimConfig::with_faults).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of every fault decision stream. Independent of the run's
+    /// `master_seed`: the same protocol coins can be replayed under many
+    /// different fault histories and vice versa.
+    pub fault_seed: u64,
+    /// Probability (ppm) that a transmitted message is destroyed in
+    /// flight, keyed by `(round, sender, sender port)`. A dropped message
+    /// is accounted as `injected_drops`, not as a model loss.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a *delivered* message arrives twice, keyed
+    /// like drops. The extra copy counts in both `messages_delivered` and
+    /// `dup_deliveries`.
+    pub duplicate_ppm: u32,
+    /// Probability (ppm) that a node's scheduled wake is suppressed for
+    /// one round, keyed by `(round, node)`: the node sleeps through the
+    /// round (messages to it are lost as usual) and retries in the next.
+    pub spurious_sleep_ppm: u32,
+    /// Maximum extra rounds added to every requested wake; the actual
+    /// slip is drawn uniformly from `0..=wake_jitter` per `(node,
+    /// requested round)`. Zero disables jitter.
+    pub wake_jitter: u64,
+    /// `(node, round)` pairs: the node halts permanently at its first
+    /// scheduled wake in or after that round (counted in
+    /// `crashed_nodes`). Kept sorted by [`FaultPlan::with_crash`].
+    pub crashes: Vec<(u32, Round)>,
+}
+
+impl FaultPlan {
+    /// An inert plan carrying only a decision-stream seed.
+    #[must_use]
+    pub fn seeded(fault_seed: u64) -> Self {
+        FaultPlan {
+            fault_seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Returns the plan with a message-drop intensity.
+    #[must_use]
+    pub fn with_drop_ppm(mut self, ppm: u32) -> Self {
+        self.drop_ppm = ppm;
+        self
+    }
+
+    /// Returns the plan with a duplicate-delivery intensity.
+    #[must_use]
+    pub fn with_duplicate_ppm(mut self, ppm: u32) -> Self {
+        self.duplicate_ppm = ppm;
+        self
+    }
+
+    /// Returns the plan with a spurious-sleep intensity.
+    #[must_use]
+    pub fn with_spurious_sleep_ppm(mut self, ppm: u32) -> Self {
+        self.spurious_sleep_ppm = ppm;
+        self
+    }
+
+    /// Returns the plan with a maximum wake jitter.
+    #[must_use]
+    pub fn with_wake_jitter(mut self, max_extra_rounds: u64) -> Self {
+        self.wake_jitter = max_extra_rounds;
+        self
+    }
+
+    /// Returns the plan with `node` crashing at its first wake in or
+    /// after `round`. The crash list stays sorted, so two plans built
+    /// from the same crashes in any order compare equal.
+    #[must_use]
+    pub fn with_crash(mut self, node: u32, round: Round) -> Self {
+        self.crashes.push((node, round));
+        self.crashes.sort_unstable();
+        self
+    }
+
+    /// `true` when the plan cannot affect a run: every intensity zero
+    /// and no crashes. The executors take the exact no-fault path for
+    /// inert plans (the zero-intensity fingerprint proptests pin this).
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.drop_ppm == 0
+            && self.duplicate_ppm == 0
+            && self.spurious_sleep_ppm == 0
+            && self.wake_jitter == 0
+            && self.crashes.is_empty()
+    }
+
+    /// Whether the message `sender` transmitted through `sender_port` in
+    /// `round` is destroyed in flight.
+    #[inline]
+    #[must_use]
+    pub fn drops(&self, round: Round, sender: u32, sender_port: u32) -> bool {
+        hit(
+            self.fault_seed,
+            TAG_DROP,
+            round,
+            (u64::from(sender) << 32) | u64::from(sender_port),
+            self.drop_ppm,
+        )
+    }
+
+    /// Whether the (delivered) message `sender` transmitted through
+    /// `sender_port` in `round` arrives a second time.
+    #[inline]
+    #[must_use]
+    pub fn duplicates(&self, round: Round, sender: u32, sender_port: u32) -> bool {
+        hit(
+            self.fault_seed,
+            TAG_DUPLICATE,
+            round,
+            (u64::from(sender) << 32) | u64::from(sender_port),
+            self.duplicate_ppm,
+        )
+    }
+
+    /// Whether `node`'s scheduled wake in `round` is suppressed (the
+    /// node sleeps through it and retries in `round + 1`).
+    #[inline]
+    #[must_use]
+    pub fn suppresses(&self, round: Round, node: u32) -> bool {
+        hit(
+            self.fault_seed,
+            TAG_SLEEP,
+            round,
+            u64::from(node),
+            self.spurious_sleep_ppm,
+        )
+    }
+
+    /// The wake round actually scheduled when `node` requests
+    /// `requested`: slipped by `0..=wake_jitter` extra rounds.
+    #[inline]
+    #[must_use]
+    pub fn jittered(&self, node: u32, requested: Round) -> Round {
+        if self.wake_jitter == 0 {
+            return requested;
+        }
+        let extra = decide(self.fault_seed, TAG_JITTER, u64::from(node), requested)
+            % (self.wake_jitter + 1);
+        requested.saturating_add(extra)
+    }
+
+    /// The earliest round at which `node` is condemned to crash, if any.
+    #[must_use]
+    pub fn crash_round(&self, node: u32) -> Option<Round> {
+        // The list is sorted by (node, round), so the first hit is the
+        // earliest crash round for the node.
+        self.crashes
+            .iter()
+            .find(|&&(v, _)| v == node)
+            .map(|&(_, r)| r)
+    }
+
+    /// Whether `node`, waking in `round`, crashes now.
+    #[inline]
+    #[must_use]
+    pub fn crashes_at(&self, node: u32, round: Round) -> bool {
+        match self.crash_round(node) {
+            Some(r) => round >= r,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert_and_never_fires() {
+        let plan = FaultPlan::seeded(42);
+        assert!(plan.is_inert());
+        for round in 1..50 {
+            for v in 0..8 {
+                assert!(!plan.drops(round, v, 0));
+                assert!(!plan.duplicates(round, v, 0));
+                assert!(!plan.suppresses(round, v));
+                assert!(!plan.crashes_at(v, round));
+                assert_eq!(plan.jittered(v, round), round);
+            }
+        }
+    }
+
+    #[test]
+    fn builders_compose_and_defeat_inertness() {
+        let plan = FaultPlan::seeded(1)
+            .with_drop_ppm(10_000)
+            .with_duplicate_ppm(5_000)
+            .with_spurious_sleep_ppm(2_000)
+            .with_wake_jitter(3)
+            .with_crash(4, 100);
+        assert!(!plan.is_inert());
+        assert_eq!(plan.drop_ppm, 10_000);
+        assert_eq!(plan.crash_round(4), Some(100));
+        assert_eq!(plan.crash_round(5), None);
+        // Each single knob alone also defeats inertness.
+        assert!(!FaultPlan::seeded(0).with_drop_ppm(1).is_inert());
+        assert!(!FaultPlan::seeded(0).with_duplicate_ppm(1).is_inert());
+        assert!(!FaultPlan::seeded(0).with_spurious_sleep_ppm(1).is_inert());
+        assert!(!FaultPlan::seeded(0).with_wake_jitter(1).is_inert());
+        assert!(!FaultPlan::seeded(0).with_crash(0, 1).is_inert());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7).with_drop_ppm(500_000);
+        let b = FaultPlan::seeded(7).with_drop_ppm(500_000);
+        let c = FaultPlan::seeded(8).with_drop_ppm(500_000);
+        let mut diverged = false;
+        for round in 1..200 {
+            for v in 0..4 {
+                assert_eq!(a.drops(round, v, 1), b.drops(round, v, 1));
+                if a.drops(round, v, 1) != c.drops(round, v, 1) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "different seeds never diverged");
+    }
+
+    #[test]
+    fn intensity_controls_frequency() {
+        let count = |ppm: u32| -> usize {
+            let plan = FaultPlan::seeded(3).with_drop_ppm(ppm);
+            (1..10_000u64)
+                .filter(|&round| plan.drops(round, 0, 0))
+                .count()
+        };
+        assert_eq!(count(0), 0);
+        assert_eq!(count(PPM_SCALE), 9_999);
+        let half = count(500_000);
+        assert!(
+            (4_000..6_000).contains(&half),
+            "50% intensity fired {half}/9999 times"
+        );
+        let one_pct = count(10_000);
+        assert!(
+            (30..300).contains(&one_pct),
+            "1% intensity fired {one_pct}/9999 times"
+        );
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        // With both intensities at 50%, drop and duplicate decisions for
+        // the same key must not be (anti)correlated.
+        let plan = FaultPlan::seeded(11)
+            .with_drop_ppm(500_000)
+            .with_duplicate_ppm(500_000);
+        let mut agree = 0usize;
+        let total = 9_999usize;
+        for round in 1..10_000u64 {
+            if plan.drops(round, 2, 3) == plan.duplicates(round, 2, 3) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "drop/duplicate streams correlate: agreement {frac}"
+        );
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_covers_the_range() {
+        let plan = FaultPlan::seeded(5).with_wake_jitter(4);
+        let mut seen = [false; 5];
+        for node in 0..64u32 {
+            for requested in 1..64u64 {
+                let actual = plan.jittered(node, requested);
+                assert!(actual >= requested);
+                let extra = actual - requested;
+                assert!(extra <= 4);
+                seen[extra as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some jitter value never drawn");
+    }
+
+    #[test]
+    fn crash_lookup_takes_earliest_round() {
+        let plan = FaultPlan::seeded(0).with_crash(3, 50).with_crash(3, 10);
+        assert_eq!(plan.crash_round(3), Some(10));
+        assert!(!plan.crashes_at(3, 9));
+        assert!(plan.crashes_at(3, 10));
+        assert!(plan.crashes_at(3, 11));
+    }
+
+    #[test]
+    fn crash_order_does_not_matter_for_equality() {
+        let a = FaultPlan::seeded(0).with_crash(1, 5).with_crash(2, 9);
+        let b = FaultPlan::seeded(0).with_crash(2, 9).with_crash(1, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn port_distinguishes_messages_of_one_sender() {
+        let plan = FaultPlan::seeded(9).with_drop_ppm(500_000);
+        let diverges = (1..500u64).any(|r| plan.drops(r, 0, 0) != plan.drops(r, 0, 1));
+        assert!(diverges, "port is not part of the drop key");
+    }
+}

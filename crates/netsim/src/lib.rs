@@ -49,6 +49,7 @@ mod stats;
 mod trace;
 
 pub mod engine;
+pub mod faults;
 pub mod flood;
 pub mod radio;
 #[cfg(feature = "validate")]
@@ -56,6 +57,7 @@ pub mod validate;
 
 pub use engine::ExecutorScratch;
 pub use error::SimError;
+pub use faults::FaultPlan;
 pub use payload::{bits_for_range, bits_for_value, Payload};
 pub use protocol::{Envelope, NextWake, NodeCtx, Outbox, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};

@@ -4,7 +4,7 @@
 use graphlib::WeightedGraph;
 
 use crate::engine::{self, ExecutorScratch};
-use crate::{NodeCtx, Protocol, Round, RunStats, SimError, Trace};
+use crate::{FaultPlan, NodeCtx, Protocol, Round, RunStats, SimError, Trace};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +19,9 @@ pub struct SimConfig {
     pub record_trace: bool,
     /// Master seed; each node's private randomness derives from it.
     pub master_seed: u64,
+    /// Deterministic fault-injection plan ([`FaultPlan`]). `None` — or an
+    /// inert plan — leaves the executors on the exact no-fault path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -28,6 +31,7 @@ impl Default for SimConfig {
             bit_limit: None,
             record_trace: false,
             master_seed: 0,
+            faults: None,
         }
     }
 }
@@ -54,6 +58,12 @@ impl SimConfig {
     /// Returns the config with a round budget.
     pub fn with_max_rounds(mut self, rounds: Round) -> Self {
         self.max_rounds = rounds;
+        self
+    }
+
+    /// Returns the config with a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -393,6 +403,8 @@ mod tests {
                 TraceEvent::Delivered { .. } => "delivered",
                 TraceEvent::Lost { .. } => "lost",
                 TraceEvent::Halted { .. } => "halted",
+                TraceEvent::Dropped { .. } => "dropped",
+                TraceEvent::Crashed { .. } => "crashed",
             })
             .collect();
         assert_eq!(

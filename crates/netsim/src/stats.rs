@@ -28,6 +28,19 @@ pub struct RunStats {
     /// per-algorithm constant `C` with `max_message_bits ≤ C·⌈log₂ n⌉` is
     /// what [`RunStats::log_constant`] reports and `EXPERIMENTS.md` records.
     pub max_message_bits: u64,
+    /// Messages destroyed in flight by an injected fault
+    /// ([`FaultPlan::drop_ppm`](crate::FaultPlan::drop_ppm)). Disjoint
+    /// from [`RunStats::messages_lost`], which counts only model losses
+    /// (receiver asleep).
+    pub injected_drops: u64,
+    /// Extra copies delivered by an injected duplication fault
+    /// ([`FaultPlan::duplicate_ppm`](crate::FaultPlan::duplicate_ppm)).
+    /// Each extra copy is *also* counted in
+    /// [`RunStats::messages_delivered`], so conservation audits reconcile.
+    pub dup_deliveries: u64,
+    /// Nodes halted by an injected crash
+    /// ([`FaultPlan::crashes`](crate::FaultPlan::crashes)).
+    pub crashed_nodes: u64,
 }
 
 impl RunStats {
@@ -40,6 +53,9 @@ impl RunStats {
             bits_by_edge: vec![0; m],
             bits_received_by_node: vec![0; n],
             max_message_bits: 0,
+            injected_drops: 0,
+            dup_deliveries: 0,
+            crashed_nodes: 0,
         }
     }
 
@@ -57,6 +73,9 @@ impl RunStats {
         self.bits_received_by_node.clear();
         self.bits_received_by_node.resize(n, 0);
         self.max_message_bits = 0;
+        self.injected_drops = 0;
+        self.dup_deliveries = 0;
+        self.crashed_nodes = 0;
     }
 
     /// The paper's awake complexity: the maximum number of awake rounds
@@ -119,6 +138,9 @@ mod tests {
             bits_by_edge: vec![8, 64, 32],
             bits_received_by_node: vec![10, 20, 30],
             max_message_bits: 21,
+            injected_drops: 0,
+            dup_deliveries: 0,
+            crashed_nodes: 0,
         };
         assert_eq!(stats.awake_max(), 7);
         assert_eq!(stats.awake_total(), 15);

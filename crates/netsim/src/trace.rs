@@ -46,6 +46,26 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A message was destroyed in flight by an injected fault
+    /// ([`FaultPlan::drop_ppm`](crate::FaultPlan::drop_ppm)) — distinct
+    /// from [`TraceEvent::Lost`], which is the model's sleeping-receiver
+    /// loss.
+    Dropped {
+        /// The round.
+        round: Round,
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A node was halted permanently by an injected crash
+    /// ([`FaultPlan::crashes`](crate::FaultPlan::crashes)).
+    Crashed {
+        /// The round of the node's first suppressed wake.
+        round: Round,
+        /// The node.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -55,7 +75,9 @@ impl TraceEvent {
             TraceEvent::Awake { round, .. }
             | TraceEvent::Delivered { round, .. }
             | TraceEvent::Lost { round, .. }
-            | TraceEvent::Halted { round, .. } => *round,
+            | TraceEvent::Halted { round, .. }
+            | TraceEvent::Dropped { round, .. }
+            | TraceEvent::Crashed { round, .. } => *round,
         }
     }
 }

@@ -168,6 +168,8 @@ pub fn audit(stats: &RunStats, trace: &Trace, bit_budget: Option<usize>) -> Vec<
 
     let mut delivered = 0u64;
     let mut lost = 0u64;
+    let mut dropped = 0u64;
+    let mut crashed = 0u64;
     let mut bits_received = vec![0u64; n];
     for event in trace.events() {
         match event {
@@ -227,6 +229,23 @@ pub fn audit(stats: &RunStats, trace: &Trace, bit_budget: Option<usize>) -> Vec<
                     });
                 }
             }
+            TraceEvent::Dropped { round, from, .. } => {
+                // An injected drop destroys a message in flight; the
+                // receiver's state is irrelevant (that is exactly what
+                // distinguishes it from a model loss), but the sender must
+                // still have been awake to transmit it.
+                dropped += 1;
+                if !is_awake(*round, from.raw()) {
+                    violations.push(Violation {
+                        rule: ModelRule::AwakeSender,
+                        round: *round,
+                        detail: format!("node {} sent while asleep", from.raw()),
+                    });
+                }
+            }
+            TraceEvent::Crashed { .. } => {
+                crashed += 1;
+            }
             TraceEvent::Awake { .. } | TraceEvent::Halted { .. } => {}
         }
     }
@@ -254,6 +273,16 @@ pub fn audit(stats: &RunStats, trace: &Trace, bit_budget: Option<usize>) -> Vec<
             detail: format!(
                 "trace has {delivered} delivered / {lost} lost events, stats claim {} / {}",
                 stats.messages_delivered, stats.messages_lost
+            ),
+        });
+    }
+    if dropped != stats.injected_drops || crashed != stats.crashed_nodes {
+        violations.push(Violation {
+            rule: ModelRule::Conservation,
+            round: 0,
+            detail: format!(
+                "trace has {dropped} dropped / {crashed} crashed events, stats claim {} / {}",
+                stats.injected_drops, stats.crashed_nodes
             ),
         });
     }

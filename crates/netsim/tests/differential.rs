@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use graphlib::generators;
 use netsim::{
-    engine, Envelope, ExecutorScratch, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
-    Simulator,
+    engine, Envelope, ExecutorScratch, FaultPlan, NextWake, NodeCtx, Outbox, Protocol, Round,
+    SimConfig, Simulator,
 };
 
 /// SplitMix64 — the same tiny generator the protocols in `mst-core` use
@@ -246,5 +246,87 @@ fn executors_agree_under_dense_synchronous_load() {
     assert_eq!(fast.stats.messages_lost, 0);
     for (a, b) in fast.states.iter().zip(&slow.states) {
         assert_eq!(a.sum, b.sum);
+    }
+}
+
+/// Runs both executors under the same [`FaultPlan`] and asserts full
+/// agreement. Faults are adjudicated by stateless seeded streams keyed
+/// on (round, node/edge), so the executors must reach identical
+/// verdicts no matter how differently they schedule the rounds.
+fn assert_executors_agree_with_faults(
+    graph: &graphlib::WeightedGraph,
+    master_seed: u64,
+    wakes: u32,
+    max_gap: u64,
+    plan: FaultPlan,
+) -> Result<(), TestCaseError> {
+    let config = SimConfig::default()
+        .with_seed(master_seed)
+        .with_trace()
+        .with_faults(plan);
+    let factory = |ctx: &NodeCtx| Chaotic::new(ctx, wakes, max_gap);
+
+    let fast = Simulator::new(graph, config.clone()).run(factory).unwrap();
+    let slow = engine::run_naive(graph, &config, factory).unwrap();
+
+    prop_assert_eq!(&fast.stats, &slow.stats);
+    prop_assert_eq!(&fast.trace, &slow.trace);
+    prop_assert_eq!(fast.states.len(), slow.states.len());
+    for (a, b) in fast.states.iter().zip(&slow.states) {
+        prop_assert_eq!(&a.received, &b.received);
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(a.wakes_left, b.wakes_left);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fault plane must not open a gap between the executors: random
+    /// plans mixing drops, duplicates, spurious sleeps, wake jitter, and
+    /// crashes still yield bit-identical stats, traces, and states.
+    #[test]
+    fn executors_agree_under_random_fault_plans(
+        n in 3usize..12,
+        graph_seed in 0u64..500,
+        master_seed in 0u64..500,
+        wakes in 1u32..5,
+        max_gap in 1u64..20,
+        fault_seed in 0u64..1000,
+        drop_ppm in 0u32..700_000,
+        dup_ppm in 0u32..700_000,
+        sleep_ppm in 0u32..600_000,
+        jitter in 0u64..4,
+        crashes in proptest::collection::vec((0u32..16, 1u64..30), 0..3),
+    ) {
+        let g = generators::random_connected(n, 0.3, graph_seed).unwrap();
+        let mut plan = FaultPlan::seeded(fault_seed)
+            .with_drop_ppm(drop_ppm)
+            .with_duplicate_ppm(dup_ppm)
+            .with_spurious_sleep_ppm(sleep_ppm)
+            .with_wake_jitter(jitter);
+        for &(node, round) in &crashes {
+            plan = plan.with_crash(node % n as u32, round);
+        }
+        assert_executors_agree_with_faults(&g, master_seed, wakes, max_gap, plan)?;
+    }
+
+    /// Drop-heavy plans on dense graphs: the adjudication order inside a
+    /// round (drop before the receiver-awake check, duplicate after
+    /// delivery) must match between the executors under maximal traffic.
+    #[test]
+    fn executors_agree_under_heavy_drops_on_complete_graphs(
+        n in 3usize..8,
+        master_seed in 0u64..500,
+        fault_seed in 0u64..1000,
+        drop_ppm in 500_000u32..1_000_000,
+        dup_ppm in 0u32..1_000_000,
+    ) {
+        let g = generators::complete(n, 11).unwrap();
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_drop_ppm(drop_ppm)
+            .with_duplicate_ppm(dup_ppm);
+        assert_executors_agree_with_faults(&g, master_seed, 3, 6, plan)?;
     }
 }

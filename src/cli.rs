@@ -19,10 +19,11 @@
 //!     --sizes 16,32,64 --seeds 0..3
 //! ```
 
-use bench::harness;
+use bench::{chaos, harness};
 use graphlib::{generators, mst, traversal, GraphError, WeightedGraph};
 use mst_core::registry::{self, AlgorithmSpec};
-use mst_core::MstOutcome;
+use mst_core::{MstOutcome, MstScratch};
+use netsim::FaultPlan;
 
 /// Parses an algorithm name against the registry.
 ///
@@ -92,6 +93,61 @@ pub fn run(alg: &AlgorithmSpec, graph: &WeightedGraph, seed: u64) -> Result<MstO
     alg.run(graph, seed).map_err(|e| e.to_string())
 }
 
+/// Runs `alg` on `graph` under a fault plan (inert plans take the plain
+/// path — see [`mst_core::registry::AlgorithmSpec::run_with_faults`]).
+///
+/// # Errors
+///
+/// As [`run`], plus the fault-mode failures: the round-budget watchdog
+/// ([`netsim::SimError::MaxRoundsExceeded`]), captured protocol panics,
+/// and degraded-output detection — all as readable strings.
+pub fn run_with_faults(
+    alg: &AlgorithmSpec,
+    graph: &WeightedGraph,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<MstOutcome, String> {
+    alg.run_with_faults(graph, seed, plan, &mut MstScratch::new())
+        .map_err(|e| e.to_string())
+}
+
+/// Parses a `--crash NODE@ROUND` operand.
+fn parse_crash(s: &str) -> Result<(u32, u64), String> {
+    let (node, round) = s
+        .split_once('@')
+        .ok_or_else(|| format!("crash spec '{s}' must look like NODE@ROUND"))?;
+    let node = node
+        .parse()
+        .map_err(|_| format!("'{node}' is not a node index"))?;
+    let round = round
+        .parse()
+        .map_err(|_| format!("'{round}' is not a round"))?;
+    if round == 0 {
+        return Err("crash round must be >= 1 (rounds start at 1)".into());
+    }
+    Ok((node, round))
+}
+
+/// Renders a fault plan as the JSON object embedded in `run --json`
+/// output — together with the seed, everything needed to replay the run.
+fn render_fault_plan(plan: &FaultPlan) -> String {
+    let crashes: Vec<String> = plan
+        .crashes
+        .iter()
+        .map(|(node, round)| format!("[{node},{round}]"))
+        .collect();
+    format!(
+        "{{\"fault_seed\":{},\"drop_ppm\":{},\"duplicate_ppm\":{},\
+         \"spurious_sleep_ppm\":{},\"wake_jitter\":{},\"crashes\":[{}]}}",
+        plan.fault_seed,
+        plan.drop_ppm,
+        plan.duplicate_ppm,
+        plan.spurious_sleep_ppm,
+        plan.wake_jitter,
+        crashes.join(","),
+    )
+}
+
 /// Renders an outcome as a human-readable report.
 pub fn render_text(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome) -> String {
     let n = graph.node_count() as f64;
@@ -128,14 +184,26 @@ pub fn render_text(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
 }
 
 /// Renders an outcome as a single JSON object (hand-rolled; all fields are
-/// numbers or registry names, so no escaping is needed).
-pub fn render_json(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome) -> String {
+/// numbers or registry names, so no escaping is needed). The seed and the
+/// fault plan are embedded, so the object is a complete replay recipe:
+/// `run --alg A --graph G --seed S` plus the printed fault fields
+/// reproduce the run bit for bit.
+pub fn render_json(
+    alg: &AlgorithmSpec,
+    graph: &WeightedGraph,
+    seed: u64,
+    plan: &FaultPlan,
+    out: &MstOutcome,
+) -> String {
     format!(
-        "{{\"algorithm\":\"{}\",\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
+        "{{\"algorithm\":\"{}\",\"seed\":{},\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
          \"total_weight\":{},\"phases\":{},\"awake_max\":{},\"awake_avg\":{:.3},\
          \"rounds\":{},\"awake_round_product\":{},\"messages_delivered\":{},\
-         \"messages_lost\":{},\"max_message_bits\":{},\"log_constant\":{}}}",
+         \"messages_lost\":{},\"max_message_bits\":{},\"log_constant\":{},\
+         \"injected_drops\":{},\"dup_deliveries\":{},\"crashed_nodes\":{},\
+         \"fault_plan\":{}}}",
         alg.name,
+        seed,
         graph.node_count(),
         graph.edge_count(),
         out.edges.len(),
@@ -149,6 +217,10 @@ pub fn render_json(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
         out.stats.messages_lost,
         out.stats.max_message_bits,
         out.stats.log_constant(graph.node_count()),
+        out.stats.injected_drops,
+        out.stats.dup_deliveries,
+        out.stats.crashed_nodes,
+        render_fault_plan(plan),
     )
 }
 
@@ -255,6 +327,8 @@ pub enum Command {
         seed: u64,
         /// Emit JSON instead of text.
         json: bool,
+        /// Fault plan (inert unless fault flags were given).
+        faults: FaultPlan,
     },
     /// `verify`: execute, check against the reference, exit non-zero on
     /// mismatch.
@@ -303,6 +377,21 @@ pub enum Command {
         /// Write executor-throughput metrics (runs/sec, messages/sec,
         /// rounds/sec over the whole grid) to this file as JSON.
         bench_out: Option<String>,
+    },
+    /// `chaos`: sweep every registry algorithm × graph family × fault
+    /// level ([`bench::chaos`]), classify each trial, and print the
+    /// fault-tolerance matrix. Exits non-zero on any wrong-output trial.
+    Chaos {
+        /// Master seed for trial seeds and fault streams.
+        seed: u64,
+        /// Family sizes.
+        sizes: Vec<usize>,
+        /// Trials per (algorithm, family, level, n) cell.
+        trials: u64,
+        /// Print the full byte-stable JSON matrix instead of the table.
+        json: bool,
+        /// Also write the JSON matrix to this file.
+        out: Option<String>,
     },
     /// `help`: usage text.
     Help,
@@ -353,6 +442,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut threads = 0usize;
     let mut json = false;
     let mut bench_out: Option<String> = None;
+    let mut trials = 2u64;
+    let mut out: Option<String> = None;
+    let mut faults = FaultPlan::default();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--alg" => {
@@ -384,8 +476,53 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--bench-out" => {
                 bench_out = Some(it.next().ok_or("--bench-out needs a file path")?.clone());
             }
+            "--trials" => {
+                let v = it.next().ok_or("--trials needs a value")?;
+                trials = v
+                    .parse()
+                    .map_err(|_| format!("'{v}' is not a trial count"))?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a file path")?.clone()),
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed needs a value")?;
+                faults.fault_seed = v.parse().map_err(|_| format!("'{v}' is not a seed"))?;
+            }
+            "--drop-ppm" => {
+                let v = it.next().ok_or("--drop-ppm needs a value")?;
+                faults.drop_ppm = v.parse().map_err(|_| format!("'{v}' is not a ppm value"))?;
+            }
+            "--dup-ppm" => {
+                let v = it.next().ok_or("--dup-ppm needs a value")?;
+                faults.duplicate_ppm =
+                    v.parse().map_err(|_| format!("'{v}' is not a ppm value"))?;
+            }
+            "--sleep-ppm" => {
+                let v = it.next().ok_or("--sleep-ppm needs a value")?;
+                faults.spurious_sleep_ppm =
+                    v.parse().map_err(|_| format!("'{v}' is not a ppm value"))?;
+            }
+            "--jitter" => {
+                let v = it.next().ok_or("--jitter needs a value")?;
+                faults.wake_jitter = v
+                    .parse()
+                    .map_err(|_| format!("'{v}' is not a round count"))?;
+            }
+            "--crash" => {
+                let v = it.next().ok_or("--crash needs NODE@ROUND")?;
+                let (node, round) = parse_crash(v)?;
+                faults = faults.with_crash(node, round);
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if cmd == "chaos" {
+        return Ok(Command::Chaos {
+            seed,
+            sizes: sizes.unwrap_or_else(|| vec![8, 12]),
+            trials,
+            json,
+            out,
+        });
     }
     let graph = graph.ok_or("--graph is required")?;
     let single_alg = |algs: &[&'static AlgorithmSpec]| -> Result<&'static AlgorithmSpec, String> {
@@ -401,6 +538,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             graph,
             seed,
             json,
+            faults,
         }),
         "verify" => Ok(Command::Verify {
             alg: single_alg(&algs)?,
@@ -430,7 +568,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         other => Err(format!(
-            "unknown command '{other}' (run, verify, info, sweep, help)"
+            "unknown command '{other}' (run, verify, info, check, sweep, chaos, help)"
         )),
     }
 }
@@ -447,12 +585,16 @@ sleeping-mst — distributed MST in the sleeping model (PODC 2022 reproduction)
 
 USAGE:
     sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
+                        [--fault-seed S] [--drop-ppm P] [--dup-ppm P]
+                        [--sleep-ppm P] [--jitter J] [--crash NODE@ROUND]…
     sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
     sleeping-mst info   --graph <SPEC> [--seed S]
     sleeping-mst check  --graph <SPEC> [--alg <ALG[,ALG…]>] [--seed S]
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
                         [--bench-out FILE]
+    sleeping-mst chaos  [--seed S] [--sizes N,N,…] [--trials K] [--json]
+                        [--out FILE]
 
 ALGORITHMS:
 {algorithms}
@@ -474,6 +616,26 @@ SWEEP:
     deterministic per seed and independent of --threads. With --bench-out,
     an executor-throughput JSON report (wall clock, runs/sec, messages/sec,
     rounds/sec over the whole grid) is also written to FILE.
+
+FAULTS (run):
+    Seeded, fully deterministic fault injection: --drop-ppm destroys
+    messages in flight, --dup-ppm delivers extra copies, --sleep-ppm
+    suppresses scheduled wakes, --jitter slips every wake by up to J
+    rounds, --crash NODE@ROUND halts a node permanently (repeatable).
+    Probabilities are parts-per-million of a stream seeded by
+    --fault-seed; the same flags and seeds replay the run bit for bit
+    (the `--json` output embeds the full plan). Under active faults a
+    round-budget watchdog and panic capture turn livelock and broken
+    protocol invariants into typed errors.
+
+CHAOS:
+    Sweeps every registry algorithm × graph family (ring, random,
+    complete) × fault level (none, light, moderate, heavy, crash) and
+    classifies each trial as correct, typed-failure, or wrong-output.
+    Deterministic per --seed: the JSON matrix (--json / --out FILE) is
+    byte-identical across runs. Exits non-zero if any trial produced a
+    wrong output — fault injection must degrade runs legibly, never
+    silently corrupt them.
 "
     )
 }
@@ -503,20 +665,69 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             graph,
             seed,
             json,
+            faults,
         } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
-            Ok(g) => match run(alg, &g, *seed) {
+            Ok(g) => match run_with_faults(alg, &g, *seed, faults) {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(out) => {
                     let text = if *json {
-                        render_json(alg, &g, &out) + "\n"
+                        render_json(alg, &g, *seed, faults, &out) + "\n"
                     } else {
-                        render_text(alg, &g, &out)
+                        let mut text = render_text(alg, &g, &out);
+                        if !faults.is_inert() {
+                            text.push_str(&format!(
+                                "faults           : {} dropped, {} duplicated, {} crashed\n",
+                                out.stats.injected_drops,
+                                out.stats.dup_deliveries,
+                                out.stats.crashed_nodes,
+                            ));
+                        }
+                        text
                     };
                     (0, text)
                 }
             },
         },
+        Command::Chaos {
+            seed,
+            sizes,
+            trials,
+            json,
+            out,
+        } => {
+            let spec = chaos::ChaosSpec {
+                seed: *seed,
+                sizes: sizes.clone(),
+                trials: *trials,
+            };
+            let report = chaos::run_chaos(&spec);
+            let mut text = if *json {
+                report.to_json() + "\n"
+            } else {
+                format!(
+                    "{}(cell = correct/typed-failure/wrong-output)\n",
+                    report.summary_table()
+                )
+            };
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    return (1, format!("error: cannot write {path}: {e}\n"));
+                }
+            }
+            let wrong = report.wrong_outputs();
+            if wrong.is_empty() {
+                (0, text)
+            } else {
+                for t in wrong {
+                    text.push_str(&format!(
+                        "WRONG OUTPUT: {} family={} level={} n={} seed={}\n",
+                        t.algorithm, t.family, t.level, t.n, t.seed
+                    ));
+                }
+                (1, text)
+            }
+        }
         Command::Verify { alg, graph, seed } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
             Ok(g) => match run(alg, &g, *seed) {
@@ -636,7 +847,8 @@ mod tests {
                 alg: registry::find("randomized").unwrap(),
                 graph: "ring:32".into(),
                 seed: 9,
-                json: true
+                json: true,
+                faults: FaultPlan::default(),
             }
         );
     }
@@ -736,10 +948,13 @@ mod tests {
         let g = build_graph("ring:8", 1).unwrap();
         let alg = registry::find("randomized").unwrap();
         let out = run(alg, &g, 1).unwrap();
-        let json = render_json(alg, &g, &out);
+        let json = render_json(alg, &g, 1, &FaultPlan::default(), &out);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"awake_max\":"));
         assert!(json.contains("\"max_message_bits\":"));
+        assert!(json.contains("\"seed\":1"));
+        assert!(json.contains("\"injected_drops\":0"));
+        assert!(json.contains("\"fault_plan\":{\"fault_seed\":0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
@@ -769,6 +984,116 @@ mod tests {
             text.lines().count() == 1 && text.starts_with("ok: prim"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn parses_fault_flags_into_a_plan() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:16",
+            "--fault-seed",
+            "11",
+            "--drop-ppm",
+            "50000",
+            "--dup-ppm",
+            "1000",
+            "--sleep-ppm",
+            "2000",
+            "--jitter",
+            "3",
+            "--crash",
+            "4@20",
+            "--crash",
+            "2@9",
+        ]))
+        .unwrap();
+        let Command::Run { faults, .. } = cmd else {
+            unreachable!("expected run command");
+        };
+        assert_eq!(faults.fault_seed, 11);
+        assert_eq!(faults.drop_ppm, 50_000);
+        assert_eq!(faults.duplicate_ppm, 1_000);
+        assert_eq!(faults.spurious_sleep_ppm, 2_000);
+        assert_eq!(faults.wake_jitter, 3);
+        assert_eq!(faults.crashes, vec![(2, 9), (4, 20)]);
+        assert!(parse_args(&args(&[
+            "run", "--alg", "prim", "--graph", "ring:8", "--crash", "3"
+        ]))
+        .unwrap_err()
+        .contains("NODE@ROUND"));
+        assert!(parse_args(&args(&[
+            "run", "--alg", "prim", "--graph", "ring:8", "--crash", "3@0"
+        ]))
+        .unwrap_err()
+        .contains("round"));
+    }
+
+    #[test]
+    fn faulted_run_replays_bit_identically_and_reports_typed_errors() {
+        // A mild plan the randomized algorithm survives is hard to pin
+        // across seeds, so assert the classification contract instead:
+        // the command either reports the reference answer or fails with
+        // a typed error — and both outcomes replay byte-identically.
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:12",
+            "--seed",
+            "3",
+            "--drop-ppm",
+            "200000",
+            "--fault-seed",
+            "5",
+            "--json",
+        ]))
+        .unwrap();
+        let (code_a, text_a) = execute(&cmd);
+        let (code_b, text_b) = execute(&cmd);
+        assert_eq!((code_a, &text_a), (code_b, &text_b));
+        if code_a == 0 {
+            assert!(
+                text_a.contains("\"fault_plan\":{\"fault_seed\":5"),
+                "{text_a}"
+            );
+            assert!(text_a.contains("\"injected_drops\":"), "{text_a}");
+        } else {
+            assert!(text_a.starts_with("error:"), "{text_a}");
+        }
+    }
+
+    #[test]
+    fn chaos_command_is_deterministic_and_writes_the_matrix() {
+        let path = std::env::temp_dir().join("sleeping-mst-chaos-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse_args(&args(&[
+            "chaos", "--seed", "5", "--sizes", "6", "--trials", "1", "--out", &path_str,
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                seed: 5,
+                sizes: vec![6],
+                trials: 1,
+                json: false,
+                out: Some(path_str.clone()),
+            }
+        );
+        let (code_a, text_a) = execute(&cmd);
+        let matrix_a = std::fs::read_to_string(&path).unwrap();
+        let (code_b, text_b) = execute(&cmd);
+        let matrix_b = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code_a, 0, "{text_a}");
+        assert_eq!((code_a, &text_a), (code_b, &text_b));
+        assert_eq!(matrix_a, matrix_b, "chaos matrix must be byte-stable");
+        assert!(text_a.contains("| algorithm |"), "{text_a}");
+        assert!(matrix_a.contains("\"matrix\":["), "{matrix_a}");
     }
 
     #[test]

@@ -8,8 +8,9 @@ use proptest::prelude::*;
 
 use sleeping_mst::graphlib::generators;
 use sleeping_mst::mst_core::registry;
+use sleeping_mst::mst_core::{MstScratch, RunError};
 use sleeping_mst::netsim::{
-    audit, Envelope, ModelRule, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
+    audit, Envelope, FaultPlan, ModelRule, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
     ValidatingExecutor,
 };
 
@@ -104,5 +105,112 @@ fn execution_fingerprints_are_pinned() {
         assert_eq!(out.stats.messages_delivered, delivered, "{name} delivered");
         assert_eq!(out.stats.messages_lost, lost, "{name} lost");
         assert_eq!(out.stats.max_message_bits, max_bits, "{name} max bits");
+    }
+}
+
+/// Satellite: fault-plane golden fingerprints. Each registry algorithm
+/// runs under two light nonzero `FaultPlan`s (survivable — stats pinned,
+/// fault counters nonzero) and one heavy plan (the typed failure class
+/// pinned). Any drift means fault decisions are no longer the pure
+/// function of `(fault_seed, tag, round, edge)` that the replay contract
+/// promises (see `DESIGN.md`, "Fault plane").
+#[test]
+fn fault_fingerprints_are_pinned() {
+    fn fingerprint(
+        spec: &registry::AlgorithmSpec,
+        g: &sleeping_mst::graphlib::WeightedGraph,
+        plan: &FaultPlan,
+        scratch: &mut MstScratch,
+    ) -> String {
+        match spec.run_with_faults(g, 7, plan, scratch) {
+            Ok(out) => format!(
+                "ok edges={} rounds={} drops={} dups={}",
+                out.edges.len(),
+                out.stats.rounds,
+                out.stats.injected_drops,
+                out.stats.dup_deliveries
+            ),
+            Err(RunError::Sim(_)) => "err sim".to_string(),
+            Err(RunError::Panicked { .. }) => "err panic".to_string(),
+            Err(RunError::Degraded { .. }) => "err degraded".to_string(),
+            Err(other) => format!("err {other}"),
+        }
+    }
+
+    let g = generators::random_connected(12, 0.3, 5).unwrap();
+    let light_drop = FaultPlan::seeded(0xfa17).with_drop_ppm(2_000);
+    let light_dup = FaultPlan::seeded(0xfa17).with_duplicate_ppm(4_000);
+    let heavy = FaultPlan::seeded(0xfa17)
+        .with_drop_ppm(80_000)
+        .with_duplicate_ppm(60_000);
+    let golden: &[(&str, &FaultPlan, &str)] = &[
+        (
+            "randomized",
+            &light_drop,
+            "ok edges=11 rounds=1806 drops=2 dups=0",
+        ),
+        (
+            "deterministic",
+            &light_drop,
+            "ok edges=11 rounds=3879 drops=3 dups=0",
+        ),
+        (
+            "logstar",
+            &light_drop,
+            "ok edges=11 rounds=3429 drops=2 dups=0",
+        ),
+        (
+            "prim",
+            &light_drop,
+            "ok edges=11 rounds=1157 drops=2 dups=0",
+        ),
+        (
+            "spanning-tree",
+            &light_drop,
+            "ok edges=11 rounds=1555 drops=1 dups=0",
+        ),
+        (
+            "always-awake",
+            &light_drop,
+            "ok edges=11 rounds=1806 drops=2 dups=0",
+        ),
+        (
+            "randomized",
+            &light_dup,
+            "ok edges=11 rounds=1806 drops=0 dups=4",
+        ),
+        (
+            "deterministic",
+            &light_dup,
+            "ok edges=11 rounds=3879 drops=0 dups=4",
+        ),
+        (
+            "logstar",
+            &light_dup,
+            "ok edges=11 rounds=3429 drops=0 dups=6",
+        ),
+        ("prim", &light_dup, "ok edges=11 rounds=1157 drops=0 dups=4"),
+        (
+            "spanning-tree",
+            &light_dup,
+            "ok edges=11 rounds=1555 drops=0 dups=5",
+        ),
+        (
+            "always-awake",
+            &light_dup,
+            "ok edges=11 rounds=1806 drops=0 dups=4",
+        ),
+        ("randomized", &heavy, "err sim"),
+        ("deterministic", &heavy, "err panic"),
+        ("logstar", &heavy, "err panic"),
+        ("prim", &heavy, "err sim"),
+        ("spanning-tree", &heavy, "err sim"),
+        ("always-awake", &heavy, "err sim"),
+    ];
+    let mut scratch = MstScratch::new();
+    for (name, plan, expected) in golden {
+        let spec = registry::find(name).unwrap();
+        let got = fingerprint(spec, &g, plan, &mut scratch);
+        assert_eq!(&got, expected, "{name} under {plan:?}");
     }
 }
