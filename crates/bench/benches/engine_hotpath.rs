@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graphlib::generators;
-use mst_core::{registry, MstScratch};
+use mst_core::{registry, ExecOptions, MstScratch};
 
 /// The randomized-panel graph family of `table1` (sparse G(n, 0.05)).
 fn panel_graph(n: usize) -> graphlib::WeightedGraph {
@@ -55,5 +55,36 @@ fn bench_trace_off_accounting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pooled_vs_fresh, bench_trace_off_accounting);
+fn bench_metrics_on_off(c: &mut Criterion) {
+    // The observability plane's cost contract: with `record_metrics` off
+    // the recorder is never constructed, so "off" must track the plain
+    // pooled run; "on" pays one branch per message plus the per-round
+    // report push. (Off-switch *equivalence* — identical stats and edges
+    // either way — is pinned in `tests/metrics_conservation.rs`.)
+    let spec = registry::find("randomized").unwrap();
+    let mut group = c.benchmark_group("engine_hotpath_metrics");
+    group.sample_size(10);
+    let n = 256usize;
+    let g = panel_graph(n);
+    let probe = spec.run(&g, 1).unwrap();
+    group.throughput(Throughput::Elements(probe.stats.messages_delivered));
+    group.bench_with_input(BenchmarkId::new("off", n), &g, |b, g| {
+        let mut scratch = MstScratch::new();
+        let opts = ExecOptions::seeded(1);
+        b.iter(|| spec.run_with_options(g, &opts, &mut scratch).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("on", n), &g, |b, g| {
+        let mut scratch = MstScratch::new();
+        let opts = ExecOptions::seeded(1).with_metrics();
+        b.iter(|| spec.run_with_options(g, &opts, &mut scratch).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pooled_vs_fresh,
+    bench_trace_off_accounting,
+    bench_metrics_on_off
+);
 criterion_main!(benches);

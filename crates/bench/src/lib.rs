@@ -20,9 +20,11 @@
 
 pub mod chaos;
 pub mod harness;
+pub mod report;
 
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec, ChaosTrial, Outcome};
 pub use harness::{aggregate, Cell, Sweep, TrialResult};
+pub use report::{generate, ExecutorKind, Report, ReportSpec};
 
 /// Renders one markdown table row; the binaries print it themselves
 /// (library code stays print-free — see the `print-in-lib` lint rule).

@@ -115,6 +115,43 @@ pub fn cv_iterations(id_bound: u64) -> u64 {
     t + 1
 }
 
+/// The phase label of `round` in `Deterministic-MST`'s block schedule:
+/// the nine controlled-merge preparation blocks, the coloring window
+/// (whose width depends on the id bound `N` and the `coloring` mode —
+/// pass the graph's `max_external_id` and the run's
+/// [`DeterministicConfig::coloring`]), and the two trailing
+/// `Merging-Fragments` invocations. Backs the observability plane's
+/// [`phase_spans`](netsim::Metrics::phase_spans); total — never panics.
+pub fn phase_label(n: usize, id_bound: u64, coloring: ColoringMode, round: Round) -> &'static str {
+    if round == 0 {
+        return "init";
+    }
+    let coloring_blocks = match coloring {
+        ColoringMode::FastAwake => 3 * id_bound,
+        ColoringMode::ColeVishkin => 3 * (cv_iterations(id_bound) + 8),
+    };
+    let timeline = Timeline::new(n, 9 + coloring_blocks + 6);
+    let block = timeline.position(round).block;
+    match block {
+        FRAG_ID_EXCHANGE => "fragment-id-exchange",
+        UPCAST_MOE => "upcast-moe",
+        BCAST_MOE => "bcast-moe",
+        MOE_FLAG_EXCHANGE => "moe-flag-exchange",
+        UP_COUNT => "up-count",
+        TOKEN_DOWN => "token-down",
+        VALID_NOTIFY => "valid-notify",
+        UP_NBRS => "upcast-neighbors",
+        BCAST_NBRS => "bcast-neighbors",
+        b if (COLORING_START..COLORING_START + coloring_blocks).contains(&b) => "coloring",
+        b => match b - (COLORING_START + coloring_blocks) {
+            0 | 3 => "merge-info",
+            1 | 4 => "merge-up",
+            2 | 5 => "merge-down",
+            _ => "out-of-schedule",
+        },
+    }
+}
+
 /// One Cole–Vishkin step: the new color is `2i + bit_i(mine)` where `i` is
 /// the lowest bit position where `mine` and `parent` differ.
 fn cv_step(mine: u64, parent: u64) -> u64 {
@@ -1415,6 +1452,70 @@ mod tests {
     use crate::ldt::check_forest;
     use crate::runner::collect_mst_edges;
     use graphlib::{generators, mst};
+
+    #[test]
+    fn phase_labels_follow_the_block_layout() {
+        let n = 4;
+        let id_bound = 2u64;
+        let mode = ColoringMode::FastAwake; // coloring window = 3·N = 6 blocks
+        let t = Timeline::new(n, 9 + 3 * id_bound + 6);
+        assert_eq!(phase_label(n, id_bound, mode, 0), "init");
+        let head = [
+            "fragment-id-exchange",
+            "upcast-moe",
+            "bcast-moe",
+            "moe-flag-exchange",
+            "up-count",
+            "token-down",
+            "valid-notify",
+            "upcast-neighbors",
+            "bcast-neighbors",
+        ];
+        for (b, want) in head.iter().enumerate() {
+            assert_eq!(
+                phase_label(n, id_bound, mode, t.block_start(0, b as u64)),
+                *want
+            );
+            assert_eq!(
+                phase_label(n, id_bound, mode, t.block_start(1, b as u64)),
+                *want
+            );
+        }
+        for b in 9..9 + 3 * id_bound {
+            assert_eq!(
+                phase_label(n, id_bound, mode, t.block_start(0, b)),
+                "coloring"
+            );
+        }
+        let tail_start = 9 + 3 * id_bound;
+        let tail = [
+            "merge-info",
+            "merge-up",
+            "merge-down",
+            "merge-info",
+            "merge-up",
+            "merge-down",
+        ];
+        for (i, want) in tail.iter().enumerate() {
+            assert_eq!(
+                phase_label(n, id_bound, mode, t.block_start(0, tail_start + i as u64)),
+                *want
+            );
+        }
+        // Cole–Vishkin mode widens the coloring window but keeps the
+        // same head/tail structure.
+        let cv = ColoringMode::ColeVishkin;
+        let cv_blocks = 3 * (cv_iterations(id_bound) + 8);
+        let t_cv = Timeline::new(n, 9 + cv_blocks + 6);
+        assert_eq!(
+            phase_label(n, id_bound, cv, t_cv.block_start(0, 9 + cv_blocks - 1)),
+            "coloring"
+        );
+        assert_eq!(
+            phase_label(n, id_bound, cv, t_cv.block_start(0, 9 + cv_blocks)),
+            "merge-info"
+        );
+    }
     use netsim::{SimConfig, Simulator};
 
     fn run(graph: &graphlib::WeightedGraph) -> netsim::RunOutcome<DeterministicMst> {

@@ -37,6 +37,9 @@ pub struct ExecOptions {
     /// ([`AlgorithmSpec::run_with_options`](crate::registry::AlgorithmSpec::run_with_options))
     /// substitute the [`round_budget`] watchdog.
     pub max_rounds: Option<Round>,
+    /// Record per-round [`netsim::Metrics`] (round reports, awake
+    /// timelines). Off by default; execution is bit-identical either way.
+    pub record_metrics: bool,
 }
 
 impl ExecOptions {
@@ -60,6 +63,12 @@ impl ExecOptions {
         self
     }
 
+    /// Enables per-round metrics recording.
+    pub fn with_metrics(mut self) -> Self {
+        self.record_metrics = true;
+        self
+    }
+
     /// The plan, if it would actually do anything.
     pub fn active_faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().filter(|p| !p.is_inert())
@@ -73,6 +82,9 @@ impl ExecOptions {
         }
         if let Some(rounds) = self.max_rounds {
             config = config.with_max_rounds(rounds);
+        }
+        if self.record_metrics {
+            config = config.with_metrics();
         }
         config
     }

@@ -34,6 +34,23 @@ const MERGE_INFO: u64 = 3;
 /// Blocks per phase of the Prim baseline.
 pub const BLOCKS_PER_PHASE: u64 = 4;
 
+/// The phase label of `round` in `Prim-MST`'s four-block schedule
+/// (fragment-id exchange, MOE upcast/broadcast within the leader
+/// fragment, frontier attach). Backs the observability plane's
+/// [`phase_spans`](netsim::Metrics::phase_spans); total — never panics.
+pub fn phase_label(n: usize, round: Round) -> &'static str {
+    if round == 0 {
+        return "init";
+    }
+    match Timeline::new(n, BLOCKS_PER_PHASE).position(round).block {
+        FRAG_ID_EXCHANGE => "fragment-id-exchange",
+        UPCAST_MOE => "upcast-moe",
+        BCAST_MOE => "bcast-moe",
+        MERGE_INFO => "merge-info",
+        _ => "out-of-schedule",
+    }
+}
+
 /// Per-node state of the Prim-style baseline. Implements
 /// [`netsim::Protocol`].
 #[derive(Debug, Clone)]
@@ -311,6 +328,23 @@ mod tests {
     use crate::runner::collect_mst_edges;
     use graphlib::{generators, mst};
     use netsim::{SimConfig, Simulator};
+
+    #[test]
+    fn phase_labels_follow_the_block_layout() {
+        let n = 6;
+        let t = Timeline::new(n, BLOCKS_PER_PHASE);
+        assert_eq!(phase_label(n, 0), "init");
+        let labels = [
+            "fragment-id-exchange",
+            "upcast-moe",
+            "bcast-moe",
+            "merge-info",
+        ];
+        for (b, want) in labels.iter().enumerate() {
+            assert_eq!(phase_label(n, t.block_start(0, b as u64)), *want);
+            assert_eq!(phase_label(n, t.block_start(2, b as u64)), *want);
+        }
+    }
 
     fn run(graph: &graphlib::WeightedGraph) -> netsim::RunOutcome<PrimMst> {
         Simulator::new(graph, SimConfig::default())

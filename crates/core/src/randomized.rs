@@ -48,6 +48,31 @@ const MERGE_INFO: u64 = 7;
 const MERGE_UP: u64 = 8;
 const MERGE_DOWN: u64 = 9;
 
+/// The Figures 2–5 phase label of `round` in `Randomized-MST`'s block
+/// schedule (LDT build, minimum-outgoing-edge upcast/broadcast, coin
+/// tossing, validity check, fragment merge). `Spanning-Tree` and the
+/// always-awake baseline share the identical timeline, so the registry
+/// reuses this labeler for all three. Backs the observability plane's
+/// [`phase_spans`](netsim::Metrics::phase_spans); total — never panics.
+pub fn phase_label(n: usize, round: Round) -> &'static str {
+    if round == 0 {
+        return "init";
+    }
+    match Timeline::new(n, BLOCKS_PER_PHASE).position(round).block {
+        FRAG_ID_EXCHANGE => "fragment-id-exchange",
+        UPCAST_MOE => "upcast-moe",
+        BCAST_MOE => "bcast-moe",
+        COIN_BCAST => "coin-bcast",
+        COIN_EXCHANGE => "coin-exchange",
+        UPCAST_VALIDITY => "upcast-validity",
+        BCAST_VALIDITY => "bcast-validity",
+        MERGE_INFO => "merge-info",
+        MERGE_UP => "merge-up",
+        MERGE_DOWN => "merge-down",
+        _ => "out-of-schedule",
+    }
+}
+
 /// How a node picks its outgoing-edge candidate in Step (i).
 ///
 /// The paper's MST algorithm uses [`EdgeSelection::MinWeight`] (the MOE).
@@ -589,6 +614,35 @@ mod tests {
     use crate::ldt::check_forest;
     use graphlib::{generators, mst};
     use netsim::{SimConfig, Simulator};
+
+    #[test]
+    fn phase_labels_follow_the_block_layout() {
+        let n = 5;
+        let t = Timeline::new(n, BLOCKS_PER_PHASE);
+        assert_eq!(phase_label(n, 0), "init");
+        let labels = [
+            "fragment-id-exchange",
+            "upcast-moe",
+            "bcast-moe",
+            "coin-bcast",
+            "coin-exchange",
+            "upcast-validity",
+            "bcast-validity",
+            "merge-info",
+            "merge-up",
+            "merge-down",
+        ];
+        for (b, want) in labels.iter().enumerate() {
+            assert_eq!(phase_label(n, t.block_start(0, b as u64)), *want);
+            // Labels are periodic in the phase: phase 3 reads the same.
+            assert_eq!(phase_label(n, t.block_start(3, b as u64)), *want);
+            // Every offset of the block carries the block's label.
+            assert_eq!(
+                phase_label(n, t.block_start(0, b as u64) + t.block_len() - 1),
+                *want
+            );
+        }
+    }
 
     fn run(graph: &graphlib::WeightedGraph, seed: u64) -> netsim::RunOutcome<RandomizedMst> {
         Simulator::new(graph, SimConfig::default().with_seed(seed))

@@ -17,9 +17,9 @@
 //! ```
 
 use graphlib::WeightedGraph;
-use netsim::FaultPlan;
+use netsim::{FaultPlan, Metrics, PhaseSpan, PhaseTotals, Round};
 
-use crate::deterministic::DeterministicConfig;
+use crate::deterministic::{ColoringMode, DeterministicConfig};
 use crate::exec::{round_budget, run_caught, ExecOptions};
 use crate::randomized::RandomizedConfig;
 use crate::runner::{
@@ -27,6 +27,7 @@ use crate::runner::{
     check_spanning_tree, run_always_awake_exec, run_deterministic_exec, run_logstar_exec,
     run_prim_exec, run_randomized_exec, run_spanning_tree_exec, MstOutcome, MstScratch, RunError,
 };
+use crate::{deterministic, prim, randomized};
 
 /// One registered algorithm: metadata plus a uniform entry point.
 ///
@@ -53,6 +54,14 @@ pub struct AlgorithmSpec {
     /// they are dominated by the `⌈log₂ W⌉ ≈ ⌈log₂ 64n³⌉` weight field at
     /// small `n`, which is why none of them is a tight `O(1)`.
     pub congest_constant: u64,
+    /// Maps `(n, max_external_id, round)` to the algorithm's logical phase
+    /// label for that round — the observability plane's bridge from raw
+    /// [`RoundReport`](netsim::RoundReport) streams to the block structure
+    /// of Figures 2–5. Total: rounds outside the schedule label as
+    /// `"out-of-schedule"`, round 0 as `"init"`. Prefer the
+    /// [`AlgorithmSpec::phase_spans`] / [`AlgorithmSpec::phase_totals`]
+    /// helpers, which feed it the right graph parameters.
+    pub label_round: fn(usize, u64, Round) -> &'static str,
     runner: fn(&WeightedGraph, &ExecOptions, &mut MstScratch) -> Result<MstOutcome, RunError>,
     checker: fn(&WeightedGraph, u64, u64) -> Result<MstOutcome, RunError>,
 }
@@ -166,6 +175,24 @@ impl AlgorithmSpec {
         )
     }
 
+    /// Folds a recorded [`Metrics`] stream into chronological
+    /// [`PhaseSpan`]s under this algorithm's round labeling on `graph`
+    /// (the labeler needs the node count and id bound to reconstruct the
+    /// block timeline).
+    pub fn phase_spans(&self, graph: &WeightedGraph, metrics: &Metrics) -> Vec<PhaseSpan> {
+        let n = graph.node_count();
+        let id_bound = graph.max_external_id();
+        metrics.phase_spans(|round| (self.label_round)(n, id_bound, round))
+    }
+
+    /// Whole-run per-phase totals under this algorithm's round labeling on
+    /// `graph` — the per-phase awake breakdown of the Table-1 report.
+    pub fn phase_totals(&self, graph: &WeightedGraph, metrics: &Metrics) -> Vec<PhaseTotals> {
+        let n = graph.node_count();
+        let id_bound = graph.max_external_id();
+        metrics.phase_totals(|round| (self.label_round)(n, id_bound, round))
+    }
+
     /// The per-message bit budget the conformance checker enforces for this
     /// algorithm on an `n`-node graph: `congest_constant · ⌈log₂ n⌉`.
     pub fn bit_budget(&self, n: usize) -> usize {
@@ -224,6 +251,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
+        label_round: |n, _id, r| randomized::phase_label(n, r),
         runner: |g, opts, scratch| {
             run_randomized_exec(g, opts, RandomizedConfig::default(), scratch)
         },
@@ -236,6 +264,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
+        label_round: |n, id_bound, r| {
+            deterministic::phase_label(n, id_bound, ColoringMode::FastAwake, r)
+        },
         runner: |g, opts, scratch| {
             run_deterministic_exec(g, opts, DeterministicConfig::default(), scratch)
         },
@@ -248,6 +279,9 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
+        label_round: |n, id_bound, r| {
+            deterministic::phase_label(n, id_bound, ColoringMode::ColeVishkin, r)
+        },
         runner: |g, opts, scratch| run_logstar_exec(g, opts, scratch),
         checker: |g, _seed, c| check_logstar(g, c),
     },
@@ -258,6 +292,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: true,
         produces_mst: true,
         congest_constant: 14,
+        label_round: |n, _id, r| prim::phase_label(n, r),
         runner: |g, opts, scratch| run_prim_exec(g, opts, 1, scratch),
         checker: |g, _seed, c| check_prim(g, 1, c),
     },
@@ -268,6 +303,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: false,
         congest_constant: 14,
+        label_round: |n, _id, r| randomized::phase_label(n, r),
         runner: run_spanning_tree_exec,
         checker: check_spanning_tree,
     },
@@ -278,6 +314,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         needs_connected: false,
         produces_mst: true,
         congest_constant: 14,
+        label_round: |n, _id, r| randomized::phase_label(n, r),
         runner: run_always_awake_exec,
         checker: check_always_awake,
     },

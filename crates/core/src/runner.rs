@@ -40,6 +40,9 @@ pub struct MstOutcome {
     pub stats: RunStats,
     /// Merge phases completed (max over nodes).
     pub phases: u64,
+    /// Per-round telemetry (empty unless the run was configured with
+    /// [`ExecOptions::with_metrics`](crate::ExecOptions::with_metrics)).
+    pub metrics: netsim::Metrics,
 }
 
 /// The two endpoints of an edge disagree about its MST membership — an
@@ -241,6 +244,7 @@ where
         edges,
         stats: out.stats,
         phases,
+        metrics: out.metrics,
     })
 }
 
@@ -299,6 +303,7 @@ where
         edges,
         stats: out.stats,
         phases,
+        metrics: out.metrics,
     })
 }
 

@@ -153,6 +153,56 @@ mod tests {
     }
 
     #[test]
+    fn single_node_schedule_is_root_only() {
+        // A one-node fragment has only the root: no parent-facing slots,
+        // and everything fits in the 3-round block.
+        let o = ts_offsets(1, 0);
+        assert_eq!(
+            o,
+            TsOffsets {
+                down_receive: None,
+                down_send: 0,
+                side: 1,
+                up_receive: 2,
+                up_send: None,
+            }
+        );
+        let len = block_len(1);
+        assert!(o.down_send < len && o.side < len && o.up_receive < len);
+    }
+
+    #[test]
+    fn zero_node_guard_admits_only_the_degenerate_root() {
+        // n = 0 is the empty-schedule degenerate case: the guard admits
+        // exactly distance 0 and every offset collapses to 0.
+        let o = ts_offsets(0, 0);
+        assert_eq!(o.down_receive, None);
+        assert_eq!(o.down_send, 0);
+        assert_eq!(o.side, 0);
+        assert_eq!(o.up_receive, 0);
+        assert_eq!(o.up_send, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_node_nonzero_distance_rejected() {
+        ts_offsets(0, 1);
+    }
+
+    #[test]
+    fn max_distance_offsets_stay_in_block() {
+        // distance = n - 1 is the deepest legal node; its up_send is the
+        // latest offset any node uses and must still fit in the block.
+        let n = 4;
+        let o = ts_offsets(n, n as u64 - 1);
+        assert_eq!(o.down_receive, Some(2));
+        assert_eq!(o.down_send, 3);
+        assert_eq!(o.up_receive, 5);
+        assert_eq!(o.up_send, Some(6));
+        assert!(o.up_send.unwrap() < block_len(n));
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_distance_beyond_n() {
         ts_offsets(4, 4);

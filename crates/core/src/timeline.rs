@@ -148,6 +148,94 @@ mod tests {
     }
 
     #[test]
+    fn single_node_timeline_geometry() {
+        // n = 1 is the smallest legal network: block_len 3, and the
+        // whole schedule still cycles correctly.
+        let t = Timeline::new(1, 4);
+        assert_eq!(t.block_len(), 3);
+        assert_eq!(t.phase_len(), 12);
+        assert_eq!(
+            t.position(3),
+            Position {
+                phase: 0,
+                block: 0,
+                offset: 2
+            }
+        );
+        assert_eq!(
+            t.position(4),
+            Position {
+                phase: 0,
+                block: 1,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            t.position(13),
+            Position {
+                phase: 1,
+                block: 0,
+                offset: 0
+            }
+        );
+        for round in 1..100 {
+            assert_eq!(t.round(t.position(round)), round);
+        }
+    }
+
+    #[test]
+    fn zero_node_timeline_degenerates_to_unit_blocks() {
+        // n = 0 gives block_len 1: every round is its own block, offsets
+        // are always 0, and the roundtrip still holds.
+        let t = Timeline::new(0, 2);
+        assert_eq!(t.block_len(), 1);
+        for round in 1..10 {
+            let pos = t.position(round);
+            assert_eq!(pos.offset, 0);
+            assert_eq!(t.round(pos), round);
+        }
+        assert_eq!(
+            t.position(3),
+            Position {
+                phase: 1,
+                block: 0,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn far_future_rounds_do_not_overflow() {
+        // The deterministic algorithm's phase counts scale with N, so
+        // positions must stay exact deep into the u64 range.
+        let t = Timeline::new(1_000, 16);
+        let round = 1_000_000_000_000_000_000u64;
+        let pos = t.position(round);
+        assert_eq!(t.round(pos), round);
+        assert!(pos.offset < t.block_len());
+        assert!(pos.block < t.blocks_per_phase());
+    }
+
+    #[test]
+    fn block_starts_advance_by_block_len() {
+        let t = Timeline::new(6, 5); // block_len 13
+        for phase in 0..3 {
+            for block in 0..5 {
+                let start = t.block_start(phase, block);
+                assert_eq!(
+                    t.position(start),
+                    Position {
+                        phase,
+                        block,
+                        offset: 0
+                    }
+                );
+                assert_eq!(t.block_start(phase, block + 1) - start, t.block_len());
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "numbered from 1")]
     fn round_zero_rejected() {
         Timeline::new(5, 3).position(0);

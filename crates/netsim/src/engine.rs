@@ -24,6 +24,7 @@ use std::collections::BinaryHeap;
 
 use graphlib::{NodeId, Port, WeightedGraph};
 
+use crate::metrics::MetricsRecorder;
 use crate::{
     Envelope, FaultPlan, NextWake, NodeCtx, Outbox, Payload, Protocol, Round, RunOutcome, RunStats,
     SimConfig, SimError, Trace, TraceEvent,
@@ -100,9 +101,10 @@ where
 }
 
 /// Validates one outgoing envelope, accounts its per-edge bits, and routes
-/// it to `(receiver, receiver port, bits)` via the precomputed back port —
-/// no adjacency scan, and `bit_size` is computed exactly once per message
-/// (the result is threaded through delivery accounting and the trace).
+/// it to `(receiver, receiver port, bits, edge index)` via the precomputed
+/// back port — no adjacency scan, and `bit_size` is computed exactly once
+/// per message (the result is threaded through delivery accounting, the
+/// trace, and the metrics recorder's congestion scratch).
 #[inline]
 fn route_envelope<M: Payload>(
     graph: &WeightedGraph,
@@ -112,7 +114,7 @@ fn route_envelope<M: Payload>(
     round: Round,
     port: Port,
     msg: &M,
-) -> Result<(u32, u32, usize), SimError> {
+) -> Result<(u32, u32, usize, usize), SimError> {
     if port.index() >= graph.degree(node) {
         return Err(SimError::PortOutOfRange { node, port, round });
     }
@@ -130,7 +132,12 @@ fn route_envelope<M: Payload>(
     let entry = graph.port_entry(node, port);
     stats.bits_by_edge[entry.edge.index()] += bits as u64;
     stats.max_message_bits = stats.max_message_bits.max(bits as u64);
-    Ok((entry.neighbor.raw(), entry.back_port.raw(), bits))
+    Ok((
+        entry.neighbor.raw(),
+        entry.back_port.raw(),
+        bits,
+        entry.edge.index(),
+    ))
 }
 
 /// The scheduled-wake priority queue with lazy deletion.
@@ -385,6 +392,13 @@ where
     let mut stats = scratch.take_stats(n, graph.edge_count());
     let mut trace = Trace::default();
     let faults = active_faults(config);
+    // `None` when metrics are off: the hot path pays one untaken branch
+    // per event and execution is bit-identical (pinned fingerprints).
+    let mut metrics = if config.record_metrics {
+        Some(MetricsRecorder::new(n, graph.edge_count()))
+    } else {
+        None
+    };
 
     let (ctxs, mut protocols, first_wake) = init_nodes(graph, config, factory, &mut trace)?;
     let ExecutorScratch {
@@ -454,6 +468,9 @@ where
         if awake_now.is_empty() {
             continue;
         }
+        if let Some(rec) = metrics.as_mut() {
+            rec.start_round(round, awake_now);
+        }
         for (slot, &v) in awake_now.iter().enumerate() {
             slot_of[v as usize] = slot as u32;
         }
@@ -477,8 +494,11 @@ where
             outbox.clear();
             protocols[v as usize].send(&ctxs[v as usize], round, outbox);
             for Envelope { port, msg } in outbox.drain() {
-                let (to, recv_port, bits) =
+                let (to, recv_port, bits, edge) =
                     route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
+                if let Some(rec) = metrics.as_mut() {
+                    rec.on_send(edge, bits);
+                }
                 if let Some(plan) = faults {
                     // A dropped message is destroyed in flight after the
                     // sender paid for it (bits accrued above), regardless
@@ -486,6 +506,9 @@ where
                     // not a model loss.
                     if plan.drops(round, v, port.raw()) {
                         stats.injected_drops += 1;
+                        if let Some(rec) = metrics.as_mut() {
+                            rec.on_dropped();
+                        }
                         if config.record_trace {
                             record_dropped(&mut trace_buf, round, v, to);
                         }
@@ -495,6 +518,9 @@ where
                 if queue.is_awake_in(to, round) {
                     stats.messages_delivered += 1;
                     stats.bits_received_by_node[to as usize] += bits as u64;
+                    if let Some(rec) = metrics.as_mut() {
+                        rec.on_delivered();
+                    }
                     if config.record_trace {
                         record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
                     }
@@ -510,6 +536,9 @@ where
                         stats.messages_delivered += 1;
                         stats.dup_deliveries += 1;
                         stats.bits_received_by_node[to as usize] += bits as u64;
+                        if let Some(rec) = metrics.as_mut() {
+                            rec.on_dup_delivered();
+                        }
                         if config.record_trace {
                             record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
                         }
@@ -519,6 +548,9 @@ where
                     arena.push(Envelope::new(Port::new(recv_port), msg));
                 } else {
                     stats.messages_lost += 1;
+                    if let Some(rec) = metrics.as_mut() {
+                        rec.on_lost();
+                    }
                     if config.record_trace {
                         record_lost(&mut trace_buf, round, v, to);
                     }
@@ -604,6 +636,9 @@ where
             }
         }
 
+        if let Some(rec) = metrics.as_mut() {
+            rec.finish_round();
+        }
         observer(round, &protocols);
     }
 
@@ -617,6 +652,9 @@ where
         states: protocols,
         stats,
         trace,
+        metrics: metrics
+            .map(MetricsRecorder::into_metrics)
+            .unwrap_or_default(),
     })
 }
 
@@ -646,6 +684,11 @@ where
     let mut stats = RunStats::new(n, graph.edge_count());
     let mut trace = Trace::default();
     let faults = active_faults(config);
+    let mut metrics = if config.record_metrics {
+        Some(MetricsRecorder::new(n, graph.edge_count()))
+    } else {
+        None
+    };
 
     let (ctxs, mut protocols, mut next_wake) = init_nodes(graph, config, factory, &mut trace)?;
     if let Some(plan) = faults {
@@ -708,6 +751,9 @@ where
             round += 1;
             continue;
         }
+        if let Some(rec) = metrics.as_mut() {
+            rec.start_round(round, &awake_now);
+        }
 
         let mut pending: Vec<(u32, u32, u32, u32, usize, P::Msg)> = Vec::new();
         for &v in &awake_now {
@@ -719,8 +765,11 @@ where
             let mut outbox = Outbox::new();
             protocols[v as usize].send(&ctxs[v as usize], round, &mut outbox);
             for Envelope { port, msg } in outbox.into_envelopes() {
-                let (to, recv_port, bits) =
+                let (to, recv_port, bits, edge) =
                     route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
+                if let Some(rec) = metrics.as_mut() {
+                    rec.on_send(edge, bits);
+                }
                 pending.push((to, recv_port, v, port.raw(), bits, msg));
             }
         }
@@ -730,6 +779,9 @@ where
             if let Some(plan) = faults {
                 if plan.drops(round, from, from_port) {
                     stats.injected_drops += 1;
+                    if let Some(rec) = metrics.as_mut() {
+                        rec.on_dropped();
+                    }
                     if config.record_trace {
                         trace.push(TraceEvent::Dropped {
                             round,
@@ -749,6 +801,12 @@ where
                 stats.messages_delivered += copies;
                 stats.dup_deliveries += u64::from(dup);
                 stats.bits_received_by_node[to as usize] += copies * bits as u64;
+                if let Some(rec) = metrics.as_mut() {
+                    rec.on_delivered();
+                    if dup {
+                        rec.on_dup_delivered();
+                    }
+                }
                 for _ in 0..copies {
                     if config.record_trace {
                         trace.push(TraceEvent::Delivered {
@@ -764,6 +822,9 @@ where
                 }
             } else {
                 stats.messages_lost += 1;
+                if let Some(rec) = metrics.as_mut() {
+                    rec.on_lost();
+                }
                 if config.record_trace {
                     trace.push(TraceEvent::Lost {
                         round,
@@ -802,6 +863,9 @@ where
             }
         }
 
+        if let Some(rec) = metrics.as_mut() {
+            rec.finish_round();
+        }
         round += 1;
     }
 
@@ -809,6 +873,9 @@ where
         states: protocols,
         stats,
         trace,
+        metrics: metrics
+            .map(MetricsRecorder::into_metrics)
+            .unwrap_or_default(),
     })
 }
 

@@ -51,6 +51,7 @@ mod trace;
 pub mod engine;
 pub mod faults;
 pub mod flood;
+pub mod metrics;
 pub mod radio;
 #[cfg(feature = "validate")]
 pub mod validate;
@@ -58,6 +59,7 @@ pub mod validate;
 pub use engine::ExecutorScratch;
 pub use error::SimError;
 pub use faults::FaultPlan;
+pub use metrics::{Metrics, PhaseSpan, PhaseTotals, RoundReport};
 pub use payload::{bits_for_range, bits_for_value, Payload};
 pub use protocol::{Envelope, NextWake, NodeCtx, Outbox, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};

@@ -4,6 +4,7 @@
 use graphlib::WeightedGraph;
 
 use crate::engine::{self, ExecutorScratch};
+use crate::metrics::Metrics;
 use crate::{FaultPlan, NodeCtx, Protocol, Round, RunStats, SimError, Trace};
 
 /// Configuration of one simulation run.
@@ -17,6 +18,11 @@ pub struct SimConfig {
     pub bit_limit: Option<usize>,
     /// Record a full [`Trace`] of the run (expensive; keep off in benches).
     pub record_trace: bool,
+    /// Record per-round [`Metrics`] (round reports + awake timelines).
+    /// Cheaper than a trace but still `O(active rounds + awake events)`
+    /// memory; off by default, and the executors are bit-identical either
+    /// way (the off-switch equivalence tests pin this).
+    pub record_metrics: bool,
     /// Master seed; each node's private randomness derives from it.
     pub master_seed: u64,
     /// Deterministic fault-injection plan ([`FaultPlan`]). `None` — or an
@@ -30,6 +36,7 @@ impl Default for SimConfig {
             max_rounds: 1 << 40,
             bit_limit: None,
             record_trace: false,
+            record_metrics: false,
             master_seed: 0,
             faults: None,
         }
@@ -52,6 +59,12 @@ impl SimConfig {
     /// Returns the config with tracing enabled.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Returns the config with per-round metrics recording enabled.
+    pub fn with_metrics(mut self) -> Self {
+        self.record_metrics = true;
         self
     }
 
@@ -78,6 +91,8 @@ pub struct RunOutcome<P> {
     pub stats: RunStats,
     /// Execution trace (empty unless [`SimConfig::record_trace`]).
     pub trace: Trace,
+    /// Per-round telemetry (empty unless [`SimConfig::record_metrics`]).
+    pub metrics: Metrics,
 }
 
 /// The simulator: a weighted graph plus a [`SimConfig`].
@@ -449,6 +464,71 @@ mod tests {
         assert_eq!(out.stats.bits_by_edge, vec![2]);
         assert_eq!(out.stats.bits_received_by_node, vec![1, 1]);
         assert_eq!(out.stats.messages_sent(), 2);
+    }
+
+    #[test]
+    fn metrics_record_reports_and_timelines() {
+        let g = generators::ring(6, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_metrics())
+            .run(|ctx| Staggered {
+                my_round: u64::from(ctx.node.raw()) * 100 + 1,
+                received: 0,
+            })
+            .unwrap();
+        let m = &out.metrics;
+        // One active round per node; the 99-round gaps between wakes are
+        // silent and produce no report.
+        assert_eq!(m.active_rounds(), 6);
+        assert_eq!(m.last_round(), out.stats.rounds);
+        assert_eq!(m.messages_sent(), out.stats.messages_sent());
+        assert_eq!(m.messages_lost(), out.stats.messages_lost);
+        assert_eq!(m.awake_complexity(), out.stats.awake_max());
+        for (v, timeline) in m.awake_rounds_by_node.iter().enumerate() {
+            assert_eq!(timeline, &vec![v as Round * 100 + 1]);
+        }
+        // Each awake round: one node sends 1-bit unit messages on both
+        // ports; both receivers sleep.
+        for r in &m.per_round {
+            assert_eq!((r.awake, r.messages_sent, r.messages_lost), (1, 2, 2));
+            assert_eq!(r.messages_delivered, 0);
+            assert_eq!(r.max_edge_bits, 1);
+        }
+    }
+
+    #[test]
+    fn metrics_off_leaves_outcome_empty() {
+        let g = generators::ring(4, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default())
+            .run(|_| Staggered {
+                my_round: 1,
+                received: 0,
+            })
+            .unwrap();
+        assert!(out.metrics.is_empty());
+    }
+
+    #[test]
+    fn metrics_on_empty_schedule_record_no_rounds() {
+        #[derive(Debug)]
+        struct Never;
+        impl Protocol for Never {
+            type Msg = ();
+            fn init(&mut self, _: &NodeCtx) -> NextWake {
+                NextWake::Halt
+            }
+            fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<()>) {}
+            fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<()>]) -> NextWake {
+                NextWake::Halt
+            }
+        }
+        let g = generators::ring(4, 0).unwrap();
+        let out = Simulator::new(&g, SimConfig::default().with_metrics())
+            .run(|_| Never)
+            .unwrap();
+        assert_eq!(out.metrics.active_rounds(), 0);
+        assert_eq!(out.metrics.last_round(), 0);
+        assert_eq!(out.metrics.awake_complexity(), 0);
+        assert_eq!(out.metrics.awake_rounds_by_node.len(), 4);
     }
 
     #[test]

@@ -384,7 +384,10 @@ impl<'g> ValidatingExecutor<'g> {
         let second: RunOutcome<P> = Simulator::new(self.graph, config)
             .run(&mut factory)
             .map_err(lift_sim_error)?;
-        if second.stats != first.stats || second.trace != first.trace {
+        if second.stats != first.stats
+            || second.trace != first.trace
+            || second.metrics != first.metrics
+        {
             let detail = if second.stats != first.stats {
                 format!(
                     "same-seed re-run diverged: stats differ (first {} delivered / {} rounds, second {} / {})",
@@ -393,11 +396,17 @@ impl<'g> ValidatingExecutor<'g> {
                     second.stats.messages_delivered,
                     second.stats.rounds
                 )
-            } else {
+            } else if second.trace != first.trace {
                 format!(
                     "same-seed re-run diverged: traces differ ({} vs {} events)",
                     first.trace.len(),
                     second.trace.len()
+                )
+            } else {
+                format!(
+                    "same-seed re-run diverged: metrics differ ({} vs {} active rounds)",
+                    first.metrics.active_rounds(),
+                    second.metrics.active_rounds()
                 )
             };
             violations.push(Violation {

@@ -19,7 +19,7 @@
 //!     --sizes 16,32,64 --seeds 0..3
 //! ```
 
-use bench::{chaos, harness};
+use bench::{chaos, harness, report};
 use graphlib::{generators, mst, traversal, GraphError, WeightedGraph};
 use mst_core::registry::{self, AlgorithmSpec};
 use mst_core::{MstOutcome, MstScratch};
@@ -378,6 +378,27 @@ pub enum Command {
         /// rounds/sec over the whole grid) to this file as JSON.
         bench_out: Option<String>,
     },
+    /// `report`: generate the "Table 1, measured" artifact
+    /// ([`bench::report`]) — every registry algorithm swept across graph
+    /// families and sizes with metrics recording on; measured awake
+    /// complexity against the paper's bounds, fitted exponents, and
+    /// per-phase awake breakdowns. Byte-deterministic: the same panel
+    /// always renders identical bytes.
+    Report {
+        /// Family sizes swept.
+        sizes: Vec<usize>,
+        /// Trial seeds per cell.
+        seeds: Vec<u64>,
+        /// Back the runs with the naive reference executor instead of
+        /// the event-driven one (the artifact bytes must not change).
+        naive: bool,
+        /// Print JSON instead of markdown.
+        json: bool,
+        /// Also write the JSON artifact to this file.
+        out: Option<String>,
+        /// Also write the markdown artifact to this file.
+        md_out: Option<String>,
+    },
     /// `chaos`: sweep every registry algorithm × graph family × fault
     /// level ([`bench::chaos`]), classify each trial, and print the
     /// fault-tolerance matrix. Exits non-zero on any wrong-output trial.
@@ -444,6 +465,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut bench_out: Option<String> = None;
     let mut trials = 2u64;
     let mut out: Option<String> = None;
+    let mut md_out: Option<String> = None;
+    let mut naive = false;
     let mut faults = FaultPlan::default();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -483,6 +506,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| format!("'{v}' is not a trial count"))?;
             }
             "--out" => out = Some(it.next().ok_or("--out needs a file path")?.clone()),
+            "--md-out" => md_out = Some(it.next().ok_or("--md-out needs a file path")?.clone()),
+            "--naive" => naive = true,
             "--fault-seed" => {
                 let v = it.next().ok_or("--fault-seed needs a value")?;
                 faults.fault_seed = v.parse().map_err(|_| format!("'{v}' is not a seed"))?;
@@ -514,6 +539,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if cmd == "report" {
+        return Ok(Command::Report {
+            sizes: sizes.unwrap_or_else(|| vec![8, 12, 16, 24]),
+            seeds: seeds.unwrap_or_else(|| vec![0, 1]),
+            naive,
+            json,
+            out,
+            md_out,
+        });
     }
     if cmd == "chaos" {
         return Ok(Command::Chaos {
@@ -568,7 +603,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         other => Err(format!(
-            "unknown command '{other}' (run, verify, info, check, sweep, chaos, help)"
+            "unknown command '{other}' (run, verify, info, check, sweep, report, chaos, help)"
         )),
     }
 }
@@ -593,6 +628,8 @@ USAGE:
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
                         [--bench-out FILE]
+    sleeping-mst report [--sizes N,N,…] [--seeds A..B|A,B,…] [--naive]
+                        [--json] [--out FILE] [--md-out FILE]
     sleeping-mst chaos  [--seed S] [--sizes N,N,…] [--trials K] [--json]
                         [--out FILE]
 
@@ -627,6 +664,17 @@ FAULTS (run):
     (the `--json` output embeds the full plan). Under active faults a
     round-budget watchdog and panic capture turn livelock and broken
     protocol invariants into typed errors.
+
+REPORT:
+    Generates the \"Table 1, measured\" artifact: every registry algorithm
+    on the random and ring families across --sizes × --seeds with
+    per-round metrics recording on. Columns compare measured awake
+    complexity against the paper's bounds, fit metric ~ n^b exponents
+    across the panel, and break each run's awake node-rounds down by
+    logical phase. Prints markdown (or JSON with --json) and writes the
+    artifacts with --out (JSON) / --md-out (markdown). Byte-deterministic:
+    the same panel always produces identical bytes, with --naive backing
+    the runs by the reference executor instead — output unchanged.
 
 CHAOS:
     Sweeps every registry algorithm × graph family (ring, random,
@@ -689,6 +737,45 @@ pub fn execute(cmd: &Command) -> (i32, String) {
                 }
             },
         },
+        Command::Report {
+            sizes,
+            seeds,
+            naive,
+            json,
+            out,
+            md_out,
+        } => {
+            let spec = report::ReportSpec {
+                sizes: sizes.clone(),
+                seeds: seeds.clone(),
+                executor: if *naive {
+                    report::ExecutorKind::Naive
+                } else {
+                    report::ExecutorKind::EventDriven
+                },
+            };
+            match report::generate(&spec) {
+                Err(e) => (1, format!("error: {e}\n")),
+                Ok(rep) => {
+                    if let Some(path) = out {
+                        if let Err(e) = std::fs::write(path, rep.to_json()) {
+                            return (1, format!("error: cannot write {path}: {e}\n"));
+                        }
+                    }
+                    if let Some(path) = md_out {
+                        if let Err(e) = std::fs::write(path, rep.to_markdown()) {
+                            return (1, format!("error: cannot write {path}: {e}\n"));
+                        }
+                    }
+                    let text = if *json {
+                        rep.to_json() + "\n"
+                    } else {
+                        rep.to_markdown()
+                    };
+                    (0, text)
+                }
+            }
+        }
         Command::Chaos {
             seed,
             sizes,
@@ -1094,6 +1181,72 @@ mod tests {
         assert_eq!(matrix_a, matrix_b, "chaos matrix must be byte-stable");
         assert!(text_a.contains("| algorithm |"), "{text_a}");
         assert!(matrix_a.contains("\"matrix\":["), "{matrix_a}");
+    }
+
+    #[test]
+    fn parses_report_command_with_defaults() {
+        let cmd = parse_args(&args(&["report"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                sizes: vec![8, 12, 16, 24],
+                seeds: vec![0, 1],
+                naive: false,
+                json: false,
+                out: None,
+                md_out: None,
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "report", "--sizes", "6,8", "--seeds", "0..2", "--naive", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                sizes: vec![6, 8],
+                seeds: vec![0, 1],
+                naive: true,
+                json: true,
+                out: None,
+                md_out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn report_command_writes_byte_identical_artifacts() {
+        let json_path = std::env::temp_dir().join("sleeping-mst-report-test.json");
+        let md_path = std::env::temp_dir().join("sleeping-mst-report-test.md");
+        let cmd = parse_args(&args(&[
+            "report",
+            "--sizes",
+            "6,8",
+            "--seeds",
+            "0",
+            "--out",
+            json_path.to_str().unwrap(),
+            "--md-out",
+            md_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let (code_a, text_a) = execute(&cmd);
+        let json_a = std::fs::read_to_string(&json_path).unwrap();
+        let md_a = std::fs::read_to_string(&md_path).unwrap();
+        let (code_b, text_b) = execute(&cmd);
+        let json_b = std::fs::read_to_string(&json_path).unwrap();
+        let md_b = std::fs::read_to_string(&md_path).unwrap();
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&md_path).ok();
+        assert_eq!(code_a, 0, "{text_a}");
+        assert_eq!((code_a, &text_a), (code_b, &text_b));
+        assert_eq!(json_a, json_b, "report JSON must be byte-stable");
+        assert_eq!(md_a, md_b, "report markdown must be byte-stable");
+        assert!(text_a.starts_with("# Table 1, measured"), "{text_a}");
+        assert!(json_a.starts_with("{\"report\":\"table1-measured\""));
+        for spec in registry::ALGORITHMS {
+            assert!(md_a.contains(spec.name), "missing {}: {md_a}", spec.name);
+        }
     }
 
     #[test]

@@ -108,6 +108,58 @@ fn execution_fingerprints_are_pinned() {
     }
 }
 
+/// Satellite (stats-vs-metrics audit): `RunStats::rounds` is the last
+/// round *popped from the wake queue*, while the metrics stream records
+/// only rounds where someone was actually awake. Fault-free the two
+/// agree (pinned by `tests/metrics_conservation.rs`), but an injected
+/// crash can strand a stale scheduled wake: the round is popped and
+/// counted, every wake in it is suppressed, and no `RoundReport` exists
+/// for it. This fixture pins that divergence class so the documented
+/// asymmetry — `stats.rounds >= metrics.last_round()`, strict under
+/// crashes — never silently changes direction.
+#[test]
+fn crashed_stale_wake_inflates_rounds_past_the_metrics_stream() {
+    use sleeping_mst::netsim::Simulator;
+
+    /// Node 0 wakes once in round 1 and halts; every other node sleeps
+    /// until round 9. Crashing node 1 at round 3 leaves its round-9 wake
+    /// in the queue: it is popped (so `rounds` = 9) but suppressed (so
+    /// the last `RoundReport` is round 1).
+    #[derive(Debug)]
+    struct StaleWake;
+    impl Protocol for StaleWake {
+        type Msg = u64;
+        fn init(&mut self, ctx: &NodeCtx) -> NextWake {
+            if ctx.node.raw() == 0 {
+                NextWake::At(1)
+            } else {
+                NextWake::At(9)
+            }
+        }
+        fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<u64>) {}
+        fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+            NextWake::Halt
+        }
+    }
+
+    let g = generators::path(2, 1).unwrap();
+    let config = SimConfig::default()
+        .with_metrics()
+        .with_faults(FaultPlan::seeded(1).with_crash(1, 3))
+        .with_max_rounds(1_000);
+    let out = Simulator::new(&g, config).run(|_| StaleWake).unwrap();
+    assert_eq!(out.stats.crashed_nodes, 1);
+    assert_eq!(out.stats.rounds, 9, "stale wake must still be popped");
+    assert_eq!(
+        out.metrics.last_round(),
+        1,
+        "suppressed round must not be reported"
+    );
+    assert_eq!(out.metrics.active_rounds(), 1);
+    assert_eq!(out.metrics.awake_rounds_by_node, vec![vec![1], vec![]]);
+    assert!(out.stats.rounds > out.metrics.last_round());
+}
+
 /// Satellite: fault-plane golden fingerprints. Each registry algorithm
 /// runs under two light nonzero `FaultPlan`s (survivable — stats pinned,
 /// fault counters nonzero) and one heavy plan (the typed failure class
