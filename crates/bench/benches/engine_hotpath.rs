@@ -1,15 +1,19 @@
 //! Criterion benches of the executor hot path: pooled-scratch runs
 //! (outbox/arena/stats buffers reused across iterations, the sweep
 //! harness's configuration) against allocate-fresh runs, reported as
-//! messages-per-second throughput.
+//! messages-per-second throughput — plus the time-driver pair
+//! (calendar vs sync) on the sparse-wake workload of `bench-engine`.
 //!
 //! `cargo bench --bench engine_hotpath` — the CI `bench-baseline` step
-//! runs exactly this in quick mode alongside `sleeping-mst sweep
-//! --bench-out BENCH_engine.json`.
+//! runs exactly this in quick mode alongside `sleeping-mst bench-engine
+//! --out BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graphlib::generators;
 use mst_core::{registry, ExecOptions, MstScratch};
+use netsim::{
+    Envelope, Executor, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig, Simulator,
+};
 
 /// The randomized-panel graph family of `table1` (sparse G(n, 0.05)).
 fn panel_graph(n: usize) -> graphlib::WeightedGraph {
@@ -81,10 +85,81 @@ fn bench_metrics_on_off(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sync_vs_calendar_drivers(c: &mut Criterion) {
+    /// Mirror of the `bench-engine` panel workload (see
+    /// `bench::engine_panel`): every node wakes a handful of times with
+    /// huge gaps between wakes, so wall-clock is dominated by how the
+    /// driver crosses silent rounds — one heap pop for the calendar
+    /// driver, one tick per round for the synchronous driver.
+    #[derive(Debug)]
+    struct Sparse {
+        state: u64,
+        remaining: u32,
+        max_gap: u64,
+    }
+    impl Sparse {
+        fn gap(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            1 + (z ^ (z >> 31)) % self.max_gap
+        }
+    }
+    impl Protocol for Sparse {
+        type Msg = u64;
+        fn init(&mut self, _: &NodeCtx) -> NextWake {
+            NextWake::At(self.gap())
+        }
+        fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<u64>) {
+            if let Some(p) = ctx.ports().next() {
+                outbox.push(p, round);
+            }
+        }
+        fn deliver(&mut self, _: &NodeCtx, round: Round, _: &[Envelope<u64>]) -> NextWake {
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                NextWake::Halt
+            } else {
+                NextWake::At(round + self.gap())
+            }
+        }
+    }
+
+    let n = 4096usize;
+    let g = generators::ring(n, 1).unwrap();
+    let max_gap = 64 * n as u64;
+    let factory = move |ctx: &NodeCtx| Sparse {
+        state: ctx.rng_seed,
+        remaining: 3,
+        max_gap,
+    };
+    let mut group = c.benchmark_group("engine_hotpath_drivers");
+    group.sample_size(10);
+    // Both drivers cover the same round span (bit-identical stats — see
+    // `crates/netsim/tests/differential.rs`), so rounds/sec is the fair
+    // common rate.
+    let probe = Simulator::new(&g, SimConfig::default().with_executor(Executor::Calendar))
+        .run(factory)
+        .unwrap();
+    group.throughput(Throughput::Elements(probe.stats.rounds));
+    for executor in [Executor::Calendar, Executor::Sync] {
+        group.bench_with_input(BenchmarkId::new(executor.as_str(), n), &g, |b, g| {
+            b.iter(|| {
+                Simulator::new(g, SimConfig::default().with_executor(executor))
+                    .run(factory)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pooled_vs_fresh,
     bench_trace_off_accounting,
-    bench_metrics_on_off
+    bench_metrics_on_off,
+    bench_sync_vs_calendar_drivers
 );
 criterion_main!(benches);

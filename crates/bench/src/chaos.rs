@@ -22,8 +22,8 @@
 
 use graphlib::{generators, mst, UnionFind, WeightedGraph};
 use mst_core::registry::{AlgorithmSpec, ALGORITHMS};
-use mst_core::{MstScratch, RunError};
-use netsim::FaultPlan;
+use mst_core::{ExecOptions, MstScratch, RunError};
+use netsim::{Executor, FaultPlan};
 
 /// Fault-intensity ladder, mildest first. Intensities are per-message /
 /// per-wake probabilities in ppm (see [`netsim::faults`]); `crash` adds a
@@ -43,6 +43,11 @@ pub struct ChaosSpec {
     pub sizes: Vec<usize>,
     /// Trials per cell.
     pub trials: u64,
+    /// Time driver every trial runs under. All drivers are bit-identical,
+    /// so the report bytes do not depend on this — running the soak under
+    /// [`Executor::Sync`] or [`Executor::Naive`] *is* the differential
+    /// check against the default calendar driver.
+    pub executor: Executor,
 }
 
 impl Default for ChaosSpec {
@@ -51,6 +56,7 @@ impl Default for ChaosSpec {
             seed: 0,
             sizes: vec![8, 12],
             trials: 2,
+            executor: Executor::Calendar,
         }
     }
 }
@@ -270,7 +276,10 @@ fn run_trial(
         }
     };
     let plan = plan_for(level, seed, graph.node_count());
-    match algo.run_with_faults(&graph, seed, &plan, scratch) {
+    let opts = ExecOptions::seeded(seed)
+        .with_faults(plan)
+        .with_executor(spec.executor);
+    match algo.run_with_options(&graph, &opts, scratch) {
         Ok(out) => {
             trial.injected_drops = out.stats.injected_drops;
             trial.dup_deliveries = out.stats.dup_deliveries;
@@ -459,6 +468,7 @@ mod tests {
             seed: 3,
             sizes: vec![6],
             trials: 1,
+            executor: Executor::Calendar,
         };
         let a = run_chaos(&spec);
         let b = run_chaos(&spec);
@@ -474,6 +484,25 @@ mod tests {
                 t.n
             );
             assert_eq!(t.injected_drops + t.dup_deliveries + t.crashed_nodes, 0);
+        }
+    }
+
+    #[test]
+    fn chaos_report_is_bit_identical_across_executors() {
+        let spec = ChaosSpec {
+            seed: 11,
+            sizes: vec![6],
+            trials: 1,
+            executor: Executor::Calendar,
+        };
+        let calendar = run_chaos(&spec).to_json();
+        for executor in [Executor::Sync, Executor::Naive] {
+            let other = run_chaos(&ChaosSpec {
+                executor,
+                ..spec.clone()
+            })
+            .to_json();
+            assert_eq!(calendar, other, "{executor}");
         }
     }
 

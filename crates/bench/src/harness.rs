@@ -17,8 +17,8 @@ use std::sync::Mutex;
 
 use graphlib::WeightedGraph;
 use mst_core::registry::AlgorithmSpec;
-use mst_core::{MstOutcome, MstScratch, RunError};
-use netsim::RunStats;
+use mst_core::{ExecOptions, MstOutcome, MstScratch, RunError};
+use netsim::{Executor, RunStats};
 
 /// How one sweep algorithm executes a trial.
 enum Runner<'a> {
@@ -96,6 +96,7 @@ pub struct Sweep<'a> {
     sizes: Vec<usize>,
     seeds: Vec<u64>,
     threads: usize,
+    executor: Option<Executor>,
 }
 
 impl<'a> Sweep<'a> {
@@ -109,6 +110,7 @@ impl<'a> Sweep<'a> {
             sizes: Vec::new(),
             seeds: vec![0],
             threads: 0,
+            executor: None,
         }
     }
 
@@ -151,6 +153,16 @@ impl<'a> Sweep<'a> {
     /// available parallelism. Results do not depend on this value.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Pins the time driver for registry trials (default: each
+    /// algorithm's registry default — the calendar driver). Every driver
+    /// is bit-identical, so results do not depend on this value either;
+    /// it only changes wall-clock cost. Custom [`Sweep::algorithm_fn`]
+    /// runners build their own options and ignore this knob.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
         self
     }
 
@@ -226,7 +238,13 @@ impl<'a> Sweep<'a> {
         let graph =
             (self.graph)(n, seed).map_err(|e| format!("graph family at n={n} seed={seed}: {e}"))?;
         let out = match algo.runner {
-            Runner::Registry(spec) => spec.run_with_scratch(&graph, seed, scratch),
+            Runner::Registry(spec) => {
+                let mut opts = ExecOptions::seeded(seed);
+                if let Some(executor) = self.executor {
+                    opts = opts.with_executor(executor);
+                }
+                spec.run_with_options(&graph, &opts, scratch)
+            }
             Runner::Custom(f) => f(&graph, seed),
         }
         .map_err(|e| format!("{} on n={n} seed={seed}: {e}", algo.name))?;
@@ -447,6 +465,32 @@ mod tests {
         let json = render_json(&results);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert_eq!(json.matches("\"algorithm\"").count(), 4);
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_executors() {
+        let build = |executor| {
+            Sweep::new(&ring_family)
+                .algorithm(registry::find("randomized").unwrap())
+                .algorithm(registry::find("deterministic").unwrap())
+                .sizes([8, 16])
+                .seeds(0..2)
+                .threads(1)
+                .executor(executor)
+                .run()
+                .unwrap()
+        };
+        let calendar = build(Executor::Calendar);
+        for executor in [Executor::Sync, Executor::Naive] {
+            let other = build(executor);
+            assert_eq!(calendar.len(), other.len());
+            for (a, b) in calendar.iter().zip(&other) {
+                assert_eq!(a.stats, b.stats, "{executor} {} n={}", a.algorithm, a.n);
+                assert_eq!(a.tree_edges, b.tree_edges);
+                assert_eq!(a.total_weight, b.total_weight);
+                assert_eq!(a.phases, b.phases);
+            }
+        }
     }
 
     #[test]

@@ -19,12 +19,16 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod engine_panel;
 pub mod harness;
 pub mod report;
 
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec, ChaosTrial, Outcome};
+pub use engine_panel::{
+    render_engine_panel_json, run_engine_panel, EnginePanelRow, EnginePanelSpec,
+};
 pub use harness::{aggregate, Cell, Sweep, TrialResult};
-pub use report::{generate, ExecutorKind, Report, ReportSpec};
+pub use report::{generate, Report, ReportSpec};
 
 /// Renders one markdown table row; the binaries print it themselves
 /// (library code stays print-free — see the `print-in-lib` lint rule).

@@ -8,42 +8,27 @@
 //! grid order), every run derives from `(family, n, seed)`, floats are
 //! rendered with fixed precision, and no wall-clock or hashed container
 //! is involved — regenerating the report yields identical bytes, and
-//! because both executors are bit-equal oracles of each other, a report
-//! generated under [`ExecutorKind::Naive`] matches the
-//! [`ExecutorKind::EventDriven`] bytes too (pinned in
+//! because every time driver is a bit-equal oracle of the others, a
+//! report generated under [`Executor::Naive`] (or [`Executor::Sync`])
+//! matches the [`Executor::Calendar`] bytes too (pinned in
 //! `tests/report_golden.rs`).
 
 use graphlib::{generators, WeightedGraph};
-use mst_core::baseline::ghs_always_awake;
-use mst_core::deterministic::{ColoringMode, DeterministicConfig, DeterministicMst};
-use mst_core::prim::PrimMst;
-use mst_core::randomized::{EdgeSelection, RandomizedConfig, RandomizedMst};
 use mst_core::registry::{self, AlgorithmSpec};
 use mst_core::{ExecOptions, MstScratch};
-use netsim::engine::run_naive;
-use netsim::{Metrics, RunStats};
+use netsim::{Executor, Metrics, RunStats};
 
-/// Which executor backs the report's runs. The two are bit-equal oracles
-/// of each other; [`ExecutorKind::Naive`] exists so the golden tests can
-/// pin that the report artifact itself is executor-independent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecutorKind {
-    /// The production event-driven executor (via the registry runners).
-    #[default]
-    EventDriven,
-    /// The reference executor that walks every round — slow, test-only.
-    Naive,
-}
-
-/// The report panel: sizes, seeds, and the backing executor.
+/// The report panel: sizes, seeds, and the backing time driver.
 #[derive(Debug, Clone)]
 pub struct ReportSpec {
     /// Graph sizes swept per family.
     pub sizes: Vec<usize>,
     /// Trial seeds per (family, algorithm, n) cell.
     pub seeds: Vec<u64>,
-    /// Backing executor (tests pin `Naive` against `EventDriven`).
-    pub executor: ExecutorKind,
+    /// Backing time driver. All drivers render identical report bytes
+    /// (the golden tests pin `Naive` against `Calendar`); the choice only
+    /// changes generation wall-clock.
+    pub executor: Executor,
 }
 
 impl Default for ReportSpec {
@@ -51,7 +36,7 @@ impl Default for ReportSpec {
         ReportSpec {
             sizes: vec![8, 12, 16, 24],
             seeds: vec![0, 1],
-            executor: ExecutorKind::EventDriven,
+            executor: Executor::Calendar,
         }
     }
 }
@@ -164,62 +149,26 @@ fn build_family(family: &str, n: usize, seed: u64) -> Result<WeightedGraph, Stri
 
 const FAMILIES: &[&str] = &["random", "ring"];
 
-/// One run under the chosen executor, reduced to what the report needs.
-/// The naive arm hand-builds the same protocol factories the registry
-/// runners use, so both arms simulate the identical protocol stream.
+/// One run under the chosen time driver, reduced to what the report
+/// needs. Every driver goes through the same registry runner — the
+/// executor knob on [`ExecOptions`] is the only difference — so the
+/// drivers simulate the identical protocol stream.
 fn run_once(
     spec: &AlgorithmSpec,
     graph: &WeightedGraph,
     seed: u64,
-    executor: ExecutorKind,
+    executor: Executor,
     scratch: &mut MstScratch,
 ) -> Result<(RunStats, Metrics), String> {
-    let context = |e: String| format!("{} on n={} seed={seed}: {e}", spec.name, graph.node_count());
-    match executor {
-        ExecutorKind::EventDriven => spec
-            .run_with_options(graph, &ExecOptions::seeded(seed).with_metrics(), scratch)
-            .map(|out| (out.stats, out.metrics))
-            .map_err(|e| context(e.to_string())),
-        ExecutorKind::Naive => {
-            let config = ExecOptions::seeded(seed).with_metrics().sim_config();
-            let outcome = match spec.name {
-                "randomized" => {
-                    run_naive(graph, &config, RandomizedMst::new).map(|o| (o.stats, o.metrics))
-                }
-                "spanning-tree" => run_naive(graph, &config, |ctx| {
-                    RandomizedMst::with_config(
-                        ctx,
-                        RandomizedConfig {
-                            selection: EdgeSelection::MinPort,
-                            ..RandomizedConfig::default()
-                        },
-                    )
-                })
-                .map(|o| (o.stats, o.metrics)),
-                "deterministic" => run_naive(graph, &config, |ctx| {
-                    DeterministicMst::with_config(ctx, DeterministicConfig::default())
-                })
-                .map(|o| (o.stats, o.metrics)),
-                "logstar" => run_naive(graph, &config, |ctx| {
-                    DeterministicMst::with_config(
-                        ctx,
-                        DeterministicConfig {
-                            coloring: ColoringMode::ColeVishkin,
-                            ..DeterministicConfig::default()
-                        },
-                    )
-                })
-                .map(|o| (o.stats, o.metrics)),
-                "prim" => run_naive(graph, &config, |ctx| PrimMst::new(ctx, 1))
-                    .map(|o| (o.stats, o.metrics)),
-                "always-awake" => {
-                    run_naive(graph, &config, ghs_always_awake).map(|o| (o.stats, o.metrics))
-                }
-                other => return Err(format!("no naive factory for `{other}`")),
-            };
-            outcome.map_err(|e| context(e.to_string()))
-        }
-    }
+    spec.run_with_options(
+        graph,
+        &ExecOptions::seeded(seed)
+            .with_metrics()
+            .with_executor(executor),
+        scratch,
+    )
+    .map(|out| (out.stats, out.metrics))
+    .map_err(|e| format!("{} on n={} seed={seed}: {e}", spec.name, graph.node_count()))
 }
 
 /// Least-squares slope of `ln(y)` on `ln(n)` — the fitted exponent `b` of
@@ -483,7 +432,7 @@ mod tests {
         ReportSpec {
             sizes: vec![6, 8],
             seeds: vec![0],
-            executor: ExecutorKind::EventDriven,
+            executor: Executor::Calendar,
         }
     }
 
@@ -530,7 +479,7 @@ mod tests {
         let err = generate(&ReportSpec {
             sizes: vec![],
             seeds: vec![0],
-            executor: ExecutorKind::EventDriven,
+            executor: Executor::Calendar,
         })
         .unwrap_err();
         assert!(err.contains("at least one"));

@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
-use netsim::{FaultPlan, Round, SimConfig};
+use netsim::{Executor, FaultPlan, Round, SimConfig};
 
 use crate::runner::RunError;
 
@@ -40,6 +40,12 @@ pub struct ExecOptions {
     /// Record per-round [`netsim::Metrics`] (round reports, awake
     /// timelines). Off by default; execution is bit-identical either way.
     pub record_metrics: bool,
+    /// Time-driver override ([`Executor`]). `None` defers to the
+    /// algorithm's [`AlgorithmSpec::default_executor`](crate::registry::AlgorithmSpec::default_executor)
+    /// (which is the simulator default, the calendar driver, for every
+    /// registry entry). All drivers are bit-identical; this knob only
+    /// changes wall-clock cost.
+    pub executor: Option<Executor>,
 }
 
 impl ExecOptions {
@@ -69,6 +75,12 @@ impl ExecOptions {
         self
     }
 
+    /// Selects the time driver for the run.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// The plan, if it would actually do anything.
     pub fn active_faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().filter(|p| !p.is_inert())
@@ -85,6 +97,9 @@ impl ExecOptions {
         }
         if self.record_metrics {
             config = config.with_metrics();
+        }
+        if let Some(executor) = self.executor {
+            config = config.with_executor(executor);
         }
         config
     }

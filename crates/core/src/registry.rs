@@ -17,7 +17,7 @@
 //! ```
 
 use graphlib::WeightedGraph;
-use netsim::{FaultPlan, Metrics, PhaseSpan, PhaseTotals, Round};
+use netsim::{Executor, FaultPlan, Metrics, PhaseSpan, PhaseTotals, Round};
 
 use crate::deterministic::{ColoringMode, DeterministicConfig};
 use crate::exec::{round_budget, run_caught, ExecOptions};
@@ -62,6 +62,12 @@ pub struct AlgorithmSpec {
     /// [`AlgorithmSpec::phase_spans`] / [`AlgorithmSpec::phase_totals`]
     /// helpers, which feed it the right graph parameters.
     pub label_round: fn(usize, u64, Round) -> &'static str,
+    /// Time driver used when [`ExecOptions::executor`] is `None`. Every
+    /// registry entry defaults to the calendar driver; the field exists so
+    /// callers (and future entries) can pin a different driver without
+    /// touching every call site. All drivers are bit-identical — this only
+    /// changes wall-clock cost.
+    pub default_executor: Executor,
     runner: fn(&WeightedGraph, &ExecOptions, &mut MstScratch) -> Result<MstOutcome, RunError>,
     checker: fn(&WeightedGraph, u64, u64) -> Result<MstOutcome, RunError>,
 }
@@ -142,12 +148,15 @@ impl AlgorithmSpec {
         opts: &ExecOptions,
         scratch: &mut MstScratch,
     ) -> Result<MstOutcome, RunError> {
-        match opts.active_faults() {
-            None => (self.runner)(graph, opts, scratch),
+        let mut opts = opts.clone();
+        if opts.executor.is_none() {
+            opts.executor = Some(self.default_executor);
+        }
+        match opts.active_faults().cloned() {
+            None => (self.runner)(graph, &opts, scratch),
             Some(plan) => {
-                let mut opts = opts.clone();
                 if opts.max_rounds.is_none() {
-                    opts.max_rounds = Some(round_budget(graph.node_count(), plan));
+                    opts.max_rounds = Some(round_budget(graph.node_count(), &plan));
                 }
                 run_caught(|| (self.runner)(graph, &opts, scratch))
             }
@@ -252,6 +261,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         produces_mst: true,
         congest_constant: 14,
         label_round: |n, _id, r| randomized::phase_label(n, r),
+        default_executor: Executor::Calendar,
         runner: |g, opts, scratch| {
             run_randomized_exec(g, opts, RandomizedConfig::default(), scratch)
         },
@@ -267,6 +277,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         label_round: |n, id_bound, r| {
             deterministic::phase_label(n, id_bound, ColoringMode::FastAwake, r)
         },
+        default_executor: Executor::Calendar,
         runner: |g, opts, scratch| {
             run_deterministic_exec(g, opts, DeterministicConfig::default(), scratch)
         },
@@ -282,6 +293,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         label_round: |n, id_bound, r| {
             deterministic::phase_label(n, id_bound, ColoringMode::ColeVishkin, r)
         },
+        default_executor: Executor::Calendar,
         runner: |g, opts, scratch| run_logstar_exec(g, opts, scratch),
         checker: |g, _seed, c| check_logstar(g, c),
     },
@@ -293,6 +305,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         produces_mst: true,
         congest_constant: 14,
         label_round: |n, _id, r| prim::phase_label(n, r),
+        default_executor: Executor::Calendar,
         runner: |g, opts, scratch| run_prim_exec(g, opts, 1, scratch),
         checker: |g, _seed, c| check_prim(g, 1, c),
     },
@@ -304,6 +317,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         produces_mst: false,
         congest_constant: 14,
         label_round: |n, _id, r| randomized::phase_label(n, r),
+        default_executor: Executor::Calendar,
         runner: run_spanning_tree_exec,
         checker: check_spanning_tree,
     },
@@ -315,6 +329,7 @@ pub const ALGORITHMS: &[AlgorithmSpec] = &[
         produces_mst: true,
         congest_constant: 14,
         label_round: |n, _id, r| randomized::phase_label(n, r),
+        default_executor: Executor::Calendar,
         runner: run_always_awake_exec,
         checker: check_always_awake,
     },

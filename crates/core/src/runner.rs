@@ -1,10 +1,14 @@
 //! High-level entry points: run an algorithm on a graph, collect the MST
 //! edge set and the complexity metrics.
 //!
-//! The `run_*` functions are thin, API-stable wrappers over one generic
-//! helper; the [`registry`](crate::registry) module exposes the same six
-//! algorithms as a data-driven [`AlgorithmSpec`](crate::registry::AlgorithmSpec)
-//! table for callers (CLI, benches, sweeps) that select algorithms by name.
+//! Every algorithm family is described once by a `FamilySpec`
+//! (construction, output ports, phase counter, connectivity requirement);
+//! the `run_*` and `check_*` functions are thin, API-stable wrappers that
+//! hand a spec to the one plain execution path ([`execute`]) or its
+//! validated twin ([`execute_checked`]). The [`registry`](crate::registry)
+//! module exposes the same six algorithms as a data-driven
+//! [`AlgorithmSpec`](crate::registry::AlgorithmSpec) table for callers
+//! (CLI, benches, sweeps) that select algorithms by name.
 
 use std::fmt;
 
@@ -14,7 +18,7 @@ use netsim::{
     ValidatingExecutor, Violation,
 };
 
-use crate::baseline::ghs_always_awake;
+use crate::baseline::{ghs_always_awake, GhsAlwaysAwake};
 use crate::deterministic::{DeterministicConfig, DeterministicMst};
 use crate::exec::ExecOptions;
 use crate::msg::MstMsg;
@@ -218,28 +222,113 @@ pub fn collect_mst_edges<P>(
         .collect())
 }
 
-/// The one generic execution path all `run_*` wrappers share: simulate
-/// (reusing the caller's executor scratch), collect the marked ports into
-/// an edge set, take the phase maximum.
-fn run_and_collect<P, F>(
-    graph: &WeightedGraph,
-    config: SimConfig,
-    factory: F,
-    ports_of: impl Fn(&P) -> &[bool],
-    phases_of: impl Fn(&P) -> u64,
-    scratch: &mut ExecutorScratch<P::Msg>,
-) -> Result<MstOutcome, RunError>
+/// One algorithm family, described once: how to construct a node's
+/// protocol, where its MST port marks and phase counter live, and whether
+/// the input must be connected. The six `run_*`/`check_*` wrapper
+/// families are all thin delegations to [`execute`] / [`execute_checked`]
+/// over one of these — the spec is the *only* per-algorithm code on
+/// either path.
+struct FamilySpec<P, F>
 where
-    P: Protocol,
+    P: Protocol<Msg = MstMsg>,
     F: FnMut(&NodeCtx) -> P,
 {
+    /// `Some(name)`: refuse disconnected inputs with
+    /// [`RunError::Disconnected`] before simulating (the algorithm would
+    /// spin forever on non-leader components).
+    require_connected: Option<&'static str>,
+    factory: F,
+    ports: fn(&P) -> &[bool],
+    phases: fn(&P) -> u64,
+}
+
+/// `Randomized-MST` (and, via [`EdgeSelection::MinPort`], the
+/// spanning-tree variant).
+///
+/// [`EdgeSelection::MinPort`]: crate::randomized::EdgeSelection::MinPort
+fn randomized_spec(
+    config: RandomizedConfig,
+) -> FamilySpec<RandomizedMst, impl FnMut(&NodeCtx) -> RandomizedMst> {
+    FamilySpec {
+        require_connected: None,
+        factory: move |ctx: &NodeCtx| RandomizedMst::with_config(ctx, config.clone()),
+        ports: RandomizedMst::mst_ports,
+        phases: RandomizedMst::phases,
+    }
+}
+
+/// `Deterministic-MST` (and, via [`ColoringMode::ColeVishkin`], the
+/// Corollary 1 log* variant).
+///
+/// [`ColoringMode::ColeVishkin`]: crate::deterministic::ColoringMode::ColeVishkin
+fn deterministic_spec(
+    config: DeterministicConfig,
+) -> FamilySpec<DeterministicMst, impl FnMut(&NodeCtx) -> DeterministicMst> {
+    FamilySpec {
+        require_connected: None,
+        factory: move |ctx: &NodeCtx| DeterministicMst::with_config(ctx, config.clone()),
+        ports: DeterministicMst::mst_ports,
+        phases: DeterministicMst::phases,
+    }
+}
+
+/// The Prim-style sequential baseline (requires a connected input).
+fn prim_spec(
+    leader: u64,
+) -> FamilySpec<crate::prim::PrimMst, impl FnMut(&NodeCtx) -> crate::prim::PrimMst> {
+    FamilySpec {
+        require_connected: Some("prim"),
+        factory: move |ctx: &NodeCtx| crate::prim::PrimMst::new(ctx, leader),
+        ports: crate::prim::PrimMst::mst_ports,
+        phases: crate::prim::PrimMst::phases,
+    }
+}
+
+fn always_awake_ports(s: &GhsAlwaysAwake) -> &[bool] {
+    s.inner().mst_ports()
+}
+
+fn always_awake_phases(s: &GhsAlwaysAwake) -> u64 {
+    s.inner().phases()
+}
+
+/// The always-awake GHS baseline (traditional-model cost profile).
+fn always_awake_spec() -> FamilySpec<GhsAlwaysAwake, impl FnMut(&NodeCtx) -> GhsAlwaysAwake> {
+    FamilySpec {
+        require_connected: None,
+        factory: ghs_always_awake,
+        ports: always_awake_ports,
+        phases: always_awake_phases,
+    }
+}
+
+/// The one generic execution path all `run_*` wrappers share: enforce the
+/// spec's connectivity requirement, simulate under the options' config
+/// (reusing the caller's executor scratch), collect the marked ports into
+/// an edge set, take the phase maximum.
+fn execute<P, F>(
+    graph: &WeightedGraph,
+    opts: &ExecOptions,
+    spec: FamilySpec<P, F>,
+    scratch: &mut MstScratch,
+) -> Result<MstOutcome, RunError>
+where
+    P: Protocol<Msg = MstMsg>,
+    F: FnMut(&NodeCtx) -> P,
+{
+    if let Some(algorithm) = spec.require_connected {
+        if !graphlib::traversal::is_connected(graph) {
+            return Err(RunError::Disconnected { algorithm });
+        }
+    }
+    let config = opts.sim_config();
     let faulted = config.faults.as_ref().is_some_and(|p| !p.is_inert());
-    let out = Simulator::new(graph, config).run_with_scratch(scratch, factory)?;
-    let edges = collect_mst_edges(graph, &out.states, &ports_of)?;
+    let out = Simulator::new(graph, config).run_with_scratch(scratch, spec.factory)?;
+    let edges = collect_mst_edges(graph, &out.states, spec.ports)?;
     if faulted {
         check_spanning_forest(graph, &edges)?;
     }
-    let phases = out.states.iter().map(phases_of).max().unwrap_or(0);
+    let phases = out.states.iter().map(spec.phases).max().unwrap_or(0);
     Ok(MstOutcome {
         edges,
         stats: out.stats,
@@ -276,29 +365,32 @@ fn check_spanning_forest(graph: &WeightedGraph, edges: &[EdgeId]) -> Result<(), 
     Ok(())
 }
 
-/// The validated twin of [`run_and_collect`]: executes under the
-/// [`ValidatingExecutor`] (tracing forced, per-message budget
+/// The validated twin of [`execute`]: executes the same [`FamilySpec`]
+/// under the [`ValidatingExecutor`] (tracing forced, per-message budget
 /// `congest_constant·⌈log₂ n⌉`, double-run determinism check) and collects
 /// the same [`MstOutcome`]. Slower than the plain path — it runs the
 /// protocol twice with tracing on — so it backs `AlgorithmSpec::check` and
 /// the `sleeping-mst check` subcommand, not the benchmarks.
-fn check_and_collect<P, F>(
+fn execute_checked<P, F>(
     graph: &WeightedGraph,
     config: SimConfig,
     congest_constant: u64,
-    factory: F,
-    ports_of: impl Fn(&P) -> &[bool],
-    phases_of: impl Fn(&P) -> u64,
+    spec: FamilySpec<P, F>,
 ) -> Result<MstOutcome, RunError>
 where
-    P: Protocol,
+    P: Protocol<Msg = MstMsg>,
     F: FnMut(&NodeCtx) -> P,
 {
+    if let Some(algorithm) = spec.require_connected {
+        if !graphlib::traversal::is_connected(graph) {
+            return Err(RunError::Disconnected { algorithm });
+        }
+    }
     let out = ValidatingExecutor::new(graph, config)
         .with_congest_constant(congest_constant)
-        .run(factory)?;
-    let edges = collect_mst_edges(graph, &out.states, &ports_of)?;
-    let phases = out.states.iter().map(phases_of).max().unwrap_or(0);
+        .run(spec.factory)?;
+    let edges = collect_mst_edges(graph, &out.states, spec.ports)?;
+    let phases = out.states.iter().map(spec.phases).max().unwrap_or(0);
     Ok(MstOutcome {
         edges,
         stats: out.stats,
@@ -334,13 +426,11 @@ pub fn check_randomized_with(
     config: RandomizedConfig,
     congest_constant: u64,
 ) -> Result<MstOutcome, RunError> {
-    check_and_collect(
+    execute_checked(
         graph,
         SimConfig::default().with_seed(seed),
         congest_constant,
-        |ctx| RandomizedMst::with_config(ctx, config.clone()),
-        RandomizedMst::mst_ports,
-        RandomizedMst::phases,
+        randomized_spec(config),
     )
 }
 
@@ -368,13 +458,11 @@ pub fn check_deterministic_with(
     config: DeterministicConfig,
     congest_constant: u64,
 ) -> Result<MstOutcome, RunError> {
-    check_and_collect(
+    execute_checked(
         graph,
         SimConfig::default(),
         congest_constant,
-        |ctx| DeterministicMst::with_config(ctx, config.clone()),
-        DeterministicMst::mst_ports,
-        DeterministicMst::phases,
+        deterministic_spec(config),
     )
 }
 
@@ -428,16 +516,11 @@ pub fn check_prim(
     leader: u64,
     congest_constant: u64,
 ) -> Result<MstOutcome, RunError> {
-    if !graphlib::traversal::is_connected(graph) {
-        return Err(RunError::Disconnected { algorithm: "prim" });
-    }
-    check_and_collect(
+    execute_checked(
         graph,
         SimConfig::default(),
         congest_constant,
-        |ctx| crate::prim::PrimMst::new(ctx, leader),
-        crate::prim::PrimMst::mst_ports,
-        crate::prim::PrimMst::phases,
+        prim_spec(leader),
     )
 }
 
@@ -452,13 +535,11 @@ pub fn check_always_awake(
     seed: u64,
     congest_constant: u64,
 ) -> Result<MstOutcome, RunError> {
-    check_and_collect(
+    execute_checked(
         graph,
         SimConfig::default().with_seed(seed),
         congest_constant,
-        ghs_always_awake,
-        |s| s.inner().mst_ports(),
-        |s| s.inner().phases(),
+        always_awake_spec(),
     )
 }
 
@@ -518,14 +599,7 @@ pub fn run_randomized_exec(
     config: RandomizedConfig,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
-    run_and_collect(
-        graph,
-        opts.sim_config(),
-        |ctx| RandomizedMst::with_config(ctx, config.clone()),
-        RandomizedMst::mst_ports,
-        RandomizedMst::phases,
-        scratch,
-    )
+    execute(graph, opts, randomized_spec(config), scratch)
 }
 
 /// Runs `Deterministic-MST` with the paper's parameters.
@@ -578,14 +652,7 @@ pub fn run_deterministic_exec(
     config: DeterministicConfig,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
-    run_and_collect(
-        graph,
-        opts.sim_config(),
-        |ctx| DeterministicMst::with_config(ctx, config.clone()),
-        DeterministicMst::mst_ports,
-        DeterministicMst::phases,
-        scratch,
-    )
+    execute(graph, opts, deterministic_spec(config), scratch)
 }
 
 /// Runs the arbitrary-spanning-tree variant: the same LDT merging with
@@ -728,17 +795,7 @@ pub fn run_prim_exec(
     leader: u64,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
-    if !graphlib::traversal::is_connected(graph) {
-        return Err(RunError::Disconnected { algorithm: "prim" });
-    }
-    run_and_collect(
-        graph,
-        opts.sim_config(),
-        |ctx| crate::prim::PrimMst::new(ctx, leader),
-        crate::prim::PrimMst::mst_ports,
-        crate::prim::PrimMst::phases,
-        scratch,
-    )
+    execute(graph, opts, prim_spec(leader), scratch)
 }
 
 /// Runs the always-awake GHS baseline (traditional-model cost profile).
@@ -777,14 +834,7 @@ pub fn run_always_awake_exec(
     opts: &ExecOptions,
     scratch: &mut MstScratch,
 ) -> Result<MstOutcome, RunError> {
-    run_and_collect(
-        graph,
-        opts.sim_config(),
-        ghs_always_awake,
-        |s| s.inner().mst_ports(),
-        |s| s.inner().phases(),
-        scratch,
-    )
+    execute(graph, opts, always_awake_spec(), scratch)
 }
 
 #[cfg(test)]

@@ -1,23 +1,42 @@
-//! The executors behind [`Simulator`](crate::Simulator).
+//! The execution stack behind [`Simulator`](crate::Simulator): one
+//! generic kernel, three time drivers.
 //!
-//! Two implementations of the same round semantics live here:
+//! Exactly one loop — the crate-private `run_kernel` — owns the
+//! per-active-round body: collect the awake set, run the send half-step
+//! into the outbox, route/fault/deliver, record stats/trace/metrics, and
+//! invoke the observer. *Which round comes next* is delegated to a
+//! `TimeDriver`, selected by [`SimConfig::executor`]:
 //!
-//! * `run_event_driven` (crate-private) — the production executor. A
-//!   `WakeQueue` jumps
-//!   directly from one populated round to the next, so a run costs
-//!   `O(W log n + M)` for `W` node-awake events and `M` messages,
-//!   independent of how many silent rounds the schedule spans. Message
-//!   routing uses the back ports precomputed by
-//!   [`graphlib::GraphBuilder::build`] — the hot loop never scans an
-//!   adjacency list — and all per-round state (outbox, the flat inbox
-//!   arena, its grouping scratch) lives in an [`ExecutorScratch`]
-//!   that is reused across rounds *and across runs*, so the steady-state
-//!   hot path performs no allocations.
-//! * [`run_naive`] — a deliberately simple reference executor that walks
-//!   every round from 1 upward. It exists as a differential-testing oracle
-//!   for the event-driven hot loop (see `tests/differential.rs`); never
-//!   use it for real workloads — its cost is proportional to the run's
-//!   round count.
+//! * [`Executor::Calendar`] (the default) — keeps the scheduled wakes in
+//!   a `WakeQueue` (a binary-heap calendar of `(next-wake, node)`
+//!   events) and jumps time directly between populated rounds, so a run
+//!   costs `O(W log n + M)` for `W` node-awake events and `M` messages,
+//!   independent of how many silent rounds the schedule spans. This is
+//!   the property the sleeping model exists to exploit: nodes are awake
+//!   only `O(log n)` of the `O(n log n)` rounds, and the calendar never
+//!   visits the empty ones.
+//! * [`Executor::Sync`] — round-synchronous: the clock walks through
+//!   every round one at a time, paying a per-round tick even when every
+//!   node sleeps. Outcomes are bit-identical to the calendar driver; it
+//!   exists to measure what sparse schedules cost a traditional
+//!   round-driven simulator (`BENCH_engine.json` pins the gap).
+//! * [`Executor::Naive`] — the differential-testing oracle: a per-round
+//!   `O(n)` scan of every node's next wake, as close to a transliteration
+//!   of the round semantics as possible. Never use it for real
+//!   workloads; its entire value is being too simple to be wrong in the
+//!   same way as the calendar.
+//!
+//! All three drivers produce bit-identical outcomes — final states,
+//! [`RunStats`], [`Trace`], and metrics — for every protocol, fault
+//! plan, and metrics setting; `tests/differential.rs` pins this with
+//! cross-driver proptests.
+//!
+//! Message routing uses the back ports precomputed by
+//! [`graphlib::GraphBuilder::build`] — the hot loop never scans an
+//! adjacency list — and all per-round state (outbox, the flat inbox
+//! arena, its grouping scratch) lives in an [`ExecutorScratch`] that is
+//! reused across rounds *and across runs*, so the steady-state hot path
+//! performs no allocations.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -30,23 +49,87 @@ use crate::{
     SimConfig, SimError, Trace, TraceEvent,
 };
 
+/// Which time driver executes a run.
+///
+/// All three produce bit-identical outcomes (final states, stats, trace,
+/// metrics) for every protocol, fault plan, and metrics setting — the
+/// cross-driver proptests in `tests/differential.rs` pin this. They
+/// differ only in how the clock advances between populated rounds, i.e.
+/// in wall-clock cost (see `BENCH_engine.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Executor {
+    /// Round-synchronous: the clock visits every round from 1 upward,
+    /// paying a per-round tick even when every node sleeps. The cost
+    /// model of a traditional round-driven simulator.
+    Sync,
+    /// Event-driven calendar (the default): a binary heap of
+    /// `(next-wake, node)` events; time jumps directly between populated
+    /// rounds.
+    #[default]
+    Calendar,
+    /// Per-round `O(n)` scan of every node's next wake — the
+    /// differential-testing oracle. Never use it for real workloads.
+    Naive,
+}
+
+impl Executor {
+    /// Every executor, in presentation order.
+    pub const ALL: [Executor; 3] = [Executor::Sync, Executor::Calendar, Executor::Naive];
+
+    /// Parses a stable executor name (`sync`, `calendar`, `naive`), as
+    /// accepted by the CLI's `--executor` flag.
+    pub fn parse(s: &str) -> Option<Executor> {
+        match s {
+            "sync" => Some(Executor::Sync),
+            "calendar" => Some(Executor::Calendar),
+            "naive" => Some(Executor::Naive),
+            _ => None,
+        }
+    }
+
+    /// The stable name [`Executor::parse`] accepts, also used in reports
+    /// and JSON artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Executor::Sync => "sync",
+            Executor::Calendar => "calendar",
+            Executor::Naive => "naive",
+        }
+    }
+}
+
+impl std::fmt::Display for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The active fault plan of a config, if it can affect the run at all.
 /// Inert plans (every intensity zero, no crashes) are filtered out here,
-/// so both executors take the exact no-fault path for them — fault
+/// so every driver takes the exact no-fault path for them — fault
 /// support costs nothing unless a fault can actually fire.
 fn active_faults(config: &SimConfig) -> Option<&FaultPlan> {
     config.faults.as_ref().filter(|plan| !plan.is_inert())
 }
 
 /// Builds the initial knowledge handed to `node` (KT0 plus run
-/// parameters). Both executors must derive identical contexts — notably
-/// the per-node RNG seed — for differential runs to agree.
-fn node_ctx(graph: &WeightedGraph, config: &SimConfig, node: NodeId) -> NodeCtx {
+/// parameters). Every driver derives identical contexts — notably the
+/// per-node RNG seed — which is what lets differential runs agree.
+/// `max_external_id` is passed in rather than recomputed: it is an
+/// `O(n)` scan of the id table, and calling it per node made setup
+/// `O(n²)` — dominant on the sparse-wake panel, where it buried the
+/// driver cost the panel exists to measure.
+fn node_ctx(
+    graph: &WeightedGraph,
+    config: &SimConfig,
+    node: NodeId,
+    max_external_id: u64,
+) -> NodeCtx {
     NodeCtx {
         node,
         external_id: graph.external_id(node),
         n: graph.node_count(),
-        max_external_id: graph.max_external_id(),
+        max_external_id,
         port_weights: graph.ports(node).iter().map(|e| e.weight).collect(),
         rng_seed: config
             .master_seed
@@ -55,7 +138,7 @@ fn node_ctx(graph: &WeightedGraph, config: &SimConfig, node: NodeId) -> NodeCtx 
     }
 }
 
-/// Per-node construction + `init` call, shared by both executors.
+/// Per-node construction + `init` call, shared by every driver.
 /// Returns the contexts, protocol values, and each node's first wake
 /// (`None` = halted in `init`).
 #[allow(clippy::type_complexity)]
@@ -70,11 +153,12 @@ where
     F: FnMut(&NodeCtx) -> P,
 {
     let n = graph.node_count();
+    let max_external_id = graph.max_external_id();
     let mut ctxs = Vec::with_capacity(n);
     let mut protocols = Vec::with_capacity(n);
     let mut first_wake = Vec::with_capacity(n);
     for node in graph.nodes() {
-        let ctx = node_ctx(graph, config, node);
+        let ctx = node_ctx(graph, config, node, max_external_id);
         let mut protocol = factory(&ctx);
         match protocol.init(&ctx) {
             NextWake::At(r) => {
@@ -144,10 +228,13 @@ fn route_envelope<M: Payload>(
 ///
 /// `schedule` may supersede an earlier, not-yet-fired entry for the same
 /// node; the stale heap entry is dropped when its round is popped. Rounds
-/// whose entries are all stale still *occur* (they are the run's last
-/// scheduled activity), which is why [`pop_round`](WakeQueue::pop_round)
-/// reports them: `RunStats::rounds` must reflect the final popped round,
-/// not the last round that happened to have a live waker.
+/// whose entries are all stale still surface from
+/// [`pop_round`](WakeQueue::pop_round) — with an empty live set — so the
+/// kernel can keep adjudicating faults for them; the kernel does **not**
+/// count such rounds toward `RunStats::rounds`. The run's final round is
+/// the last one in which some node actually executed, which is also what
+/// the metrics stream records (`stats.rounds == metrics.last_round()`
+/// whenever metrics are on — every driver agrees).
 #[derive(Debug)]
 pub(crate) struct WakeQueue {
     heap: BinaryHeap<Reverse<(Round, u32)>>,
@@ -252,7 +339,7 @@ pub struct ExecutorScratch<M> {
     queue: WakeQueue,
     awake_now: Vec<u32>,
     /// `slot_of[v]` = v's index in `awake_now`, valid only while
-    /// `queue.is_awake_in(v, round)` holds for the current round.
+    /// the driver reports v awake for the current round.
     slot_of: Vec<u32>,
     /// Flat inbox arena: every delivered envelope of the round, grouped by
     /// receiver slot and sorted by receiver port within each group.
@@ -328,8 +415,7 @@ impl<M> ExecutorScratch<M> {
 /// `Debug` formatting machinery must stay off the untraced hot path.
 /// Delivery events buffer into `buf` (flushed after the round's send
 /// half-step) so the recorded order — every `Awake` of the round, then
-/// `Delivered`/`Lost` in send order — stays bit-identical to
-/// [`run_naive`] even though stats are accounted inline.
+/// `Delivered`/`Lost` in send order — is identical under every driver.
 #[cold]
 #[inline(never)]
 #[allow(clippy::too_many_arguments)]
@@ -374,12 +460,208 @@ fn record_dropped(buf: &mut Vec<TraceEvent>, round: Round, from: u32, to: u32) {
     });
 }
 
-/// The production event-driven executor. See the module docs.
-pub(crate) fn run_event_driven<P, F, O>(
+/// How the kernel advances simulated time. One implementation per
+/// [`Executor`]; the kernel is generic over this trait and owns
+/// everything else (sends, routing, faults, delivery, accounting).
+///
+/// Contract: rounds returned by `next_round` are strictly increasing;
+/// `is_awake_in(v, r)` holds exactly for the nodes returned live for the
+/// currently executing round `r` and is falsified by `retract`/`halt`
+/// (crash) or `retract`+`schedule` (suppression) during fault
+/// adjudication.
+trait TimeDriver {
+    /// Schedules (or re-schedules) `node` to wake in `round`.
+    fn schedule(&mut self, node: u32, round: Round);
+    /// Marks `node` as halted; it will never be returned live again.
+    fn halt(&mut self, node: u32);
+    /// Withdraws `node` from the round it was just returned live for,
+    /// so `is_awake_in` reports it asleep to the round's routing.
+    fn retract(&mut self, node: u32);
+    /// Advances to the next round with scheduled activity, filling
+    /// `live` with the nodes waking in it (ascending). `None` = no
+    /// pending wakes remain. May return a round past the budget (with
+    /// any live set); the kernel turns that into `MaxRoundsExceeded`.
+    fn next_round(&mut self, live: &mut Vec<u32>) -> Option<Round>;
+    /// Whether `node` is awake in the currently executing `round`.
+    fn is_awake_in(&self, node: u32, round: Round) -> bool;
+}
+
+/// [`Executor::Calendar`]: the event-driven driver. A thin shim over the
+/// [`WakeQueue`] heap — `next_round` pops the earliest populated round,
+/// so the clock jumps over silent rounds in `O(log n)`.
+struct CalendarDriver<'a> {
+    queue: &'a mut WakeQueue,
+}
+
+impl TimeDriver for CalendarDriver<'_> {
+    fn schedule(&mut self, node: u32, round: Round) {
+        self.queue.schedule(node, round);
+    }
+
+    fn halt(&mut self, node: u32) {
+        self.queue.halt(node);
+    }
+
+    fn retract(&mut self, node: u32) {
+        self.queue.retract(node);
+    }
+
+    fn next_round(&mut self, live: &mut Vec<u32>) -> Option<Round> {
+        self.queue.pop_round(live)
+    }
+
+    fn is_awake_in(&self, node: u32, round: Round) -> bool {
+        self.queue.is_awake_in(node, round)
+    }
+}
+
+/// [`Executor::Sync`]: the round-synchronous driver. Same calendar state
+/// as [`CalendarDriver`], but the clock walks from the current round to
+/// the next wake one round at a time, paying a per-round tick for every
+/// silent round — the cost model of a traditional round-driven
+/// simulator, kept honest by `std::hint::black_box`.
+struct SyncDriver<'a> {
+    queue: &'a mut WakeQueue,
+    /// The last round the clock has passed through.
+    cursor: Round,
+    /// The run's round budget; the walk never goes further than one
+    /// round past it (the kernel reports `MaxRoundsExceeded` there).
+    limit: Round,
+}
+
+impl<'a> SyncDriver<'a> {
+    fn new(queue: &'a mut WakeQueue, limit: Round) -> Self {
+        SyncDriver {
+            queue,
+            cursor: 0,
+            limit,
+        }
+    }
+}
+
+impl TimeDriver for SyncDriver<'_> {
+    fn schedule(&mut self, node: u32, round: Round) {
+        self.queue.schedule(node, round);
+    }
+
+    fn halt(&mut self, node: u32) {
+        self.queue.halt(node);
+    }
+
+    fn retract(&mut self, node: u32) {
+        self.queue.retract(node);
+    }
+
+    fn next_round(&mut self, live: &mut Vec<u32>) -> Option<Round> {
+        let target = self.queue.peek_round()?;
+        // Walk the clock one round at a time up to the next wake — but
+        // never past the round budget, so a single distant wake cannot
+        // turn the budget check into an unbounded spin. Every silent
+        // round pays the question a round-synchronous scheduler cannot
+        // skip ("does anyone wake now?"); `black_box` keeps the
+        // optimizer from collapsing the walk back into a calendar jump.
+        let stop = target.min(self.limit.saturating_add(1));
+        while self.cursor < stop {
+            self.cursor += 1;
+            let due = self.queue.peek_round() == Some(self.cursor);
+            std::hint::black_box(due);
+        }
+        self.queue.pop_round(live)
+    }
+
+    fn is_awake_in(&self, node: u32, round: Round) -> bool {
+        self.queue.is_awake_in(node, round)
+    }
+}
+
+/// [`Executor::Naive`]: the oracle driver. No heap, no stamps — just a
+/// per-node next-wake table scanned in full (`O(n)`) for every simulated
+/// round. Too simple to share a bug with the calendar machinery, which
+/// is its entire job.
+struct NaiveDriver {
+    /// `Some(r)` = node wakes in round `r`; `None` = halted.
+    next_wake: Vec<Option<Round>>,
+    /// The last round returned (rounds are scanned strictly upward).
+    cursor: Round,
+    /// The run's round budget; scanning stops one round past it.
+    limit: Round,
+}
+
+impl NaiveDriver {
+    fn new(n: usize, limit: Round) -> Self {
+        NaiveDriver {
+            next_wake: vec![None; n],
+            cursor: 0,
+            limit,
+        }
+    }
+}
+
+impl TimeDriver for NaiveDriver {
+    fn schedule(&mut self, node: u32, round: Round) {
+        self.next_wake[node as usize] = Some(round);
+    }
+
+    fn halt(&mut self, node: u32) {
+        self.next_wake[node as usize] = None;
+    }
+
+    fn retract(&mut self, _node: u32) {
+        // Nothing to withdraw: a crash (`halt` → `None`) or a
+        // suppression (`schedule` for `round + 1`) already falsifies
+        // `is_awake_in` for the current round — there is no popped
+        // stamp in this driver.
+    }
+
+    fn next_round(&mut self, live: &mut Vec<u32>) -> Option<Round> {
+        loop {
+            if self.next_wake.iter().all(Option::is_none) {
+                return None;
+            }
+            self.cursor += 1;
+            live.clear();
+            for (v, wake) in self.next_wake.iter().enumerate() {
+                if *wake == Some(self.cursor) {
+                    live.push(v as u32);
+                }
+            }
+            // Surface the first round past the budget even when nothing
+            // wakes in it: nodes are still running, so the kernel must
+            // report `MaxRoundsExceeded` exactly as the other drivers
+            // do, not scan silently toward a distant wake.
+            if !live.is_empty() || self.cursor > self.limit {
+                return Some(self.cursor);
+            }
+        }
+    }
+
+    fn is_awake_in(&self, node: u32, round: Round) -> bool {
+        self.next_wake[node as usize] == Some(round)
+    }
+}
+
+/// The per-round working buffers the kernel borrows from an
+/// [`ExecutorScratch`] — split out so the scratch's `queue` can be
+/// borrowed separately by the calendar/sync drivers.
+struct KernelBuffers<'a, M> {
+    awake_now: &'a mut Vec<u32>,
+    slot_of: &'a mut Vec<u32>,
+    arena: &'a mut Vec<Envelope<M>>,
+    slots: &'a mut Vec<u32>,
+    perm: &'a mut Vec<u32>,
+    inbox_ranges: &'a mut Vec<(u32, u32)>,
+    outbox: &'a mut Outbox<M>,
+}
+
+/// Runs a protocol under the driver selected by [`SimConfig::executor`].
+/// The single entry point behind [`Simulator`](crate::Simulator): resets
+/// the scratch, builds the chosen [`TimeDriver`], and hands both to the
+/// generic kernel.
+pub(crate) fn run<P, F, O>(
     graph: &WeightedGraph,
     config: &SimConfig,
     factory: F,
-    mut observer: O,
+    observer: O,
     scratch: &mut ExecutorScratch<P::Msg>,
 ) -> Result<RunOutcome<P>, SimError>
 where
@@ -389,18 +671,7 @@ where
 {
     let n = graph.node_count();
     scratch.reset(n);
-    let mut stats = scratch.take_stats(n, graph.edge_count());
-    let mut trace = Trace::default();
-    let faults = active_faults(config);
-    // `None` when metrics are off: the hot path pays one untaken branch
-    // per event and execution is bit-identical (pinned fingerprints).
-    let mut metrics = if config.record_metrics {
-        Some(MetricsRecorder::new(n, graph.edge_count()))
-    } else {
-        None
-    };
-
-    let (ctxs, mut protocols, first_wake) = init_nodes(graph, config, factory, &mut trace)?;
+    let stats = scratch.take_stats(n, graph.edge_count());
     let ExecutorScratch {
         queue,
         awake_now,
@@ -412,6 +683,72 @@ where
         outbox,
         ..
     } = scratch;
+    let bufs = KernelBuffers {
+        awake_now,
+        slot_of,
+        arena,
+        slots,
+        perm,
+        inbox_ranges,
+        outbox,
+    };
+    match config.executor {
+        Executor::Calendar => {
+            let driver = CalendarDriver { queue };
+            run_kernel(graph, config, factory, observer, stats, driver, bufs)
+        }
+        Executor::Sync => {
+            let driver = SyncDriver::new(queue, config.max_rounds);
+            run_kernel(graph, config, factory, observer, stats, driver, bufs)
+        }
+        Executor::Naive => {
+            let driver = NaiveDriver::new(n, config.max_rounds);
+            run_kernel(graph, config, factory, observer, stats, driver, bufs)
+        }
+    }
+}
+
+/// The one generic execution kernel. Owns the whole per-active-round
+/// body — awake-set collection, the send half-step, routing, fault
+/// adjudication, arena grouping, the deliver half-step, and all
+/// stats/trace/metrics/observer recording — and asks the [`TimeDriver`]
+/// only which round comes next and who is awake in it.
+#[allow(clippy::too_many_arguments)]
+fn run_kernel<P, F, O, D>(
+    graph: &WeightedGraph,
+    config: &SimConfig,
+    factory: F,
+    mut observer: O,
+    mut stats: RunStats,
+    mut driver: D,
+    bufs: KernelBuffers<'_, P::Msg>,
+) -> Result<RunOutcome<P>, SimError>
+where
+    P: Protocol,
+    F: FnMut(&NodeCtx) -> P,
+    O: FnMut(Round, &[P]),
+    D: TimeDriver,
+{
+    let KernelBuffers {
+        awake_now,
+        slot_of,
+        arena,
+        slots,
+        perm,
+        inbox_ranges,
+        outbox,
+    } = bufs;
+    let mut trace = Trace::default();
+    let faults = active_faults(config);
+    // `None` when metrics are off: the hot path pays one untaken branch
+    // per event and execution is bit-identical (pinned fingerprints).
+    let mut metrics = if config.record_metrics {
+        Some(MetricsRecorder::new(graph.node_count(), graph.edge_count()))
+    } else {
+        None
+    };
+
+    let (ctxs, mut protocols, first_wake) = init_nodes(graph, config, factory, &mut trace)?;
     let mut running = 0usize;
     for (v, wake) in first_wake.into_iter().enumerate() {
         if let Some(r) = wake {
@@ -419,7 +756,7 @@ where
                 Some(plan) => plan.jittered(v as u32, r),
                 None => r,
             };
-            queue.schedule(v as u32, r);
+            driver.schedule(v as u32, r);
             running += 1;
         }
     }
@@ -427,26 +764,22 @@ where
     // the run records a trace.
     let mut trace_buf: Vec<TraceEvent> = Vec::new();
 
-    while let Some(round) = queue.peek_round() {
+    while let Some(round) = driver.next_round(awake_now) {
         if round > config.max_rounds {
             return Err(SimError::MaxRoundsExceeded {
                 limit: config.max_rounds,
                 running,
             });
         }
-        queue.pop_round(awake_now);
-        // The run extends to every scheduled round we processed, even one
-        // whose wakes were all superseded (regression: stale final round).
-        stats.rounds = round;
         if let Some(plan) = faults {
             // Crash and spurious-sleep adjudication, before any send: a
-            // filtered node must look asleep to the whole round, so its
-            // stamp is retracted and messages to it are lost per the
-            // model. `retain` preserves the ascending order contract.
+            // filtered node must look asleep to the whole round, so it
+            // is retracted and messages to it are lost per the model.
+            // `retain` preserves the ascending order contract.
             awake_now.retain(|&v| {
                 if plan.crashes_at(v, round) {
-                    queue.retract(v);
-                    queue.halt(v);
+                    driver.retract(v);
+                    driver.halt(v);
                     running -= 1;
                     stats.crashed_nodes += 1;
                     if config.record_trace {
@@ -458,16 +791,22 @@ where
                     return false;
                 }
                 if plan.suppresses(round, v) {
-                    queue.retract(v);
-                    queue.schedule(v, round + 1);
+                    driver.retract(v);
+                    driver.schedule(v, round + 1);
                     return false;
                 }
                 true
             });
         }
         if awake_now.is_empty() {
+            // A round whose wakes were all superseded or fault-filtered
+            // is not run time: `stats.rounds` is the last round in which
+            // some node actually executed, so it always agrees with the
+            // metrics stream (`metrics.last_round()`) — under every
+            // driver.
             continue;
         }
+        stats.rounds = round;
         if let Some(rec) = metrics.as_mut() {
             rec.start_round(round, awake_now);
         }
@@ -482,7 +821,7 @@ where
         // messages are accounted and dropped without ever materializing.
         // Delivered envelopes land in `arena` in send order, with the
         // receiver slot recorded alongside in `slots`. Trace events buffer
-        // so their order matches [`run_naive`] (see [`record_delivered`]).
+        // so their order is driver-independent (see [`record_delivered`]).
         arena.clear();
         slots.clear();
         for &v in awake_now.iter() {
@@ -515,7 +854,7 @@ where
                         continue;
                     }
                 }
-                if queue.is_awake_in(to, round) {
+                if driver.is_awake_in(to, round) {
                     stats.messages_delivered += 1;
                     stats.bits_received_by_node[to as usize] += bits as u64;
                     if let Some(rec) = metrics.as_mut() {
@@ -569,8 +908,8 @@ where
         // comparison sort of the whole round. The permutation targets are
         // assigned in send order, so within one slot the grouped arena
         // preserves send order; the stable per-range sort by port then
-        // reproduces exactly the old executor's per-inbox
-        // `sort_by_key(|e| e.port)` — deliver order is bit-identical.
+        // reproduces exactly a per-inbox `sort_by_key(|e| e.port)` —
+        // deliver order is bit-identical under every driver.
         inbox_ranges.clear();
         inbox_ranges.resize(awake_now.len(), (0u32, 0u32));
         for &s in slots.iter() {
@@ -624,10 +963,10 @@ where
                         Some(plan) => plan.jittered(v, r),
                         None => r,
                     };
-                    queue.schedule(v, r);
+                    driver.schedule(v, r);
                 }
                 NextWake::Halt => {
-                    queue.halt(v);
+                    driver.halt(v);
                     running -= 1;
                     if config.record_trace {
                         trace.push(TraceEvent::Halted { round, node });
@@ -658,14 +997,15 @@ where
     })
 }
 
-/// Reference executor: walks **every** round from 1 until all nodes halt.
+/// Reference run under the [`Executor::Naive`] driver: a per-round
+/// `O(n)` scan of every node's next wake, from round 1 upward.
 ///
-/// Semantically identical to the event-driven executor — identical final
-/// states, [`RunStats`], and trace — but costs time proportional to the
-/// run's round count and allocates freely (fresh outboxes and inboxes
-/// every round: its simplicity is the point). It exists as the
-/// differential-testing oracle that locks in the hot loop's behavior; it
-/// is not part of the supported simulation API surface.
+/// Semantically identical to the calendar executor — identical final
+/// states, [`RunStats`], trace, and metrics — but costs time
+/// proportional to the run's round count. It exists as the
+/// differential-testing oracle that locks in the calendar machinery's
+/// behavior (see `tests/differential.rs`); it is not part of the
+/// supported simulation API surface.
 ///
 /// # Errors
 ///
@@ -680,208 +1020,30 @@ where
     P: Protocol,
     F: FnMut(&NodeCtx) -> P,
 {
-    let n = graph.node_count();
-    let mut stats = RunStats::new(n, graph.edge_count());
-    let mut trace = Trace::default();
-    let faults = active_faults(config);
-    let mut metrics = if config.record_metrics {
-        Some(MetricsRecorder::new(n, graph.edge_count()))
-    } else {
-        None
-    };
-
-    let (ctxs, mut protocols, mut next_wake) = init_nodes(graph, config, factory, &mut trace)?;
-    if let Some(plan) = faults {
-        for (v, wake) in next_wake.iter_mut().enumerate() {
-            if let Some(r) = wake.as_mut() {
-                *r = plan.jittered(v as u32, *r);
-            }
-        }
-    }
-
-    let mut round: Round = 1;
-    loop {
-        let running = next_wake.iter().filter(|w| w.is_some()).count();
-        if running == 0 {
-            break;
-        }
-        if round > config.max_rounds {
-            return Err(SimError::MaxRoundsExceeded {
-                limit: config.max_rounds,
-                running,
-            });
-        }
-
-        // Crash and spurious-sleep adjudication happens while collecting
-        // the awake set, exactly as the event-driven executor filters its
-        // popped live set — a scheduled round still counts toward
-        // `stats.rounds` even if faults empty it.
-        let mut scheduled_now = false;
-        let mut awake_now: Vec<u32> = Vec::new();
-        for v in 0..n as u32 {
-            if next_wake[v as usize] != Some(round) {
-                continue;
-            }
-            scheduled_now = true;
-            if let Some(plan) = faults {
-                if plan.crashes_at(v, round) {
-                    next_wake[v as usize] = None;
-                    stats.crashed_nodes += 1;
-                    if config.record_trace {
-                        trace.push(TraceEvent::Crashed {
-                            round,
-                            node: NodeId::new(v),
-                        });
-                    }
-                    continue;
-                }
-                if plan.suppresses(round, v) {
-                    next_wake[v as usize] = Some(round + 1);
-                    continue;
-                }
-            }
-            awake_now.push(v);
-        }
-        if !scheduled_now {
-            round += 1;
-            continue;
-        }
-        stats.rounds = round;
-        if awake_now.is_empty() {
-            round += 1;
-            continue;
-        }
-        if let Some(rec) = metrics.as_mut() {
-            rec.start_round(round, &awake_now);
-        }
-
-        let mut pending: Vec<(u32, u32, u32, u32, usize, P::Msg)> = Vec::new();
-        for &v in &awake_now {
-            let node = NodeId::new(v);
-            stats.awake_by_node[v as usize] += 1;
-            if config.record_trace {
-                trace.push(TraceEvent::Awake { round, node });
-            }
-            let mut outbox = Outbox::new();
-            protocols[v as usize].send(&ctxs[v as usize], round, &mut outbox);
-            for Envelope { port, msg } in outbox.into_envelopes() {
-                let (to, recv_port, bits, edge) =
-                    route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
-                if let Some(rec) = metrics.as_mut() {
-                    rec.on_send(edge, bits);
-                }
-                pending.push((to, recv_port, v, port.raw(), bits, msg));
-            }
-        }
-
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = vec![Vec::new(); n];
-        for (to, port, from, from_port, bits, msg) in pending {
-            if let Some(plan) = faults {
-                if plan.drops(round, from, from_port) {
-                    stats.injected_drops += 1;
-                    if let Some(rec) = metrics.as_mut() {
-                        rec.on_dropped();
-                    }
-                    if config.record_trace {
-                        trace.push(TraceEvent::Dropped {
-                            round,
-                            from: NodeId::new(from),
-                            to: NodeId::new(to),
-                        });
-                    }
-                    continue;
-                }
-            }
-            if next_wake[to as usize] == Some(round) {
-                let dup = match faults {
-                    Some(plan) => plan.duplicates(round, from, from_port),
-                    None => false,
-                };
-                let copies = 1 + u64::from(dup);
-                stats.messages_delivered += copies;
-                stats.dup_deliveries += u64::from(dup);
-                stats.bits_received_by_node[to as usize] += copies * bits as u64;
-                if let Some(rec) = metrics.as_mut() {
-                    rec.on_delivered();
-                    if dup {
-                        rec.on_dup_delivered();
-                    }
-                }
-                for _ in 0..copies {
-                    if config.record_trace {
-                        trace.push(TraceEvent::Delivered {
-                            round,
-                            from: NodeId::new(from),
-                            to: NodeId::new(to),
-                            port: Port::new(port),
-                            bits,
-                            payload: format!("{msg:?}"),
-                        });
-                    }
-                    inboxes[to as usize].push(Envelope::new(Port::new(port), msg.clone()));
-                }
-            } else {
-                stats.messages_lost += 1;
-                if let Some(rec) = metrics.as_mut() {
-                    rec.on_lost();
-                }
-                if config.record_trace {
-                    trace.push(TraceEvent::Lost {
-                        round,
-                        from: NodeId::new(from),
-                        to: NodeId::new(to),
-                    });
-                }
-            }
-        }
-
-        for &v in &awake_now {
-            let node = NodeId::new(v);
-            let mut inbox = std::mem::take(&mut inboxes[v as usize]);
-            inbox.sort_by_key(|e| e.port);
-            match protocols[v as usize].deliver(&ctxs[v as usize], round, &inbox) {
-                NextWake::At(r) => {
-                    if r <= round {
-                        return Err(SimError::WakeNotInFuture {
-                            node,
-                            round,
-                            requested: r,
-                        });
-                    }
-                    let r = match faults {
-                        Some(plan) => plan.jittered(v, r),
-                        None => r,
-                    };
-                    next_wake[v as usize] = Some(r);
-                }
-                NextWake::Halt => {
-                    next_wake[v as usize] = None;
-                    if config.record_trace {
-                        trace.push(TraceEvent::Halted { round, node });
-                    }
-                }
-            }
-        }
-
-        if let Some(rec) = metrics.as_mut() {
-            rec.finish_round();
-        }
-        round += 1;
-    }
-
-    Ok(RunOutcome {
-        states: protocols,
-        stats,
-        trace,
-        metrics: metrics
-            .map(MetricsRecorder::into_metrics)
-            .unwrap_or_default(),
-    })
+    let mut config = config.clone();
+    config.executor = Executor::Naive;
+    run(
+        graph,
+        &config,
+        factory,
+        |_, _: &[P]| {},
+        &mut ExecutorScratch::new(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn executor_names_roundtrip_and_default_is_calendar() {
+        for e in Executor::ALL {
+            assert_eq!(Executor::parse(e.as_str()), Some(e));
+            assert_eq!(e.to_string(), e.as_str());
+        }
+        assert_eq!(Executor::parse("warp"), None);
+        assert_eq!(Executor::default(), Executor::Calendar);
+    }
 
     #[test]
     fn wake_queue_orders_and_dedups() {
@@ -908,9 +1070,10 @@ mod tests {
         assert_eq!(live, vec![0]);
     }
 
-    /// Regression for the `RunStats::rounds` fix: a run whose final
-    /// scheduled wake was superseded still pops that round — and the
-    /// caller must record it — even though no node is live in it.
+    /// A run whose final scheduled wake was superseded still pops that
+    /// round — with no live wakers. The kernel keeps adjudicating faults
+    /// for such rounds but does not count them toward `RunStats::rounds`
+    /// (the final round is the last one that actually executed).
     #[test]
     fn wake_queue_reports_trailing_stale_round() {
         let mut q = WakeQueue::new(1);
@@ -920,8 +1083,7 @@ mod tests {
         assert_eq!(q.pop_round(&mut live), Some(2));
         assert_eq!(live, vec![0]);
         q.halt(0);
-        // The stale trailing entry still surfaces its round, with no live
-        // wakers; `run_event_driven` records it as the run's last round.
+        // The stale trailing entry still surfaces its round, empty.
         assert_eq!(q.pop_round(&mut live), Some(9));
         assert!(live.is_empty());
         assert_eq!(q.pop_round(&mut live), None);
@@ -965,5 +1127,68 @@ mod tests {
         q.schedule(0, 7); // same round number as the previous run
         assert_eq!(q.pop_round(&mut live), Some(7));
         assert_eq!(live, vec![0], "stale stamp swallowed the wake");
+    }
+
+    #[test]
+    fn naive_driver_scans_upward_and_skips_empty_rounds() {
+        let mut d = NaiveDriver::new(3, 100);
+        d.schedule(2, 4);
+        d.schedule(0, 2);
+        let mut live = Vec::new();
+        assert_eq!(d.next_round(&mut live), Some(2));
+        assert_eq!(live, vec![0]);
+        assert!(d.is_awake_in(0, 2));
+        assert!(!d.is_awake_in(2, 2));
+        d.halt(0);
+        assert_eq!(d.next_round(&mut live), Some(4));
+        assert_eq!(live, vec![2]);
+        d.halt(2);
+        assert_eq!(d.next_round(&mut live), None);
+    }
+
+    /// A wake beyond the budget must not make the naive driver scan
+    /// silently toward it: the first round past the budget surfaces
+    /// (empty) so the kernel can report `MaxRoundsExceeded`.
+    #[test]
+    fn naive_driver_surfaces_the_budget_boundary() {
+        let mut d = NaiveDriver::new(1, 5);
+        d.schedule(0, 9);
+        let mut live = Vec::new();
+        assert_eq!(d.next_round(&mut live), Some(6));
+        assert!(live.is_empty());
+    }
+
+    /// The sync driver reaches exactly the same rounds and live sets as
+    /// the calendar — it just walks the cursor through every round in
+    /// between.
+    #[test]
+    fn sync_driver_walks_to_each_wake() {
+        let mut q = WakeQueue::new(2);
+        let mut d = SyncDriver::new(&mut q, 100);
+        d.schedule(0, 3);
+        d.schedule(1, 7);
+        let mut live = Vec::new();
+        assert_eq!(d.next_round(&mut live), Some(3));
+        assert_eq!(live, vec![0]);
+        assert_eq!(d.cursor, 3);
+        assert!(d.is_awake_in(0, 3));
+        assert_eq!(d.next_round(&mut live), Some(7));
+        assert_eq!(live, vec![1]);
+        assert_eq!(d.cursor, 7);
+        assert_eq!(d.next_round(&mut live), None);
+    }
+
+    /// The sync walk is capped at one round past the budget, so a wake
+    /// scheduled astronomically far out cannot hang the driver before
+    /// the kernel's budget check fires.
+    #[test]
+    fn sync_driver_stops_walking_at_the_budget_boundary() {
+        let mut q = WakeQueue::new(1);
+        let mut d = SyncDriver::new(&mut q, 50);
+        d.schedule(0, Round::MAX);
+        let mut live = Vec::new();
+        assert_eq!(d.next_round(&mut live), Some(Round::MAX));
+        assert!(live == vec![0]);
+        assert_eq!(d.cursor, 51);
     }
 }

@@ -12,10 +12,14 @@
 //! * only awake rounds count toward a node's awake complexity, while the
 //!   run time counts every round until the last node halts.
 //!
-//! The simulator is event-driven: rounds in which every node sleeps are
-//! skipped in `O(log n)` time, so algorithms with tiny awake complexity but
-//! huge round complexity (the whole point of the paper) simulate in time
-//! proportional to the total number of *node-awake* events, not rounds.
+//! Execution is a single generic kernel parameterized by a time driver
+//! ([`Executor`]): the default calendar driver is event-driven — rounds in
+//! which every node sleeps are skipped in `O(log n)` time, so algorithms
+//! with tiny awake complexity but huge round complexity (the whole point
+//! of the paper) simulate in time proportional to the total number of
+//! *node-awake* events, not rounds. A round-synchronous driver and a
+//! naive `O(n)`-scan oracle driver produce bit-identical outcomes for
+//! benchmarking and differential testing.
 //!
 //! Nodes interact with the world only through the [`Protocol`] trait and
 //! the [`NodeCtx`] handed to them, which deliberately exposes only the
@@ -56,7 +60,7 @@ pub mod radio;
 #[cfg(feature = "validate")]
 pub mod validate;
 
-pub use engine::ExecutorScratch;
+pub use engine::{Executor, ExecutorScratch};
 pub use error::SimError;
 pub use faults::FaultPlan;
 pub use metrics::{Metrics, PhaseSpan, PhaseTotals, RoundReport};

@@ -185,12 +185,15 @@ impl<'g> RadioSimulator<'g> {
         let mut running = 0usize;
         let mut queue: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::new();
 
+        // Hoisted: `max_external_id` is an O(n) scan, so calling it per
+        // node would make setup O(n²).
+        let max_external_id = self.graph.max_external_id();
         for node in self.graph.nodes() {
             let ctx = NodeCtx {
                 node,
                 external_id: self.graph.external_id(node),
                 n,
-                max_external_id: self.graph.max_external_id(),
+                max_external_id,
                 port_weights: self.graph.ports(node).iter().map(|e| e.weight).collect(),
                 rng_seed: self
                     .master_seed

@@ -3,7 +3,7 @@
 
 use graphlib::WeightedGraph;
 
-use crate::engine::{self, ExecutorScratch};
+use crate::engine::{self, Executor, ExecutorScratch};
 use crate::metrics::Metrics;
 use crate::{FaultPlan, NodeCtx, Protocol, Round, RunStats, SimError, Trace};
 
@@ -28,6 +28,10 @@ pub struct SimConfig {
     /// Deterministic fault-injection plan ([`FaultPlan`]). `None` — or an
     /// inert plan — leaves the executors on the exact no-fault path.
     pub faults: Option<FaultPlan>,
+    /// Which time driver executes the run ([`Executor`]). All drivers
+    /// produce bit-identical outcomes; they differ only in wall-clock
+    /// cost. Defaults to [`Executor::Calendar`].
+    pub executor: Executor,
 }
 
 impl Default for SimConfig {
@@ -39,6 +43,7 @@ impl Default for SimConfig {
             record_metrics: false,
             master_seed: 0,
             faults: None,
+            executor: Executor::default(),
         }
     }
 }
@@ -79,6 +84,12 @@ impl SimConfig {
         self.faults = Some(plan);
         self
     }
+
+    /// Returns the config with the given time driver.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
 }
 
 /// Everything a run produces: final per-node protocol states, metrics, and
@@ -97,13 +108,16 @@ pub struct RunOutcome<P> {
 
 /// The simulator: a weighted graph plus a [`SimConfig`].
 ///
-/// The executor is event-driven: it keeps a priority queue of scheduled
-/// wake rounds and jumps directly from one populated round to the next, so
-/// a run costs `O(W log n + M)` where `W` is total node-awake events and
-/// `M` total messages — *independent of the number of silent rounds*. This
-/// is what makes the paper's `O(n N log n)`-round algorithm simulable.
-/// Message routing uses the back ports precomputed at graph build time, so
-/// the delivery path never scans an adjacency list.
+/// Execution goes through one generic kernel parameterized by the time
+/// driver chosen in [`SimConfig::executor`]. The default
+/// [`Executor::Calendar`] driver is event-driven: it keeps a priority
+/// queue of scheduled wake rounds and jumps directly from one populated
+/// round to the next, so a run costs `O(W log n + M)` where `W` is total
+/// node-awake events and `M` total messages — *independent of the number
+/// of silent rounds*. This is what makes the paper's `O(n N log n)`-round
+/// algorithm simulable. Message routing uses the back ports precomputed
+/// at graph build time, so the delivery path never scans an adjacency
+/// list.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g WeightedGraph,
@@ -196,7 +210,7 @@ impl<'g> Simulator<'g> {
         F: FnMut(&NodeCtx) -> P,
         O: FnMut(Round, &[P]),
     {
-        engine::run_event_driven(self.graph, &self.config, factory, observer, scratch)
+        engine::run(self.graph, &self.config, factory, observer, scratch)
     }
 }
 

@@ -1,19 +1,26 @@
-//! Differential tests: the event-driven executor behind
-//! [`Simulator::run`] against the naive reference executor
-//! [`netsim::engine::run_naive`], which walks every round from 1.
+//! Differential tests: one generic kernel, three interchangeable time
+//! drivers. The calendar driver (heap-jumping, the default behind
+//! [`Simulator::run`]), the synchronous driver (ticks every round), and
+//! the naive driver (O(n)-scan oracle, also reachable as
+//! [`netsim::engine::run_naive`]) share the kernel body but disagree on
+//! the entire scheduling core, so agreement here pins down the hot
+//! path's observable semantics: final protocol states, the full
+//! [`RunStats`] (awake counts, rounds, message delivery/loss, per-edge
+//! bits), the execution trace, and the metrics stream.
 //!
-//! The two executors share `init_nodes`/`route_envelope` but differ in the
-//! entire scheduling core (wake queue + buffer reuse vs a plain loop), so
-//! agreement here pins down the hot path's observable semantics: final
-//! protocol states, the full [`RunStats`] (awake counts, rounds, message
-//! delivery/loss, per-edge bits), and the execution trace.
+//! The legacy pairwise tests (calendar vs `run_naive`) are kept as-is;
+//! the `all_three_drivers_*` section below runs the full driver matrix
+//! through [`SimConfig::with_executor`] — including metrics on/off,
+//! fault plans, and the sparse shapes (empty graph, single node,
+//! all-asleep runs, one wake a million rounds out) where a calendar
+//! jump and a round-by-round grind diverge most easily.
 
 use proptest::prelude::*;
 
-use graphlib::generators;
+use graphlib::{generators, GraphBuilder};
 use netsim::{
-    engine, Envelope, ExecutorScratch, FaultPlan, NextWake, NodeCtx, Outbox, Protocol, Round,
-    SimConfig, Simulator,
+    engine, Envelope, Executor, ExecutorScratch, FaultPlan, NextWake, NodeCtx, Outbox, Protocol,
+    Round, SimConfig, Simulator,
 };
 
 /// SplitMix64 — the same tiny generator the protocols in `mst-core` use
@@ -328,5 +335,218 @@ proptest! {
             .with_drop_ppm(drop_ppm)
             .with_duplicate_ppm(dup_ppm);
         assert_executors_agree_with_faults(&g, master_seed, 3, 6, plan)?;
+    }
+}
+
+/// Runs the same instance under all three time drivers — selected purely
+/// through [`SimConfig::with_executor`], the way every caller above the
+/// engine does it — and asserts bit-identical outcomes: stats, trace,
+/// metrics, and final protocol states.
+fn assert_all_drivers_agree(
+    graph: &graphlib::WeightedGraph,
+    base: &SimConfig,
+    wakes: u32,
+    max_gap: u64,
+) -> Result<(), TestCaseError> {
+    let factory = |ctx: &NodeCtx| Chaotic::new(ctx, wakes, max_gap);
+    let reference = Simulator::new(graph, base.clone().with_executor(Executor::Calendar))
+        .run(factory)
+        .unwrap();
+    for executor in [Executor::Sync, Executor::Naive] {
+        let other = Simulator::new(graph, base.clone().with_executor(executor))
+            .run(factory)
+            .unwrap();
+        prop_assert_eq!(&reference.stats, &other.stats, "{} stats", executor);
+        prop_assert_eq!(&reference.trace, &other.trace, "{} trace", executor);
+        prop_assert_eq!(&reference.metrics, &other.metrics, "{} metrics", executor);
+        prop_assert_eq!(reference.states.len(), other.states.len());
+        for (a, b) in reference.states.iter().zip(&other.states) {
+            prop_assert_eq!(&a.received, &b.received);
+            prop_assert_eq!(a.digest, b.digest);
+            prop_assert_eq!(a.wakes_left, b.wakes_left);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full driver matrix on random graphs: metrics and tracing
+    /// toggled independently, an optional fault plan (drops, spurious
+    /// sleeps, wake jitter, crashes) layered on top. Driver choice must
+    /// be observationally invisible in every combination.
+    #[test]
+    fn all_three_drivers_agree_on_random_graphs(
+        n in 3usize..12,
+        graph_seed in 0u64..500,
+        master_seed in 0u64..500,
+        wakes in 1u32..5,
+        max_gap in 1u64..30,
+        metrics in any::<bool>(),
+        trace in any::<bool>(),
+        faults in proptest::option::of((
+            0u64..1000,
+            0u32..600_000,
+            0u32..500_000,
+            0u64..3,
+            proptest::collection::vec((0u32..16, 1u64..25), 0..3),
+        )),
+    ) {
+        let g = generators::random_connected(n, 0.3, graph_seed).unwrap();
+        let mut config = SimConfig::default().with_seed(master_seed);
+        if metrics {
+            config = config.with_metrics();
+        }
+        if trace {
+            config = config.with_trace();
+        }
+        if let Some((fault_seed, drop_ppm, sleep_ppm, jitter, crashes)) = faults {
+            let mut plan = FaultPlan::seeded(fault_seed)
+                .with_drop_ppm(drop_ppm)
+                .with_spurious_sleep_ppm(sleep_ppm)
+                .with_wake_jitter(jitter);
+            for &(node, round) in &crashes {
+                plan = plan.with_crash(node % n as u32, round);
+            }
+            config = config.with_faults(plan);
+        }
+        assert_all_drivers_agree(&g, &config, wakes, max_gap)?;
+    }
+
+    /// Same matrix on sparse wake schedules with *huge* gaps: most
+    /// surfaced rounds are separated by thousands of silent rounds the
+    /// synchronous and naive drivers must grind through one by one while
+    /// the calendar driver jumps. Any off-by-one in the grind (a round
+    /// surfaced early, a stale wake surfaced late) breaks agreement.
+    #[test]
+    fn all_three_drivers_agree_across_long_silent_stretches(
+        n in 2usize..6,
+        graph_seed in 0u64..200,
+        master_seed in 0u64..200,
+        wakes in 1u32..4,
+        max_gap in 500u64..4_000,
+        metrics in any::<bool>(),
+    ) {
+        let g = generators::random_connected(n, 0.5, graph_seed).unwrap();
+        let mut config = SimConfig::default().with_seed(master_seed).with_trace();
+        if metrics {
+            config = config.with_metrics();
+        }
+        assert_all_drivers_agree(&g, &config, wakes, max_gap)?;
+    }
+}
+
+/// n = 0: no nodes, no wakes, nothing to schedule. Every driver must
+/// return an empty zero-round outcome instead of panicking on an empty
+/// heap / empty scan.
+#[test]
+fn all_three_drivers_agree_on_the_empty_graph() {
+    let g = GraphBuilder::new(0).build().unwrap();
+    let config = SimConfig::default().with_trace().with_metrics();
+    assert_all_drivers_agree(&g, &config, 3, 10).unwrap();
+    let out = Simulator::new(&g, config.with_executor(Executor::Naive))
+        .run(|ctx: &NodeCtx| Chaotic::new(ctx, 3, 10))
+        .unwrap();
+    assert_eq!(out.stats.rounds, 0);
+    assert_eq!(out.stats.awake_total(), 0);
+    assert_eq!(out.metrics.last_round(), 0);
+    assert!(out.states.is_empty());
+}
+
+/// n = 1: a single node with no ports wakes a few times, sends nothing,
+/// and halts. The degenerate no-edges routing path must agree too.
+#[test]
+fn all_three_drivers_agree_on_a_single_node() {
+    let g = GraphBuilder::new(1).build().unwrap();
+    let config = SimConfig::default().with_trace().with_metrics();
+    assert_all_drivers_agree(&g, &config, 4, 7).unwrap();
+}
+
+/// Every node halts at init: the run has *no* active round at all. The
+/// calendar heap starts empty, the synchronous driver has no target to
+/// tick toward, and the naive scan sees all-`None` on its first pass —
+/// all three must report zero rounds and an empty metrics stream.
+#[test]
+fn all_three_drivers_agree_when_every_node_sleeps_forever() {
+    #[derive(Debug)]
+    struct NeverWakes;
+    impl Protocol for NeverWakes {
+        type Msg = u64;
+        fn init(&mut self, _: &NodeCtx) -> NextWake {
+            NextWake::Halt
+        }
+        fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<u64>) {}
+        fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+            NextWake::Halt
+        }
+    }
+    let g = generators::ring(6, 1).unwrap();
+    let base = SimConfig::default().with_trace().with_metrics();
+    let mut traces = Vec::new();
+    for executor in [Executor::Calendar, Executor::Sync, Executor::Naive] {
+        let out = Simulator::new(&g, base.clone().with_executor(executor))
+            .run(|_| NeverWakes)
+            .unwrap();
+        assert_eq!(out.stats.rounds, 0, "{executor}");
+        assert_eq!(out.stats.awake_total(), 0, "{executor}");
+        assert_eq!(out.stats.messages_delivered, 0, "{executor}");
+        assert_eq!(out.metrics.last_round(), 0, "{executor}");
+        assert_eq!(out.metrics.active_rounds(), 0, "{executor}");
+        traces.push(out.trace);
+    }
+    // The init-time halt decisions are traced, but no round ever runs —
+    // and the trace (init events only) is identical across drivers.
+    assert_eq!(traces[0], traces[1]);
+    assert_eq!(traces[0], traces[2]);
+}
+
+/// One node schedules a single wake a million rounds out; everyone else
+/// halts immediately. The calendar driver jumps straight there; the
+/// synchronous and naive drivers must grind through 999 999 silent
+/// rounds without surfacing any of them. The message it sends goes to a
+/// halted neighbor and must count as lost under every driver.
+#[test]
+fn all_three_drivers_agree_on_a_single_deep_wake() {
+    const DEEP: u64 = 1_000_000;
+
+    #[derive(Debug)]
+    struct DeepSleeper;
+    impl Protocol for DeepSleeper {
+        type Msg = u64;
+        fn init(&mut self, ctx: &NodeCtx) -> NextWake {
+            if ctx.node.raw() == 0 {
+                NextWake::At(DEEP)
+            } else {
+                NextWake::Halt
+            }
+        }
+        fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<u64>) {
+            for p in ctx.ports() {
+                outbox.push(p, round);
+            }
+        }
+        fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+            NextWake::Halt
+        }
+    }
+
+    let g = generators::path(2, 1).unwrap();
+    let base = SimConfig::default().with_trace().with_metrics();
+    let reference = Simulator::new(&g, base.clone().with_executor(Executor::Calendar))
+        .run(|_| DeepSleeper)
+        .unwrap();
+    assert_eq!(reference.stats.rounds, DEEP);
+    assert_eq!(reference.stats.awake_total(), 1);
+    assert_eq!(reference.stats.messages_lost, 1);
+    assert_eq!(reference.metrics.last_round(), DEEP);
+    assert_eq!(reference.metrics.active_rounds(), 1);
+    for executor in [Executor::Sync, Executor::Naive] {
+        let out = Simulator::new(&g, base.clone().with_executor(executor))
+            .run(|_| DeepSleeper)
+            .unwrap();
+        assert_eq!(out.stats, reference.stats, "{executor}");
+        assert_eq!(out.trace, reference.trace, "{executor}");
+        assert_eq!(out.metrics, reference.metrics, "{executor}");
     }
 }

@@ -19,11 +19,11 @@
 //!     --sizes 16,32,64 --seeds 0..3
 //! ```
 
-use bench::{chaos, harness, report};
+use bench::{chaos, engine_panel, harness, report};
 use graphlib::{generators, mst, traversal, GraphError, WeightedGraph};
 use mst_core::registry::{self, AlgorithmSpec};
-use mst_core::{MstOutcome, MstScratch};
-use netsim::FaultPlan;
+use mst_core::{ExecOptions, MstOutcome, MstScratch};
+use netsim::{Executor, FaultPlan};
 
 /// Parses an algorithm name against the registry.
 ///
@@ -94,7 +94,10 @@ pub fn run(alg: &AlgorithmSpec, graph: &WeightedGraph, seed: u64) -> Result<MstO
 }
 
 /// Runs `alg` on `graph` under a fault plan (inert plans take the plain
-/// path — see [`mst_core::registry::AlgorithmSpec::run_with_faults`]).
+/// path — see [`mst_core::registry::AlgorithmSpec::run_with_faults`])
+/// and an optional time-driver override (`None` defers to the
+/// algorithm's registry default, the calendar driver; every driver is
+/// bit-identical).
 ///
 /// # Errors
 ///
@@ -106,8 +109,13 @@ pub fn run_with_faults(
     graph: &WeightedGraph,
     seed: u64,
     plan: &FaultPlan,
+    executor: Option<Executor>,
 ) -> Result<MstOutcome, String> {
-    alg.run_with_faults(graph, seed, plan, &mut MstScratch::new())
+    let mut opts = ExecOptions::seeded(seed).with_faults(plan.clone());
+    if let Some(executor) = executor {
+        opts = opts.with_executor(executor);
+    }
+    alg.run_with_options(graph, &opts, &mut MstScratch::new())
         .map_err(|e| e.to_string())
 }
 
@@ -329,6 +337,10 @@ pub enum Command {
         json: bool,
         /// Fault plan (inert unless fault flags were given).
         faults: FaultPlan,
+        /// Time driver (`None` = the algorithm's registry default, the
+        /// calendar driver). Every driver is bit-identical; the flag
+        /// exists for differential checking and throughput comparison.
+        executor: Option<Executor>,
     },
     /// `verify`: execute, check against the reference, exit non-zero on
     /// mismatch.
@@ -377,6 +389,8 @@ pub enum Command {
         /// Write executor-throughput metrics (runs/sec, messages/sec,
         /// rounds/sec over the whole grid) to this file as JSON.
         bench_out: Option<String>,
+        /// Time driver for every trial (`None` = registry default).
+        executor: Option<Executor>,
     },
     /// `report`: generate the "Table 1, measured" artifact
     /// ([`bench::report`]) — every registry algorithm swept across graph
@@ -389,9 +403,10 @@ pub enum Command {
         sizes: Vec<usize>,
         /// Trial seeds per cell.
         seeds: Vec<u64>,
-        /// Back the runs with the naive reference executor instead of
-        /// the event-driven one (the artifact bytes must not change).
-        naive: bool,
+        /// Time driver backing the runs (`--naive` is shorthand for the
+        /// naive oracle driver; the artifact bytes must not change
+        /// whichever driver runs it).
+        executor: Executor,
         /// Print JSON instead of markdown.
         json: bool,
         /// Also write the JSON artifact to this file.
@@ -412,6 +427,24 @@ pub enum Command {
         /// Print the full byte-stable JSON matrix instead of the table.
         json: bool,
         /// Also write the JSON matrix to this file.
+        out: Option<String>,
+        /// Time driver every trial runs under (matrix bytes must not
+        /// depend on it).
+        executor: Executor,
+    },
+    /// `bench-engine`: time the drivers themselves on the sparse-wake
+    /// panel ([`bench::engine_panel`]) — few wakes per node, huge gaps —
+    /// and print/write the per-driver throughput rows
+    /// (`BENCH_engine.json`).
+    BenchEngine {
+        /// Node counts to run.
+        sizes: Vec<usize>,
+        /// Master seed for graph structure and wake schedules.
+        seed: u64,
+        /// Drivers to time (the naive oracle is `O(rounds · n)` — only
+        /// ask for it at small sizes).
+        executors: Vec<Executor>,
+        /// Also write the JSON rows to this file.
         out: Option<String>,
     },
     /// `help`: usage text.
@@ -467,7 +500,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut out: Option<String> = None;
     let mut md_out: Option<String> = None;
     let mut naive = false;
+    let mut executor: Option<Executor> = None;
+    let mut executors: Option<Vec<Executor>> = None;
     let mut faults = FaultPlan::default();
+    let parse_executor = |v: &str| -> Result<Executor, String> {
+        Executor::parse(v)
+            .ok_or_else(|| format!("unknown executor '{v}' (expected sync, calendar, or naive)"))
+    };
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--alg" => {
@@ -508,6 +547,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--out" => out = Some(it.next().ok_or("--out needs a file path")?.clone()),
             "--md-out" => md_out = Some(it.next().ok_or("--md-out needs a file path")?.clone()),
             "--naive" => naive = true,
+            "--executor" => {
+                let v = it
+                    .next()
+                    .ok_or("--executor needs sync, calendar, or naive")?;
+                executor = Some(parse_executor(v)?);
+            }
+            "--executors" => {
+                let v = it.next().ok_or("--executors needs a comma list")?;
+                executors = Some(
+                    v.split(',')
+                        .map(|x| parse_executor(x.trim()))
+                        .collect::<Result<Vec<Executor>, String>>()?,
+                );
+            }
             "--fault-seed" => {
                 let v = it.next().ok_or("--fault-seed needs a value")?;
                 faults.fault_seed = v.parse().map_err(|_| format!("'{v}' is not a seed"))?;
@@ -544,7 +597,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Report {
             sizes: sizes.unwrap_or_else(|| vec![8, 12, 16, 24]),
             seeds: seeds.unwrap_or_else(|| vec![0, 1]),
-            naive,
+            executor: executor.unwrap_or(if naive {
+                Executor::Naive
+            } else {
+                Executor::Calendar
+            }),
             json,
             out,
             md_out,
@@ -556,6 +613,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             sizes: sizes.unwrap_or_else(|| vec![8, 12]),
             trials,
             json,
+            out,
+            executor: executor.unwrap_or_default(),
+        });
+    }
+    if cmd == "bench-engine" {
+        return Ok(Command::BenchEngine {
+            sizes: sizes.unwrap_or_else(|| vec![1 << 14]),
+            seed,
+            executors: executors.unwrap_or_else(|| {
+                executor.map_or_else(|| vec![Executor::Calendar, Executor::Sync], |e| vec![e])
+            }),
             out,
         });
     }
@@ -574,6 +642,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             seed,
             json,
             faults,
+            executor,
         }),
         "verify" => Ok(Command::Verify {
             alg: single_alg(&algs)?,
@@ -600,10 +669,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 threads,
                 json,
                 bench_out,
+                executor,
             })
         }
         other => Err(format!(
-            "unknown command '{other}' (run, verify, info, check, sweep, report, chaos, help)"
+            "unknown command '{other}' (run, verify, info, check, sweep, report, \
+             chaos, bench-engine, help)"
         )),
     }
 }
@@ -620,6 +691,7 @@ sleeping-mst — distributed MST in the sleeping model (PODC 2022 reproduction)
 
 USAGE:
     sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
+                        [--executor sync|calendar|naive]
                         [--fault-seed S] [--drop-ppm P] [--dup-ppm P]
                         [--sleep-ppm P] [--jitter J] [--crash NODE@ROUND]…
     sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
@@ -627,11 +699,14 @@ USAGE:
     sleeping-mst check  --graph <SPEC> [--alg <ALG[,ALG…]>] [--seed S]
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
-                        [--bench-out FILE]
+                        [--bench-out FILE] [--executor sync|calendar|naive]
     sleeping-mst report [--sizes N,N,…] [--seeds A..B|A,B,…] [--naive]
+                        [--executor sync|calendar|naive]
                         [--json] [--out FILE] [--md-out FILE]
     sleeping-mst chaos  [--seed S] [--sizes N,N,…] [--trials K] [--json]
-                        [--out FILE]
+                        [--out FILE] [--executor sync|calendar|naive]
+    sleeping-mst bench-engine [--sizes N,N,…] [--seed S] [--out FILE]
+                        [--executors calendar,sync[,naive]]
 
 ALGORITHMS:
 {algorithms}
@@ -684,6 +759,22 @@ CHAOS:
     byte-identical across runs. Exits non-zero if any trial produced a
     wrong output — fault injection must degrade runs legibly, never
     silently corrupt them.
+
+EXECUTORS:
+    Execution is one generic kernel parameterized by a time driver:
+    `calendar` (the default) jumps between scheduled wakes on a heap,
+    `sync` ticks every round, `naive` is an O(n)-scan oracle. All three
+    are bit-identical on every run — fingerprints, stats, traces, and
+    metrics — so --executor only changes wall-clock cost (that is what
+    `bench-engine` measures) and any divergence is a simulator bug.
+
+BENCH-ENGINE:
+    Times the drivers themselves on a sparse-wake panel (a few wakes per
+    node separated by gaps of thousands of rounds — the regime the
+    sleeping model is about) and prints per-driver JSON rows: rounds,
+    messages, wall seconds, rounds/sec, messages/sec. With --out the rows
+    are written as the BENCH_engine.json artifact. The naive oracle costs
+    O(rounds·n); include it via --executors only at small sizes.
 "
     )
 }
@@ -714,9 +805,10 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             seed,
             json,
             faults,
+            executor,
         } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
-            Ok(g) => match run_with_faults(alg, &g, *seed, faults) {
+            Ok(g) => match run_with_faults(alg, &g, *seed, faults, *executor) {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(out) => {
                     let text = if *json {
@@ -740,7 +832,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
         Command::Report {
             sizes,
             seeds,
-            naive,
+            executor,
             json,
             out,
             md_out,
@@ -748,11 +840,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             let spec = report::ReportSpec {
                 sizes: sizes.clone(),
                 seeds: seeds.clone(),
-                executor: if *naive {
-                    report::ExecutorKind::Naive
-                } else {
-                    report::ExecutorKind::EventDriven
-                },
+                executor: *executor,
             };
             match report::generate(&spec) {
                 Err(e) => (1, format!("error: {e}\n")),
@@ -782,11 +870,13 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             trials,
             json,
             out,
+            executor,
         } => {
             let spec = chaos::ChaosSpec {
                 seed: *seed,
                 sizes: sizes.clone(),
                 trials: *trials,
+                executor: *executor,
             };
             let report = chaos::run_chaos(&spec);
             let mut text = if *json {
@@ -873,6 +963,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             threads,
             json,
             bench_out,
+            executor,
         } => {
             let family =
                 |n: usize, seed: u64| build_graph(&template.replace("{n}", &n.to_string()), seed);
@@ -880,6 +971,9 @@ pub fn execute(cmd: &Command) -> (i32, String) {
                 .sizes(sizes.iter().copied())
                 .seeds(seeds.iter().copied())
                 .threads(*threads);
+            if let Some(executor) = executor {
+                sweep = sweep.executor(*executor);
+            }
             for &alg in algs {
                 sweep = sweep.algorithm(alg);
             }
@@ -901,6 +995,31 @@ pub fn execute(cmd: &Command) -> (i32, String) {
                         harness::render_cells(&harness::aggregate(&results))
                     };
                     (0, text)
+                }
+            }
+        }
+        Command::BenchEngine {
+            sizes,
+            seed,
+            executors,
+            out,
+        } => {
+            let spec = engine_panel::EnginePanelSpec {
+                sizes: sizes.clone(),
+                executors: executors.clone(),
+                seed: *seed,
+                ..engine_panel::EnginePanelSpec::default()
+            };
+            match engine_panel::run_engine_panel(&spec) {
+                Err(e) => (1, format!("error: {e}\n")),
+                Ok(rows) => {
+                    let json = engine_panel::render_engine_panel_json(&rows) + "\n";
+                    if let Some(path) = out {
+                        if let Err(e) = std::fs::write(path, &json) {
+                            return (1, format!("error: cannot write {path}: {e}\n"));
+                        }
+                    }
+                    (0, json)
                 }
             }
         }
@@ -936,6 +1055,78 @@ mod tests {
                 seed: 9,
                 json: true,
                 faults: FaultPlan::default(),
+                executor: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_executor_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:8",
+            "--executor",
+            "sync",
+        ]))
+        .unwrap();
+        let Command::Run { executor, .. } = cmd else {
+            unreachable!("expected run command");
+        };
+        assert_eq!(executor, Some(Executor::Sync));
+        assert!(parse_args(&args(&[
+            "run",
+            "--alg",
+            "prim",
+            "--graph",
+            "ring:8",
+            "--executor",
+            "warp"
+        ]))
+        .unwrap_err()
+        .contains("unknown executor"));
+
+        // `report --naive` stays the back-compat spelling of the oracle;
+        // an explicit --executor wins over it.
+        let naive = parse_args(&args(&["report", "--naive"])).unwrap();
+        let explicit = parse_args(&args(&["report", "--naive", "--executor", "sync"])).unwrap();
+        let (Command::Report { executor: a, .. }, Command::Report { executor: b, .. }) =
+            (naive, explicit)
+        else {
+            unreachable!("expected report commands");
+        };
+        assert_eq!(a, Executor::Naive);
+        assert_eq!(b, Executor::Sync);
+
+        let cmd = parse_args(&args(&["bench-engine"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchEngine {
+                sizes: vec![1 << 14],
+                seed: 0,
+                executors: vec![Executor::Calendar, Executor::Sync],
+                out: None,
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "bench-engine",
+            "--sizes",
+            "64",
+            "--seed",
+            "3",
+            "--executors",
+            "calendar,sync,naive",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchEngine {
+                sizes: vec![64],
+                seed: 3,
+                executors: vec![Executor::Calendar, Executor::Sync, Executor::Naive],
+                out: None,
             }
         );
     }
@@ -969,6 +1160,7 @@ mod tests {
                 threads: 2,
                 json: false,
                 bench_out: None,
+                executor: None,
             }
         );
         assert!(parse_args(&args(&[
@@ -1169,6 +1361,7 @@ mod tests {
                 trials: 1,
                 json: false,
                 out: Some(path_str.clone()),
+                executor: Executor::Calendar,
             }
         );
         let (code_a, text_a) = execute(&cmd);
@@ -1191,7 +1384,7 @@ mod tests {
             Command::Report {
                 sizes: vec![8, 12, 16, 24],
                 seeds: vec![0, 1],
-                naive: false,
+                executor: Executor::Calendar,
                 json: false,
                 out: None,
                 md_out: None,
@@ -1206,7 +1399,7 @@ mod tests {
             Command::Report {
                 sizes: vec![6, 8],
                 seeds: vec![0, 1],
-                naive: true,
+                executor: Executor::Naive,
                 json: true,
                 out: None,
                 md_out: None,
@@ -1295,6 +1488,7 @@ mod tests {
             threads: 2,
             json: false,
             bench_out: None,
+            executor: None,
         };
         let (code, text) = execute(&cmd);
         assert_eq!(code, 0, "{text}");
@@ -1308,6 +1502,7 @@ mod tests {
             threads: 1,
             json: true,
             bench_out: None,
+            executor: None,
         };
         let (code, text) = execute(&cmd_json);
         assert_eq!(code, 0, "{text}");
@@ -1376,6 +1571,67 @@ mod tests {
         )));
         assert!(report.contains("\"algorithms\":\"randomized\""));
         assert!(report.ends_with("}\n"));
+    }
+
+    #[test]
+    fn run_json_is_bit_identical_across_executors() {
+        let render = |executor: &str| {
+            let (code, text) = execute(
+                &parse_args(&args(&[
+                    "run",
+                    "--alg",
+                    "randomized",
+                    "--graph",
+                    "random:14:0.2",
+                    "--seed",
+                    "6",
+                    "--executor",
+                    executor,
+                    "--json",
+                ]))
+                .unwrap(),
+            );
+            assert_eq!(code, 0, "{executor}: {text}");
+            text
+        };
+        let calendar = render("calendar");
+        assert_eq!(calendar, render("sync"));
+        assert_eq!(calendar, render("naive"));
+    }
+
+    #[test]
+    fn bench_engine_writes_per_driver_rows() {
+        let path = std::env::temp_dir().join("sleeping-mst-bench-engine-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse_args(&args(&[
+            "bench-engine",
+            "--sizes",
+            "32",
+            "--seed",
+            "2",
+            "--executors",
+            "calendar,sync,naive",
+            "--out",
+            &path_str,
+        ]))
+        .unwrap();
+        let (code, text) = execute(&cmd);
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 0, "{text}");
+        assert_eq!(text, written);
+        for key in [
+            "\"executor\":\"calendar\"",
+            "\"executor\":\"sync\"",
+            "\"executor\":\"naive\"",
+            "\"rounds\":",
+            "\"messages\":",
+            "\"wall_seconds\":",
+            "\"rounds_per_sec\":",
+            "\"messages_per_sec\":",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
     }
 
     #[test]

@@ -166,6 +166,7 @@ fn chaos_report_is_byte_deterministic() {
         seed: 42,
         sizes: vec![6],
         trials: 1,
+        executor: sleeping_mst::netsim::Executor::Calendar,
     };
     let first = run_chaos(&spec);
     let second = run_chaos(&spec);

@@ -7,8 +7,9 @@
 //!    totals, per-node awake timelines equal the awake counters, and the
 //!    per-round conservation identity `sent + dups = delivered + lost +
 //!    drops` holds);
-//! 2. the same run on the *naive* reference executor (the full `Metrics`
-//!    value must be bit-identical);
+//! 2. the same run under every other time driver — the round-synchronous
+//!    driver and the naive `O(n)`-scan oracle (the full `Metrics` value
+//!    must be bit-identical to the calendar driver's);
 //! 3. the recorded [`netsim::Trace`] (event counts per round match the
 //!    corresponding `RoundReport`).
 
@@ -20,9 +21,9 @@ use sleeping_mst::mst_core::deterministic::{ColoringMode, DeterministicConfig, D
 use sleeping_mst::mst_core::prim::PrimMst;
 use sleeping_mst::mst_core::randomized::{EdgeSelection, RandomizedConfig, RandomizedMst};
 use sleeping_mst::mst_core::{registry, ExecOptions, MstScratch};
-use sleeping_mst::netsim::engine::run_naive;
 use sleeping_mst::netsim::{
-    Metrics, Protocol, RunOutcome, RunStats, SimConfig, SimError, Simulator, Trace, TraceEvent,
+    Executor, Metrics, Protocol, RunOutcome, RunStats, SimConfig, SimError, Simulator, Trace,
+    TraceEvent,
 };
 
 /// Everything the reconciliation checks need from one run.
@@ -41,16 +42,16 @@ fn unpack<P: Protocol>(r: Result<RunOutcome<P>, SimError>, name: &str) -> RunFac
     }
 }
 
-/// Runs registry algorithm `name` through either executor with the given
-/// config, using the same protocol factories the registry runners use.
-fn run_by_name(name: &str, g: &WeightedGraph, config: &SimConfig, naive: bool) -> RunFacts {
+/// Runs registry algorithm `name` under the given time driver, using the
+/// same protocol factories the registry runners use — one launch path,
+/// parameterized only by [`SimConfig::with_executor`].
+fn run_by_name(name: &str, g: &WeightedGraph, config: &SimConfig, executor: Executor) -> RunFacts {
     macro_rules! launch {
         ($factory:expr) => {
-            if naive {
-                unpack(run_naive(g, config, $factory), name)
-            } else {
-                unpack(Simulator::new(g, config.clone()).run($factory), name)
-            }
+            unpack(
+                Simulator::new(g, config.clone().with_executor(executor)).run($factory),
+                name,
+            )
         };
     }
     match name {
@@ -142,13 +143,11 @@ fn reconcile_with_stats(name: &str, stats: &RunStats, metrics: &Metrics) {
     }
     assert_eq!(metrics.awake_complexity(), stats.awake_max(), "{name}");
 
-    // A fault-free run ends in an active round, so the stream covers the
-    // whole run (crash faults can strand a stale final round — see the
-    // pinned case in `model_conformance.rs`).
-    let fault_free = stats.injected_drops == 0 && stats.dup_deliveries == 0;
-    if fault_free {
-        assert_eq!(metrics.last_round(), stats.rounds, "{name}: last round");
-    }
+    // The stream covers the whole run unconditionally: `stats.rounds`
+    // counts only rounds where some node ran, so even a crash-stranded
+    // stale wake (see the pinned case in `model_conformance.rs`) cannot
+    // push it past the last recorded round.
+    assert_eq!(metrics.last_round(), stats.rounds, "{name}: last round");
 
     // Per-round max edge congestion is bounded by that round's traffic
     // and at least as large as any single message.
@@ -205,13 +204,13 @@ fn reconcile_with_trace(name: &str, metrics: &Metrics, trace: &Trace) {
 }
 
 proptest! {
-    // Each case runs all six algorithms under both executors with full
-    // tracing; keep the counts modest.
+    // Each case runs all six algorithms under all three time drivers
+    // with full tracing; keep the counts modest.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Satellite: on a random connected panel, every algorithm's metrics
     /// stream reconciles with its stats, with its trace, and — bit for
-    /// bit — across both executors.
+    /// bit — across all three time drivers.
     #[test]
     fn metrics_reconcile_across_stats_trace_and_executors(
         n in 4usize..18, p in 0.1f64..0.5, seed in 0u64..200, run_seed in 0u64..100
@@ -222,18 +221,20 @@ proptest! {
             .with_metrics()
             .with_trace();
         for spec in registry::ALGORITHMS {
-            let fast = run_by_name(spec.name, &g, &config, false);
-            reconcile_with_stats(spec.name, &fast.stats, &fast.metrics);
-            reconcile_with_trace(spec.name, &fast.metrics, &fast.trace);
+            let calendar = run_by_name(spec.name, &g, &config, Executor::Calendar);
+            reconcile_with_stats(spec.name, &calendar.stats, &calendar.metrics);
+            reconcile_with_trace(spec.name, &calendar.metrics, &calendar.trace);
 
-            let naive = run_by_name(spec.name, &g, &config, true);
-            reconcile_with_stats(spec.name, &naive.stats, &naive.metrics);
-            reconcile_with_trace(spec.name, &naive.metrics, &naive.trace);
+            for executor in [Executor::Sync, Executor::Naive] {
+                let other = run_by_name(spec.name, &g, &config, executor);
+                reconcile_with_stats(spec.name, &other.stats, &other.metrics);
+                reconcile_with_trace(spec.name, &other.metrics, &other.trace);
 
-            prop_assert!(fast.metrics == naive.metrics,
-                "{}: executors disagree on metrics", spec.name);
-            prop_assert!(fast.stats == naive.stats,
-                "{}: executors disagree on stats", spec.name);
+                prop_assert!(calendar.metrics == other.metrics,
+                    "{}: {executor} disagrees on metrics", spec.name);
+                prop_assert!(calendar.stats == other.stats,
+                    "{}: {executor} disagrees on stats", spec.name);
+            }
         }
     }
 }

@@ -108,23 +108,24 @@ fn execution_fingerprints_are_pinned() {
     }
 }
 
-/// Satellite (stats-vs-metrics audit): `RunStats::rounds` is the last
-/// round *popped from the wake queue*, while the metrics stream records
-/// only rounds where someone was actually awake. Fault-free the two
-/// agree (pinned by `tests/metrics_conservation.rs`), but an injected
-/// crash can strand a stale scheduled wake: the round is popped and
-/// counted, every wake in it is suppressed, and no `RoundReport` exists
-/// for it. This fixture pins that divergence class so the documented
-/// asymmetry — `stats.rounds >= metrics.last_round()`, strict under
-/// crashes — never silently changes direction.
+/// Satellite (stats-vs-metrics audit): `RunStats::rounds` counts only
+/// rounds in which some node actually ran — identical to what the
+/// metrics stream reports. An injected crash can strand a stale
+/// scheduled wake: the time driver still surfaces the round, but every
+/// wake in it is suppressed, so the kernel skips it *before* counting —
+/// no `RoundReport` exists for it and `rounds` does not advance. This
+/// fixture pins that unified semantics (`stats.rounds ==
+/// metrics.last_round()`, crashes included) across every driver, so the
+/// old divergence class — a popped-but-empty final round inflating
+/// `rounds` past the metrics stream — can never silently return.
 #[test]
-fn crashed_stale_wake_inflates_rounds_past_the_metrics_stream() {
-    use sleeping_mst::netsim::Simulator;
+fn crashed_stale_wake_does_not_inflate_rounds_past_the_metrics_stream() {
+    use sleeping_mst::netsim::{Executor, Simulator};
 
     /// Node 0 wakes once in round 1 and halts; every other node sleeps
     /// until round 9. Crashing node 1 at round 3 leaves its round-9 wake
-    /// in the queue: it is popped (so `rounds` = 9) but suppressed (so
-    /// the last `RoundReport` is round 1).
+    /// in the queue: the driver surfaces round 9 with every wake
+    /// suppressed, and the kernel must discard it — `rounds` stays 1.
     #[derive(Debug)]
     struct StaleWake;
     impl Protocol for StaleWake {
@@ -143,21 +144,31 @@ fn crashed_stale_wake_inflates_rounds_past_the_metrics_stream() {
     }
 
     let g = generators::path(2, 1).unwrap();
-    let config = SimConfig::default()
-        .with_metrics()
-        .with_faults(FaultPlan::seeded(1).with_crash(1, 3))
-        .with_max_rounds(1_000);
-    let out = Simulator::new(&g, config).run(|_| StaleWake).unwrap();
-    assert_eq!(out.stats.crashed_nodes, 1);
-    assert_eq!(out.stats.rounds, 9, "stale wake must still be popped");
-    assert_eq!(
-        out.metrics.last_round(),
-        1,
-        "suppressed round must not be reported"
-    );
-    assert_eq!(out.metrics.active_rounds(), 1);
-    assert_eq!(out.metrics.awake_rounds_by_node, vec![vec![1], vec![]]);
-    assert!(out.stats.rounds > out.metrics.last_round());
+    for executor in [Executor::Calendar, Executor::Sync, Executor::Naive] {
+        let config = SimConfig::default()
+            .with_metrics()
+            .with_faults(FaultPlan::seeded(1).with_crash(1, 3))
+            .with_max_rounds(1_000)
+            .with_executor(executor);
+        let out = Simulator::new(&g, config).run(|_| StaleWake).unwrap();
+        assert_eq!(out.stats.crashed_nodes, 1, "{executor}");
+        assert_eq!(
+            out.stats.rounds, 1,
+            "{executor}: suppressed stale round must not count"
+        );
+        assert_eq!(
+            out.metrics.last_round(),
+            1,
+            "{executor}: suppressed round must not be reported"
+        );
+        assert_eq!(out.metrics.active_rounds(), 1, "{executor}");
+        assert_eq!(
+            out.metrics.awake_rounds_by_node,
+            vec![vec![1], vec![]],
+            "{executor}"
+        );
+        assert_eq!(out.stats.rounds, out.metrics.last_round(), "{executor}");
+    }
 }
 
 /// Satellite: fault-plane golden fingerprints. Each registry algorithm

@@ -2,18 +2,19 @@
 //!
 //! * the Table-1 report artifact for a small seeded panel is pinned by
 //!   checksum and must regenerate byte-identically — across two runs in
-//!   the same process *and* across the two executors;
+//!   the same process *and* across all three time drivers;
 //! * the per-phase span fingerprint of `Merging-Fragments` (the
 //!   randomized algorithm) on the Figure-2 walkthrough graph
 //!   (`examples/merging_trace.rs`: `path(8, 5)`, seed 3) is pinned span
 //!   by span. Any drift here means either the execution schedule or the
 //!   phase labeler moved.
 
-use bench::report::{generate, ExecutorKind, ReportSpec};
+use bench::report::{generate, ReportSpec};
 use sleeping_mst::graphlib::generators;
 use sleeping_mst::mst_core::{registry, ExecOptions, MstScratch};
+use sleeping_mst::netsim::Executor;
 
-fn small_panel(executor: ExecutorKind) -> ReportSpec {
+fn small_panel(executor: Executor) -> ReportSpec {
     ReportSpec {
         sizes: vec![6, 8],
         seeds: vec![0],
@@ -41,27 +42,27 @@ const REPORT_JSON_FNV: u64 = 0xdab6_fa06_4994_7870;
 
 #[test]
 fn report_json_is_pinned_and_executor_independent() {
-    let first = generate(&small_panel(ExecutorKind::EventDriven))
+    let first = generate(&small_panel(Executor::Calendar))
         .unwrap()
         .to_json();
-    let again = generate(&small_panel(ExecutorKind::EventDriven))
+    let again = generate(&small_panel(Executor::Calendar))
         .unwrap()
         .to_json();
     assert_eq!(first, again, "report must regenerate byte-identically");
     assert_eq!(fnv64(&first), REPORT_JSON_FNV, "report JSON drifted");
 
-    let naive = generate(&small_panel(ExecutorKind::Naive))
-        .unwrap()
-        .to_json();
-    assert_eq!(
-        first, naive,
-        "the two executors must render identical report bytes"
-    );
+    for executor in [Executor::Sync, Executor::Naive] {
+        let other = generate(&small_panel(executor)).unwrap().to_json();
+        assert_eq!(
+            first, other,
+            "the {executor} driver must render identical report bytes"
+        );
+    }
 }
 
 #[test]
 fn report_markdown_is_byte_stable() {
-    let spec = small_panel(ExecutorKind::EventDriven);
+    let spec = small_panel(Executor::Calendar);
     let a = generate(&spec).unwrap().to_markdown();
     let b = generate(&spec).unwrap().to_markdown();
     assert_eq!(a, b);

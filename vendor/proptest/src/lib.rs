@@ -8,7 +8,8 @@
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(N))]` header;
 //! * range strategies over integers and `f64`, tuple strategies,
-//!   [`collection::vec`], and [`arbitrary::any`] (for `bool`);
+//!   [`collection::vec`], [`option::of`], and [`arbitrary::any`] (for
+//!   `bool`);
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
 //!   [`prop_assume!`].
 //!
@@ -261,6 +262,36 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` produced by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // `None` a quarter of the time, mirroring real proptest's bias
+            // toward the interesting (`Some`) branch.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 pub mod test_runner {
     //! Runner configuration and per-case control flow.
 
@@ -441,6 +472,13 @@ mod tests {
         #[test]
         fn vecs_and_any(v in crate::collection::vec(any::<bool>(), 2..6)) {
             prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn options(o in crate::option::of(3u32..7)) {
+            if let Some(v) = o {
+                prop_assert!((3..7).contains(&v));
+            }
         }
 
         #[test]
