@@ -12,7 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use graphlib::generators;
 use mst_core::{registry, ExecOptions, MstScratch};
 use netsim::{
-    Envelope, Executor, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig, Simulator,
+    Envelope, Executor, ExecutorScratch, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
+    Simulator,
 };
 
 /// The randomized-panel graph family of `table1` (sparse G(n, 0.05)).
@@ -155,11 +156,61 @@ fn bench_sync_vs_calendar_drivers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_setup_cost(c: &mut Criterion) {
+    // Kernel setup must stay O(n + m) flat arrays with no per-node
+    // allocation. A protocol that halts at init isolates graph build +
+    // kernel init (contexts, wake queue, stamp/slot tables) from the
+    // message loop, and the bytes/node guard turns a layout regression
+    // (per-node `Vec`s creeping back into the graph or the kernel) into
+    // a hard bench failure instead of a silent slowdown.
+    #[derive(Debug)]
+    struct HaltAtInit;
+    impl Protocol for HaltAtInit {
+        type Msg = u64;
+        fn init(&mut self, _: &NodeCtx) -> NextWake {
+            NextWake::Halt
+        }
+        fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<u64>) {}
+        fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+            NextWake::Halt
+        }
+    }
+
+    let n = 1usize << 16;
+    let g = generators::chorded_cycle(n, 2, 1).unwrap();
+    // Exact CSR footprint for the c = 2 chorded cycle (m = 3n): edges at
+    // 16 B, 2m port entries at 24 B, n+1 offsets at 4 B, n external ids
+    // at 8 B ≈ 204 B/node. 256 leaves slack for per-vector rounding but
+    // fails loudly if any O(n)-allocation structure reappears.
+    let bytes_per_node = g.memory_bytes() as f64 / n as f64;
+    assert!(
+        bytes_per_node <= 256.0,
+        "graph setup regression: {bytes_per_node:.1} bytes/node exceeds the 256 B budget"
+    );
+
+    let mut group = c.benchmark_group("engine_setup");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("graph_build", n), |b| {
+        b.iter(|| generators::chorded_cycle(n, 2, 1).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("kernel_init", n), |b| {
+        let mut scratch = ExecutorScratch::new();
+        b.iter(|| {
+            Simulator::new(&g, SimConfig::default())
+                .run_with_scratch(&mut scratch, |_| HaltAtInit)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pooled_vs_fresh,
     bench_trace_off_accounting,
     bench_metrics_on_off,
-    bench_sync_vs_calendar_drivers
+    bench_sync_vs_calendar_drivers,
+    bench_setup_cost
 );
 criterion_main!(benches);

@@ -97,6 +97,7 @@ pub struct Sweep<'a> {
     seeds: Vec<u64>,
     threads: usize,
     executor: Option<Executor>,
+    shards: Option<u32>,
 }
 
 impl<'a> Sweep<'a> {
@@ -111,6 +112,7 @@ impl<'a> Sweep<'a> {
             seeds: vec![0],
             threads: 0,
             executor: None,
+            shards: None,
         }
     }
 
@@ -163,6 +165,15 @@ impl<'a> Sweep<'a> {
     /// runners build their own options and ignore this knob.
     pub fn executor(mut self, executor: Executor) -> Self {
         self.executor = Some(executor);
+        self
+    }
+
+    /// Pins the send-half-step shard count for registry trials. Like the
+    /// driver choice, shard counts are bit-identical — the cross-shard
+    /// sweep test pins it — so results do not depend on this value; it
+    /// only trades wall-clock for cores within each trial.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
         self
     }
 
@@ -242,6 +253,9 @@ impl<'a> Sweep<'a> {
                 let mut opts = ExecOptions::seeded(seed);
                 if let Some(executor) = self.executor {
                     opts = opts.with_executor(executor);
+                }
+                if let Some(shards) = self.shards {
+                    opts = opts.with_shards(shards);
                 }
                 spec.run_with_options(&graph, &opts, scratch)
             }
@@ -486,6 +500,35 @@ mod tests {
             assert_eq!(calendar.len(), other.len());
             for (a, b) in calendar.iter().zip(&other) {
                 assert_eq!(a.stats, b.stats, "{executor} {} n={}", a.algorithm, a.n);
+                assert_eq!(a.tree_edges, b.tree_edges);
+                assert_eq!(a.total_weight, b.total_weight);
+                assert_eq!(a.phases, b.phases);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_shard_counts() {
+        let build = |shards| {
+            Sweep::new(&ring_family)
+                .algorithm(registry::find("randomized").unwrap())
+                .sizes([8, 16])
+                .seeds(0..2)
+                .threads(1)
+                .shards(shards)
+                .run()
+                .unwrap()
+        };
+        let serial = build(1);
+        for shards in [2, 4] {
+            let sharded = build(shards);
+            assert_eq!(serial.len(), sharded.len());
+            for (a, b) in serial.iter().zip(&sharded) {
+                assert_eq!(
+                    a.stats, b.stats,
+                    "shards={shards} {} n={}",
+                    a.algorithm, a.n
+                );
                 assert_eq!(a.tree_edges, b.tree_edges);
                 assert_eq!(a.total_weight, b.total_weight);
                 assert_eq!(a.phases, b.phases);

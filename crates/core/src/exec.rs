@@ -46,6 +46,10 @@ pub struct ExecOptions {
     /// registry entry). All drivers are bit-identical; this knob only
     /// changes wall-clock cost.
     pub executor: Option<Executor>,
+    /// Send-half-step shard count ([`SimConfig::shards`]). `None` keeps
+    /// the serial default. Like the executor choice, shard counts are
+    /// bit-identical — they trade wall-clock for cores, nothing else.
+    pub shards: Option<u32>,
 }
 
 impl ExecOptions {
@@ -81,6 +85,12 @@ impl ExecOptions {
         self
     }
 
+    /// Selects the send-half-step shard count for the run.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// The plan, if it would actually do anything.
     pub fn active_faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().filter(|p| !p.is_inert())
@@ -100,6 +110,9 @@ impl ExecOptions {
         }
         if let Some(executor) = self.executor {
             config = config.with_executor(executor);
+        }
+        if let Some(shards) = self.shards {
+            config = config.with_shards(shards);
         }
         config
     }

@@ -136,7 +136,10 @@ mod tests {
             external_id: 1,
             n: 4,
             max_external_id: 4,
-            port_weights: (1..=degree as u64).map(|w| w * 10).collect(),
+            port_weights: (1..=degree as u64)
+                .map(|w| w * 10)
+                .collect::<Vec<_>>()
+                .into(),
             rng_seed: 0,
         }
     }

@@ -4,8 +4,8 @@
 //! Every algorithm family is described once by a `FamilySpec`
 //! (construction, output ports, phase counter, connectivity requirement);
 //! the `run_*` and `check_*` functions are thin, API-stable wrappers that
-//! hand a spec to the one plain execution path ([`execute`]) or its
-//! validated twin ([`execute_checked`]). The [`registry`](crate::registry)
+//! hand a spec to the one plain execution path (`execute`) or its
+//! validated twin (`execute_checked`). The [`registry`](crate::registry)
 //! module exposes the same six algorithms as a data-driven
 //! [`AlgorithmSpec`](crate::registry::AlgorithmSpec) table for callers
 //! (CLI, benches, sweeps) that select algorithms by name.

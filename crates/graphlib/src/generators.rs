@@ -295,6 +295,74 @@ pub fn barbell(clique: usize, bridge: usize, seed: u64) -> Result<WeightedGraph,
     b.build()
 }
 
+/// SplitMix64 finalizer — the stateless hash behind the streaming
+/// generator's per-node chord offsets and weight permutation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A chorded cycle: the `n`-cycle plus `chords` pseudo-random chords per
+/// node — the sparse scale-campaign family. Built via
+/// [`WeightedGraph::from_edge_stream`], so memory high-water is the final
+/// CSR representation (`O(n + m)`), never an intermediate edge list; this
+/// is the family the million-node runs use.
+///
+/// Structure is duplicate-free by construction, which is what licenses the
+/// unvalidated streaming path: node `i`'s chord `c` spans the forward
+/// cyclic gap `d = 2 + ((mix(seed ^ i) + c) mod avail)` where
+/// `avail = (n - 1) / 2 - 1`. Every chord gap lies in `[2, (n - 1) / 2]`,
+/// and an unordered pair with cyclic gaps `{d, n - d}` has exactly one gap
+/// in that range (the complementary gap exceeds `n / 2`), so each chord
+/// pair is emitted by exactly one `(i, c)`; gaps `>= 2` never collide with
+/// the cycle edges (gap 1); and one node's `chords <= avail` consecutive
+/// residues are pairwise distinct. Weights are a seeded affine-xor
+/// bijection of the edge index over `[1, 2^⌈log₂ m⌉]` — pairwise distinct
+/// and bounded by `2m`, so total weights stay far from `u64` overflow even
+/// at `n = 10^7`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSize`] if `n < 5` or
+/// `chords > (n - 1) / 2 - 1`.
+pub fn chorded_cycle(n: usize, chords: usize, seed: u64) -> Result<WeightedGraph, GraphError> {
+    if n < 5 {
+        return Err(GraphError::InvalidSize {
+            reason: format!("chorded cycle needs n >= 5, got {n}"),
+        });
+    }
+    let avail = (n - 1) / 2 - 1;
+    if chords > avail {
+        return Err(GraphError::InvalidSize {
+            reason: format!("at most {avail} distinct chords per node for n = {n}, got {chords}"),
+        });
+    }
+    let m = n + n * chords;
+    let bits = 64 - (m as u64 - 1).leading_zeros();
+    let mask = (1u64 << bits) - 1;
+    let mult = mix(seed) | 1;
+    let xor = mix(seed ^ 0xc2b2_ae3d_27d4_eb4f) & mask;
+    let weight = move |k: u64| ((k ^ xor).wrapping_mul(mult) & mask) + 1;
+
+    WeightedGraph::from_edge_stream(n, |emit| {
+        let mut k = 0u64;
+        for i in 0..n {
+            emit(i as u32, ((i + 1) % n) as u32, weight(k));
+            k += 1;
+        }
+        for i in 0..n {
+            let base = (mix(seed ^ i as u64) % avail as u64) as usize;
+            for c in 0..chords {
+                let d = 2 + (base + c) % avail;
+                emit(i as u32, ((i + d) % n) as u32, weight(k));
+                k += 1;
+            }
+        }
+    })
+}
+
 /// Remaps a graph's external node ids into a sparse `[1, id_span]` space.
 ///
 /// The deterministic algorithm's running time is `O(n N log n)` where `N`
@@ -466,6 +534,52 @@ mod tests {
         assert_eq!(g.degree(crate::NodeId::new(2)), 2 + 3);
         assert_eq!(g.degree(crate::NodeId::new(5)), 1);
         assert!(caterpillar(0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn chorded_cycle_shape_and_distinct_weights() {
+        let g = chorded_cycle(64, 3, 7).unwrap();
+        assert_eq!(g.node_count(), 64);
+        assert_eq!(g.edge_count(), 64 * 4);
+        assert!(traversal::is_connected(&g));
+        // The streaming path skips dedup validation, so distinctness is
+        // re-proved here: pairs and weights must be pairwise unique.
+        let mut pairs = HashSet::new();
+        let mut weights = HashSet::new();
+        for e in g.edges() {
+            assert!(pairs.insert((e.u, e.v)), "duplicate pair {:?}", (e.u, e.v));
+            assert!(weights.insert(e.weight), "duplicate weight {}", e.weight);
+            assert!(e.weight >= 1 && e.weight <= 2 * g.edge_count() as u64);
+        }
+        // Each node: 2 cycle ports + `chords` outgoing + incoming chords.
+        let total_degree: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total_degree, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn chorded_cycle_is_deterministic_and_seed_sensitive() {
+        assert_eq!(
+            chorded_cycle(40, 2, 5).unwrap(),
+            chorded_cycle(40, 2, 5).unwrap()
+        );
+        assert_ne!(
+            chorded_cycle(40, 2, 5).unwrap(),
+            chorded_cycle(40, 2, 6).unwrap()
+        );
+        // Plain cycle when chords = 0.
+        let g = chorded_cycle(9, 0, 1).unwrap();
+        assert_eq!(g.edge_count(), 9);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn chorded_cycle_rejects_bad_sizes() {
+        assert!(chorded_cycle(4, 0, 0).is_err());
+        // n = 11: gaps 2..=5 are available, so at most 4 chords per node.
+        assert!(chorded_cycle(11, 4, 0).is_ok());
+        assert!(chorded_cycle(11, 5, 0).is_err());
     }
 
     #[test]

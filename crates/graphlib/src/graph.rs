@@ -163,9 +163,13 @@ pub struct PortEntry {
 ///
 /// Construction goes through [`GraphBuilder`], which validates all of the
 /// paper's structural assumptions (no self-loops, no parallel edges,
-/// distinct weights). The representation is adjacency lists indexed by
-/// [`Port`], matching the model in which a node initially knows only its
-/// ports and the weights of its incident edges.
+/// distinct weights), or through the streaming
+/// [`WeightedGraph::from_edge_stream`] for million-node instances. The
+/// port tables are stored in CSR form — one flat `PortEntry` array plus
+/// an `n + 1` offset array — so a graph costs `O(n + m)` contiguous
+/// memory with no per-node allocation, while the [`Port`]-indexed view
+/// (the model's KT0 knowledge: a node sees only its ports and incident
+/// weights) is unchanged.
 ///
 /// # Example
 ///
@@ -186,7 +190,10 @@ pub struct PortEntry {
 pub struct WeightedGraph {
     n: usize,
     edges: Vec<Edge>,
-    adjacency: Vec<Vec<PortEntry>>,
+    /// CSR port tables: node `v`'s ports are
+    /// `adj[offsets[v] as usize..offsets[v + 1] as usize]`.
+    adj: Vec<PortEntry>,
+    offsets: Vec<u32>,
     /// Optional remapped "external" ids (the `[1, N]` id space of the
     /// deterministic algorithm). `external_ids[i]` is node `i`'s id.
     external_ids: Vec<u64>,
@@ -220,12 +227,12 @@ impl WeightedGraph {
 
     /// Degree (number of ports) of `node`.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        (self.offsets[node.index() + 1] - self.offsets[node.index()]) as usize
     }
 
     /// The full port table of `node`, indexed by [`Port`].
     pub fn ports(&self, node: NodeId) -> &[PortEntry] {
-        &self.adjacency[node.index()]
+        &self.adj[self.offsets[node.index()] as usize..self.offsets[node.index() + 1] as usize]
     }
 
     /// The port-table entry behind `port` of `node`.
@@ -234,13 +241,13 @@ impl WeightedGraph {
     ///
     /// Panics if `port` is out of range for `node`.
     pub fn port_entry(&self, node: NodeId, port: Port) -> PortEntry {
-        self.adjacency[node.index()][port.index()]
+        self.ports(node)[port.index()]
     }
 
     /// Finds the port of `node` whose edge leads to `neighbor`, if the two
     /// nodes are adjacent.
     pub fn port_to(&self, node: NodeId, neighbor: NodeId) -> Option<Port> {
-        self.adjacency[node.index()]
+        self.ports(node)
             .iter()
             .position(|e| e.neighbor == neighbor)
             .map(|i| Port::new(i as u32))
@@ -248,10 +255,45 @@ impl WeightedGraph {
 
     /// Returns the edge between `u` and `v`, if any.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<&Edge> {
-        self.adjacency[u.index()]
+        self.ports(u)
             .iter()
             .find(|e| e.neighbor == v)
             .map(|e| self.edge(e.edge))
+    }
+
+    /// Total number of port slots across all nodes (`2m`): the length of
+    /// the flat CSR port array and the domain of [`Self::port_slot`].
+    pub fn total_ports(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The first global port slot of `node` in the flat CSR array; `node`'s
+    /// port `p` occupies slot `port_base(node) + p`.
+    pub fn port_base(&self, node: NodeId) -> u32 {
+        self.offsets[node.index()]
+    }
+
+    /// The global slot of `(node, port)` in the flat CSR port array: a
+    /// dense index in `0..total_ports()` usable for flat side tables
+    /// (bitsets, weight arrays) without per-node allocation.
+    pub fn port_slot(&self, node: NodeId, port: Port) -> usize {
+        self.offsets[node.index()] as usize + port.index()
+    }
+
+    /// All port weights in one flat array, indexed by global port slot
+    /// (see [`Self::port_slot`]). One allocation for the whole graph.
+    pub fn flat_port_weights(&self) -> Vec<u64> {
+        self.adj.iter().map(|e| e.weight).collect()
+    }
+
+    /// Heap bytes held by the graph representation (edges, CSR port
+    /// array, offsets, external ids) — the `graph_bytes` figure the
+    /// scale-campaign memory accounting reports.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.edges.capacity() * std::mem::size_of::<Edge>()
+            + self.adj.capacity() * std::mem::size_of::<PortEntry>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.external_ids.capacity() * std::mem::size_of::<u64>()) as u64
     }
 
     /// Total weight of a set of edges.
@@ -299,6 +341,182 @@ impl WeightedGraph {
         self.external_ids = ids;
         Ok(())
     }
+
+    /// Builds a graph from a *replayable* edge stream without ever
+    /// materializing an intermediate adjacency or edge list: the stream
+    /// closure is invoked **twice** with an `emit(u, v, weight)` sink —
+    /// once to count degrees (sizing the CSR arrays exactly), once to
+    /// fill them in place. Memory high-water is the final `O(n + m)`
+    /// representation itself, which is what makes `n = 10^6`-plus
+    /// generator runs feasible.
+    ///
+    /// The stream must be deterministic (both invocations must emit the
+    /// same edge sequence) and must satisfy the builder's structural
+    /// contract by construction: no duplicate undirected pairs and
+    /// pairwise-distinct weights. Unlike [`GraphBuilder::build`], those
+    /// two properties are **not** validated here — hash-set dedup at
+    /// `10^7` edges is exactly the cost this path exists to avoid — so
+    /// only generators with a no-duplicates proof should use it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`]
+    /// for malformed endpoints, and [`GraphError::InvalidSize`] if the
+    /// two passes disagree or the graph exceeds `u32` port capacity.
+    pub fn from_edge_stream<F>(n: usize, mut stream: F) -> Result<WeightedGraph, GraphError>
+    where
+        F: FnMut(&mut dyn FnMut(u32, u32, u64)),
+    {
+        // Pass 1: validate endpoints, count edges and per-node degrees.
+        let mut degree = vec![0u32; n];
+        let mut count = 0usize;
+        let mut error: Option<GraphError> = None;
+        stream(&mut |u, v, _w| {
+            if error.is_some() {
+                return;
+            }
+            if u as usize >= n {
+                error = Some(GraphError::NodeOutOfRange { node: u, n });
+            } else if v as usize >= n {
+                error = Some(GraphError::NodeOutOfRange { node: v, n });
+            } else if u == v {
+                error = Some(GraphError::SelfLoop { node: u });
+            } else {
+                degree[u as usize] += 1;
+                degree[v as usize] += 1;
+                count += 1;
+            }
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let total_ports = checked_port_count(count)?;
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+
+        // Pass 2: replay the stream into the exactly-sized CSR arrays.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![PLACEHOLDER_PORT; total_ports];
+        let mut edges: Vec<Edge> = Vec::with_capacity(count);
+        stream(&mut |u, v, weight| {
+            if error.is_some() {
+                return;
+            }
+            let (ui, vi) = (u as usize, v as usize);
+            if edges.len() == count
+                || ui >= n
+                || vi >= n
+                || u == v
+                || cursor[ui] >= offsets[ui + 1]
+                || cursor[vi] >= offsets[vi + 1]
+            {
+                error = Some(GraphError::InvalidSize {
+                    reason: "edge stream changed between counting and filling passes".to_string(),
+                });
+                return;
+            }
+            let id = EdgeId::new(edges.len() as u32);
+            let port_at_u = Port::new(cursor[ui] - offsets[ui]);
+            let port_at_v = Port::new(cursor[vi] - offsets[vi]);
+            adj[cursor[ui] as usize] = PortEntry {
+                neighbor: NodeId::new(v),
+                weight,
+                edge: id,
+                back_port: port_at_v,
+            };
+            adj[cursor[vi] as usize] = PortEntry {
+                neighbor: NodeId::new(u),
+                weight,
+                edge: id,
+                back_port: port_at_u,
+            };
+            cursor[ui] += 1;
+            cursor[vi] += 1;
+            edges.push(Edge {
+                u: NodeId::new(u.min(v)),
+                v: NodeId::new(u.max(v)),
+                weight,
+            });
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if edges.len() != count {
+            return Err(GraphError::InvalidSize {
+                reason: "edge stream changed between counting and filling passes".to_string(),
+            });
+        }
+
+        let external_ids = (1..=n as u64).collect();
+        Ok(WeightedGraph {
+            n,
+            edges,
+            adj,
+            offsets,
+            external_ids,
+        })
+    }
+}
+
+/// Inert CSR slot value; every slot is overwritten during the fill pass.
+const PLACEHOLDER_PORT: PortEntry = PortEntry {
+    neighbor: NodeId::new(0),
+    weight: 0,
+    edge: EdgeId::new(0),
+    back_port: Port::new(0),
+};
+
+/// `2m` with a `u32` capacity guard (ports and offsets are `u32`).
+fn checked_port_count(edge_count: usize) -> Result<usize, GraphError> {
+    let total = edge_count
+        .checked_mul(2)
+        .filter(|&t| t <= u32::MAX as usize);
+    total.ok_or_else(|| GraphError::InvalidSize {
+        reason: format!("{edge_count} edges exceed the u32 port-slot capacity"),
+    })
+}
+
+/// Fills the CSR port array for `edges` (in insertion order), reproducing
+/// exactly the port numbering of the historical per-node push loop: an
+/// edge's port at each endpoint is the number of earlier edges incident to
+/// that endpoint, so the `k`-th inserted edge lands on the same ports —
+/// and the same precomputed back ports — as it always did. Every pinned
+/// execution fingerprint depends on this order being preserved.
+fn csr_fill(n: usize, edges: &[Edge]) -> Result<(Vec<PortEntry>, Vec<u32>), GraphError> {
+    let total_ports = checked_port_count(edges.len())?;
+    let mut offsets = vec![0u32; n + 1];
+    for e in edges {
+        offsets[e.u.index() + 1] += 1;
+        offsets[e.v.index() + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut adj = vec![PLACEHOLDER_PORT; total_ports];
+    for (k, e) in edges.iter().enumerate() {
+        let (ui, vi) = (e.u.index(), e.v.index());
+        let id = EdgeId::new(k as u32);
+        let port_at_u = Port::new(cursor[ui] - offsets[ui]);
+        let port_at_v = Port::new(cursor[vi] - offsets[vi]);
+        adj[cursor[ui] as usize] = PortEntry {
+            neighbor: e.v,
+            weight: e.weight,
+            edge: id,
+            back_port: port_at_v,
+        };
+        adj[cursor[vi] as usize] = PortEntry {
+            neighbor: e.u,
+            weight: e.weight,
+            edge: id,
+            back_port: port_at_u,
+        };
+        cursor[ui] += 1;
+        cursor[vi] += 1;
+    }
+    Ok((adj, offsets))
 }
 
 /// Incremental builder for [`WeightedGraph`].
@@ -348,7 +566,6 @@ impl GraphBuilder {
     pub fn build(&self) -> Result<WeightedGraph, GraphError> {
         let n = self.n;
         let mut edges = Vec::with_capacity(self.edges.len());
-        let mut adjacency = vec![Vec::new(); n];
         let mut seen_weights = HashMap::with_capacity(self.edges.len());
         let mut seen_pairs = HashMap::with_capacity(self.edges.len());
 
@@ -369,37 +586,20 @@ impl GraphBuilder {
             if seen_pairs.insert(key, weight).is_some() {
                 return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
             }
-
-            let id = EdgeId::new(edges.len() as u32);
-            let (lo, hi) = (NodeId::new(key.0), NodeId::new(key.1));
             edges.push(Edge {
-                u: lo,
-                v: hi,
+                u: NodeId::new(key.0),
+                v: NodeId::new(key.1),
                 weight,
-            });
-            // Each endpoint's entry lands at the current end of the other
-            // endpoint's port table, so the reverse ports are known here.
-            let port_at_u = Port::new(adjacency[u as usize].len() as u32);
-            let port_at_v = Port::new(adjacency[v as usize].len() as u32);
-            adjacency[u as usize].push(PortEntry {
-                neighbor: NodeId::new(v),
-                weight,
-                edge: id,
-                back_port: port_at_v,
-            });
-            adjacency[v as usize].push(PortEntry {
-                neighbor: NodeId::new(u),
-                weight,
-                edge: id,
-                back_port: port_at_u,
             });
         }
 
+        let (adj, offsets) = csr_fill(n, &edges)?;
         let external_ids = (1..=n as u64).collect();
         Ok(WeightedGraph {
             n,
             edges,
-            adjacency,
+            adj,
+            offsets,
             external_ids,
         })
     }
@@ -539,5 +739,89 @@ mod tests {
         assert_eq!(NodeId::new(3).to_string(), "v3");
         assert_eq!(Port::new(1).to_string(), "p1");
         assert_eq!(EdgeId::new(0).to_string(), "e0");
+    }
+
+    #[test]
+    fn global_port_slots_are_dense_and_ordered() {
+        let g = triangle();
+        assert_eq!(g.total_ports(), 6);
+        let mut seen = vec![false; g.total_ports()];
+        for v in g.nodes() {
+            assert_eq!(g.port_base(v) as usize, g.port_slot(v, Port::new(0)));
+            for p in 0..g.degree(v) {
+                let slot = g.port_slot(v, Port::new(p as u32));
+                assert!(!seen[slot], "slot {slot} assigned twice");
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "port slots not dense");
+    }
+
+    #[test]
+    fn flat_port_weights_match_port_tables() {
+        let g = triangle();
+        let flat = g.flat_port_weights();
+        assert_eq!(flat.len(), g.total_ports());
+        for v in g.nodes() {
+            for (p, entry) in g.ports(v).iter().enumerate() {
+                assert_eq!(flat[g.port_slot(v, Port::new(p as u32))], entry.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_csr_arrays() {
+        let g = triangle();
+        let floor = (3 * std::mem::size_of::<Edge>()
+            + 6 * std::mem::size_of::<PortEntry>()
+            + 4 * std::mem::size_of::<u32>()
+            + 3 * std::mem::size_of::<u64>()) as u64;
+        assert!(g.memory_bytes() >= floor, "{} < {floor}", g.memory_bytes());
+        assert_eq!(GraphBuilder::new(0).build().unwrap().total_ports(), 0);
+    }
+
+    #[test]
+    fn edge_stream_matches_builder_exactly() {
+        // Interleaved insertion order exercises the cursor fill: ports and
+        // back ports must equal the builder's push-order assignment.
+        let spec = [(0u32, 1u32, 10u64), (2, 1, 20), (3, 0, 30), (1, 3, 40)];
+        let built = {
+            let mut b = GraphBuilder::new(4);
+            for &(u, v, w) in &spec {
+                b.edge(u, v, w);
+            }
+            b.build().unwrap()
+        };
+        let streamed = WeightedGraph::from_edge_stream(4, |emit| {
+            for &(u, v, w) in &spec {
+                emit(u, v, w);
+            }
+        })
+        .unwrap();
+        assert_eq!(built, streamed);
+    }
+
+    #[test]
+    fn edge_stream_validates_endpoints() {
+        let err = WeightedGraph::from_edge_stream(2, |emit| emit(0, 2, 1)).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 2, n: 2 });
+        let err = WeightedGraph::from_edge_stream(2, |emit| emit(1, 1, 1)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn edge_stream_rejects_nondeterministic_streams() {
+        let mut pass = 0;
+        let err = WeightedGraph::from_edge_stream(3, |emit| {
+            pass += 1;
+            if pass == 1 {
+                emit(0, 1, 1);
+            } else {
+                emit(0, 1, 1);
+                emit(1, 2, 2);
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidSize { .. }));
     }
 }

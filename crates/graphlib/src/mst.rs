@@ -10,7 +10,7 @@
 
 use std::collections::BinaryHeap;
 
-use crate::{EdgeId, NodeId, UnionFind, WeightedGraph};
+use crate::{EdgeId, NodeId, Port, UnionFind, WeightedGraph};
 
 /// A spanning forest: the MST restricted to each connected component.
 ///
@@ -42,21 +42,56 @@ impl SpanningForest {
     /// `(node, port)` pairs — the exact output format the paper requires of
     /// a distributed MST ("every node knows which of its incident edges
     /// belong to the MST").
-    pub fn incident_map(&self, graph: &WeightedGraph) -> Vec<Vec<bool>> {
-        let mut map: Vec<Vec<bool>> = graph
-            .nodes()
-            .map(|v| vec![false; graph.degree(v)])
-            .collect();
+    ///
+    /// Two flat bitsets, `O(m)` bits and `O(n + m)` time total: an edge
+    /// membership pass over the forest, then one sweep of the CSR port
+    /// array. (The historical `Vec<Vec<bool>>` version allocated per node
+    /// and ran a `port_to` scan per forest-edge endpoint — quadratic-ish
+    /// setup at scale-campaign sizes.)
+    pub fn port_incidence(&self, graph: &WeightedGraph) -> PortIncidence {
+        let mut in_forest = vec![0u64; graph.edge_count().div_ceil(64)];
         for &id in &self.edges {
-            let e = graph.edge(id);
-            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
-                let p = graph
-                    .port_to(a, b)
-                    .expect("forest edge endpoints must be adjacent");
-                map[a.index()][p.index()] = true;
+            in_forest[id.index() / 64] |= 1 << (id.index() % 64);
+        }
+        let mut bits = vec![0u64; graph.total_ports().div_ceil(64)];
+        for v in graph.nodes() {
+            let base = graph.port_base(v) as usize;
+            for (p, entry) in graph.ports(v).iter().enumerate() {
+                let e = entry.edge.index();
+                if (in_forest[e / 64] >> (e % 64)) & 1 == 1 {
+                    let slot = base + p;
+                    bits[slot / 64] |= 1 << (slot % 64);
+                }
             }
         }
-        map
+        PortIncidence { bits }
+    }
+}
+
+/// Forest membership of every `(node, port)` pair, packed as one flat
+/// bitset over the graph's global port slots (see
+/// [`WeightedGraph::port_slot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortIncidence {
+    bits: Vec<u64>,
+}
+
+impl PortIncidence {
+    /// `true` if the edge behind `port` of `node` belongs to the forest.
+    pub fn contains(&self, graph: &WeightedGraph, node: NodeId, port: Port) -> bool {
+        self.contains_slot(graph.port_slot(node, port))
+    }
+
+    /// `true` if the global port slot (a dense index in
+    /// `0..total_ports()`) belongs to the forest.
+    pub fn contains_slot(&self, slot: usize) -> bool {
+        (self.bits[slot / 64] >> (slot % 64)) & 1 == 1
+    }
+
+    /// Number of set `(node, port)` pairs — `2 ×` the forest's edge count
+    /// when built against the forest's own graph.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -284,18 +319,38 @@ mod tests {
     }
 
     #[test]
-    fn incident_map_marks_both_endpoints() {
+    fn port_incidence_marks_both_endpoints() {
         let g = diamond();
         let t = kruskal(&g);
-        let map = t.incident_map(&g);
+        let inc = t.port_incidence(&g);
         // Edge (0,1) is in the MST: port 0 of node 0 and port 0 of node 1.
         let p01 = g.port_to(NodeId::new(0), NodeId::new(1)).unwrap();
         let p10 = g.port_to(NodeId::new(1), NodeId::new(0)).unwrap();
-        assert!(map[0][p01.index()]);
-        assert!(map[1][p10.index()]);
+        assert!(inc.contains(&g, NodeId::new(0), p01));
+        assert!(inc.contains(&g, NodeId::new(1), p10));
         // Edge (0,2) (weight 5) is not.
         let p02 = g.port_to(NodeId::new(0), NodeId::new(2)).unwrap();
-        assert!(!map[0][p02.index()]);
+        assert!(!inc.contains(&g, NodeId::new(0), p02));
+        // Every forest edge contributes exactly two set slots.
+        assert_eq!(inc.count(), 2 * t.edges.len());
+    }
+
+    #[test]
+    fn port_incidence_agrees_with_port_to_scan_everywhere() {
+        for seed in 0..5 {
+            let g = generators::random_connected(30, 0.2, seed).unwrap();
+            let t = kruskal(&g);
+            let inc = t.port_incidence(&g);
+            for v in g.nodes() {
+                for (p, entry) in g.ports(v).iter().enumerate() {
+                    assert_eq!(
+                        inc.contains(&g, v, Port::new(p as u32)),
+                        t.contains(entry.edge),
+                        "seed {seed}, node {v}, port {p}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use graphlib::{generators, mst, traversal, GraphBuilder, NodeId, UnionFind};
+use graphlib::{generators, mst, traversal, GraphBuilder, NodeId, Port, UnionFind, WeightedGraph};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -94,6 +94,69 @@ proptest! {
             .unwrap();
         prop_assert!(!t.contains(heaviest));
         prop_assert_eq!(t.edges.len(), n - 1);
+    }
+
+    /// The streaming CSR constructor is observationally identical to the
+    /// validating builder on the same edge sequence: same edge list, same
+    /// port tables, same flat slot layout and weight array.
+    #[test]
+    fn streaming_csr_matches_builder(
+        n in 2usize..40,
+        raw in proptest::collection::vec((0u32..40, 0u32..40), 0..100),
+        wseed in 0u64..1000,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept: Vec<(u32, u32, u64)> = Vec::new();
+        for (u, v) in raw {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                continue;
+            }
+            // Pairwise-distinct weights, offset by the seed.
+            kept.push((u, v, wseed + 1 + kept.len() as u64));
+        }
+        let built = GraphBuilder::new(n).edges(kept.iter().copied()).build().unwrap();
+        let streamed = WeightedGraph::from_edge_stream(n, |emit| {
+            for &(u, v, w) in &kept {
+                emit(u, v, w);
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(built.node_count(), streamed.node_count());
+        prop_assert_eq!(built.edges(), streamed.edges());
+        prop_assert_eq!(built.total_ports(), streamed.total_ports());
+        prop_assert_eq!(built.flat_port_weights(), streamed.flat_port_weights());
+        let flat = built.flat_port_weights();
+        for v in built.nodes() {
+            prop_assert_eq!(built.degree(v), streamed.degree(v));
+            prop_assert_eq!(built.port_base(v), streamed.port_base(v));
+            prop_assert_eq!(built.ports(v), streamed.ports(v));
+            prop_assert_eq!(built.external_id(v), streamed.external_id(v));
+            for p in 0..built.degree(v) {
+                let port = Port::new(p as u32);
+                // Slots are dense and the flat table agrees with the
+                // port-local view the protocols consume.
+                let slot = built.port_slot(v, port);
+                prop_assert_eq!(slot, built.port_base(v) as usize + p);
+                prop_assert_eq!(flat[slot], built.port_entry(v, port).weight);
+            }
+        }
+        prop_assert!(streamed.memory_bytes() > 0);
+    }
+
+    /// The streaming chorded-cycle family (the `scale:N:C` spec) is
+    /// connected, exactly sized, and carries pairwise-distinct weights.
+    #[test]
+    fn chorded_cycle_is_connected_with_exact_size(n in 5usize..200, seed in 0u64..500) {
+        let c = ((n - 1) / 2 - 1).min(3);
+        let g = generators::chorded_cycle(n, c, seed).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), n + n * c);
+        prop_assert!(traversal::is_connected(&g));
+        let mut weights: Vec<u64> = g.edges().iter().map(|e| e.weight).collect();
+        weights.sort_unstable();
+        weights.dedup();
+        prop_assert_eq!(weights.len(), g.edge_count());
     }
 
     /// BFS distances satisfy the triangle property along edges.

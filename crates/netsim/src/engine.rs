@@ -40,14 +40,23 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use graphlib::{NodeId, Port, WeightedGraph};
 
 use crate::metrics::MetricsRecorder;
 use crate::{
-    Envelope, FaultPlan, NextWake, NodeCtx, Outbox, Payload, Protocol, Round, RunOutcome, RunStats,
-    SimConfig, SimError, Trace, TraceEvent,
+    Envelope, FaultPlan, NextWake, NodeCtx, Outbox, Payload, PortWeights, Protocol, Round,
+    RunOutcome, RunStats, SimConfig, SimError, Trace, TraceEvent,
 };
+
+/// Rounds with fewer awake nodes than this run the send half-step
+/// serially even when [`SimConfig::shards`] asks for more shards: below
+/// it, the per-round cost of spawning scoped worker threads dwarfs the
+/// send work itself (the paper's token-passing phases wake one or two
+/// nodes per round). The outcome is bit-identical either way — the
+/// threshold only picks which code path computes it.
+const SHARD_MIN_AWAKE: usize = 128;
 
 /// Which time driver executes a run.
 ///
@@ -115,22 +124,31 @@ fn active_faults(config: &SimConfig) -> Option<&FaultPlan> {
 /// Builds the initial knowledge handed to `node` (KT0 plus run
 /// parameters). Every driver derives identical contexts — notably the
 /// per-node RNG seed — which is what lets differential runs agree.
-/// `max_external_id` is passed in rather than recomputed: it is an
-/// `O(n)` scan of the id table, and calling it per node made setup
-/// `O(n²)` — dominant on the sparse-wake panel, where it buried the
-/// driver cost the panel exists to measure.
+/// `max_external_id` and the shared `weights` array are passed in rather
+/// than recomputed: `max_external_id()` is an `O(n)` scan of the id
+/// table, and calling it per node made setup `O(n²)`; likewise each
+/// node's `port_weights` used to be a fresh `Vec` (n allocations, one
+/// per context) and is now a [`PortWeights`] window into one run-wide
+/// copy of the graph's flat CSR weights. Both were dominant on the
+/// sparse-wake panel, where setup buried the driver cost the panel
+/// exists to measure.
 fn node_ctx(
     graph: &WeightedGraph,
     config: &SimConfig,
     node: NodeId,
     max_external_id: u64,
+    weights: &Arc<[u64]>,
 ) -> NodeCtx {
     NodeCtx {
         node,
         external_id: graph.external_id(node),
         n: graph.node_count(),
         max_external_id,
-        port_weights: graph.ports(node).iter().map(|e| e.weight).collect(),
+        port_weights: PortWeights::slice(
+            Arc::clone(weights),
+            graph.port_base(node),
+            graph.degree(node) as u32,
+        ),
         rng_seed: config
             .master_seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -154,11 +172,12 @@ where
 {
     let n = graph.node_count();
     let max_external_id = graph.max_external_id();
+    let weights: Arc<[u64]> = graph.flat_port_weights().into();
     let mut ctxs = Vec::with_capacity(n);
     let mut protocols = Vec::with_capacity(n);
     let mut first_wake = Vec::with_capacity(n);
     for node in graph.nodes() {
-        let ctx = node_ctx(graph, config, node, max_external_id);
+        let ctx = node_ctx(graph, config, node, max_external_id, &weights);
         let mut protocol = factory(&ctx);
         match protocol.init(&ctx) {
             NextWake::At(r) => {
@@ -222,6 +241,153 @@ fn route_envelope<M: Payload>(
         bits,
         entry.edge.index(),
     ))
+}
+
+/// Outcome class of one routed send attempt, recorded by a shard worker
+/// and replayed into the shared stats/metrics by the deterministic merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SentKind {
+    /// Delivered to an awake receiver (one arena envelope).
+    Delivered,
+    /// Delivered plus an injected duplicate (two arena envelopes).
+    DeliveredDup,
+    /// Lost: the receiver was asleep (a model loss).
+    Lost,
+    /// Destroyed in flight by an injected drop fault.
+    Dropped,
+}
+
+/// One adjudicated send attempt, in a shard worker's send order. Holds
+/// exactly what the merge needs to replay the serial path's accounting:
+/// the receiver (stats + inbox slot), the wire size, the edge, and the
+/// outcome.
+#[derive(Debug, Clone, Copy)]
+struct SentRecord {
+    to: u32,
+    edge: u32,
+    bits: u64,
+    kind: SentKind,
+}
+
+/// Per-shard working buffers for the parallel send half-step, reused
+/// across rounds (and runs) like every other executor buffer.
+#[derive(Debug)]
+struct ShardScratch<M> {
+    outbox: Outbox<M>,
+    /// Delivered envelopes of this shard's nodes, in send order.
+    arena: Vec<Envelope<M>>,
+    /// Every adjudicated send attempt of this shard, in send order.
+    records: Vec<SentRecord>,
+    /// First validation error hit by this shard, if any; the worker
+    /// stops at it, exactly where the serial path would abort.
+    error: Option<SimError>,
+}
+
+impl<M> ShardScratch<M> {
+    fn new() -> Self {
+        ShardScratch {
+            outbox: Outbox::new(),
+            arena: Vec::new(),
+            records: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// Send half-step of one shard: runs `send` for a contiguous slice of
+/// the round's awake set and adjudicates every envelope — validation,
+/// routing via the precomputed back port, fault verdicts (pure functions
+/// of the plan's seed, so every worker reaches the serial verdicts), and
+/// the awake check against the round's stamp — exactly as the serial
+/// path does, but records outcomes into shard-local buffers instead of
+/// the shared stats. The kernel's merge replays them in shard order,
+/// which *is* serial node order (shards partition the ascending awake
+/// set into contiguous runs), so the accounting is reproduced bit for
+/// bit.
+#[allow(clippy::too_many_arguments)]
+fn shard_send<P: Protocol>(
+    graph: &WeightedGraph,
+    bit_limit: Option<usize>,
+    faults: Option<&FaultPlan>,
+    round: Round,
+    awake_stamp: &[Round],
+    ctxs: &[NodeCtx],
+    part: &mut [P],
+    part_base: usize,
+    chunk: &[u32],
+    lane: &mut ShardScratch<P::Msg>,
+) {
+    lane.arena.clear();
+    lane.records.clear();
+    lane.error = None;
+    for &v in chunk {
+        let node = NodeId::new(v);
+        lane.outbox.clear();
+        part[v as usize - part_base].send(&ctxs[v as usize], round, &mut lane.outbox);
+        for Envelope { port, msg } in lane.outbox.drain() {
+            if port.index() >= graph.degree(node) {
+                lane.error = Some(SimError::PortOutOfRange { node, port, round });
+                return;
+            }
+            let bits = msg.bit_size();
+            if let Some(limit) = bit_limit {
+                if bits > limit {
+                    lane.error = Some(SimError::MessageTooLarge {
+                        node,
+                        round,
+                        bits,
+                        limit,
+                    });
+                    return;
+                }
+            }
+            let entry = graph.port_entry(node, port);
+            let to = entry.neighbor.raw();
+            let edge = entry.edge.index() as u32;
+            let bits = bits as u64;
+            if let Some(plan) = faults {
+                if plan.drops(round, v, port.raw()) {
+                    lane.records.push(SentRecord {
+                        to,
+                        edge,
+                        bits,
+                        kind: SentKind::Dropped,
+                    });
+                    continue;
+                }
+            }
+            if awake_stamp[to as usize] == round {
+                let dup = match faults {
+                    Some(plan) => plan.duplicates(round, v, port.raw()),
+                    None => false,
+                };
+                if dup {
+                    lane.records.push(SentRecord {
+                        to,
+                        edge,
+                        bits,
+                        kind: SentKind::DeliveredDup,
+                    });
+                    lane.arena.push(Envelope::new(entry.back_port, msg.clone()));
+                } else {
+                    lane.records.push(SentRecord {
+                        to,
+                        edge,
+                        bits,
+                        kind: SentKind::Delivered,
+                    });
+                }
+                lane.arena.push(Envelope::new(entry.back_port, msg));
+            } else {
+                lane.records.push(SentRecord {
+                    to,
+                    edge,
+                    bits,
+                    kind: SentKind::Lost,
+                });
+            }
+        }
+    }
 }
 
 /// The scheduled-wake priority queue with lazy deletion.
@@ -352,6 +518,13 @@ pub struct ExecutorScratch<M> {
     /// `(start, len)` of each awake node's slice of `arena`, by slot.
     inbox_ranges: Vec<(u32, u32)>,
     outbox: Outbox<M>,
+    /// `awake_stamp[v] == r` marks v awake in round r (the kernel's own
+    /// copy of the driver's popped stamp, written once per round from the
+    /// adjudicated awake set so shard workers can read it lock-free).
+    awake_stamp: Vec<Round>,
+    /// Per-shard send buffers (empty until a run with `shards > 1` hits
+    /// a round wide enough to parallelize).
+    shard_lanes: Vec<ShardScratch<M>>,
     stats_pool: Vec<RunStats>,
 }
 
@@ -375,6 +548,8 @@ impl<M> ExecutorScratch<M> {
             perm: Vec::new(),
             inbox_ranges: Vec::new(),
             outbox: Outbox::new(),
+            awake_stamp: Vec::new(),
+            shard_lanes: Vec::new(),
             stats_pool: Vec::new(),
         }
     }
@@ -396,6 +571,17 @@ impl<M> ExecutorScratch<M> {
         self.perm.clear();
         self.inbox_ranges.clear();
         self.outbox.clear();
+        // Stale stamps would mark nodes awake in a round of the *next*
+        // run (rounds restart from 1), so clearing is load-bearing, like
+        // the wake queue's popped stamps.
+        self.awake_stamp.clear();
+        self.awake_stamp.resize(n, 0);
+        for lane in self.shard_lanes.iter_mut() {
+            lane.outbox.clear();
+            lane.arena.clear();
+            lane.records.clear();
+            lane.error = None;
+        }
     }
 
     /// A zeroed [`RunStats`] for an `n`-node, `m`-edge run — recycled
@@ -651,6 +837,8 @@ struct KernelBuffers<'a, M> {
     perm: &'a mut Vec<u32>,
     inbox_ranges: &'a mut Vec<(u32, u32)>,
     outbox: &'a mut Outbox<M>,
+    awake_stamp: &'a mut Vec<Round>,
+    shard_lanes: &'a mut Vec<ShardScratch<M>>,
 }
 
 /// Runs a protocol under the driver selected by [`SimConfig::executor`].
@@ -681,6 +869,8 @@ where
         perm,
         inbox_ranges,
         outbox,
+        awake_stamp,
+        shard_lanes,
         ..
     } = scratch;
     let bufs = KernelBuffers {
@@ -691,6 +881,8 @@ where
         perm,
         inbox_ranges,
         outbox,
+        awake_stamp,
+        shard_lanes,
     };
     match config.executor {
         Executor::Calendar => {
@@ -737,9 +929,19 @@ where
         perm,
         inbox_ranges,
         outbox,
+        awake_stamp,
+        shard_lanes,
     } = bufs;
     let mut trace = Trace::default();
     let faults = active_faults(config);
+    stats.graph_bytes = graph.memory_bytes();
+    // Sharding is a pure execution strategy: any round too narrow to
+    // parallelize (or any traced run — trace payload formatting is
+    // inherently sequential) takes the serial path, and the outcomes are
+    // bit-identical either way (the cross-shard differential proptests
+    // pin this).
+    let shard_target = (config.shards as usize).max(1);
+    let shard_gate = SHARD_MIN_AWAKE.max(shard_target);
     // `None` when metrics are off: the hot path pays one untaken branch
     // per event and execution is bit-identical (pinned fingerprints).
     let mut metrics = if config.record_metrics {
@@ -810,8 +1012,22 @@ where
         if let Some(rec) = metrics.as_mut() {
             rec.start_round(round, awake_now);
         }
+        // Awake accounting up front: the awake set is fixed before any
+        // send, so the round stamp (which shard workers read lock-free),
+        // the slot table, the per-node awake counts, and the `Awake`
+        // trace events — which precede the round's buffered
+        // delivery events in the recorded order anyway — are all
+        // independent of how the send half-step executes.
         for (slot, &v) in awake_now.iter().enumerate() {
             slot_of[v as usize] = slot as u32;
+            awake_stamp[v as usize] = round;
+            stats.awake_by_node[v as usize] += 1;
+            if config.record_trace {
+                trace.push(TraceEvent::Awake {
+                    round,
+                    node: NodeId::new(v),
+                });
+            }
         }
 
         // --- Send half-step ---
@@ -824,74 +1040,167 @@ where
         // so their order is driver-independent (see [`record_delivered`]).
         arena.clear();
         slots.clear();
-        for &v in awake_now.iter() {
-            let node = NodeId::new(v);
-            stats.awake_by_node[v as usize] += 1;
-            if config.record_trace {
-                trace.push(TraceEvent::Awake { round, node });
+        if shard_target > 1 && !config.record_trace && awake_now.len() >= shard_gate {
+            // --- Sharded send ---
+            // Partition the ascending awake set into contiguous chunks;
+            // each worker runs its nodes' sends against a disjoint
+            // protocol sub-slice and records adjudicated outcomes into
+            // its own lane. Concatenating the lanes in shard order
+            // reproduces serial node order exactly, so the merge below
+            // replays the identical accounting stream.
+            let chunk_len = awake_now.len().div_ceil(shard_target);
+            let lanes_used = awake_now.len().div_ceil(chunk_len);
+            if shard_lanes.len() < lanes_used {
+                shard_lanes.resize_with(lanes_used, ShardScratch::new);
             }
-            outbox.clear();
-            protocols[v as usize].send(&ctxs[v as usize], round, outbox);
-            for Envelope { port, msg } in outbox.drain() {
-                let (to, recv_port, bits, edge) =
-                    route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
-                if let Some(rec) = metrics.as_mut() {
-                    rec.on_send(edge, bits);
+            let bit_limit = config.bit_limit;
+            let stamp: &[Round] = awake_stamp;
+            let ctxs_ref: &[NodeCtx] = &ctxs;
+            std::thread::scope(|scope| {
+                let mut rest: &mut [P] = &mut protocols;
+                let mut base = 0usize;
+                for (chunk, lane) in awake_now.chunks(chunk_len).zip(shard_lanes.iter_mut()) {
+                    let Some(&hi) = chunk.last() else { continue };
+                    let take = (hi as usize + 1 - base).min(rest.len());
+                    let (part, tail) = rest.split_at_mut(take);
+                    rest = tail;
+                    let part_base = base;
+                    base = hi as usize + 1;
+                    scope.spawn(move || {
+                        shard_send(
+                            graph, bit_limit, faults, round, stamp, ctxs_ref, part, part_base,
+                            chunk, lane,
+                        );
+                    });
                 }
-                if let Some(plan) = faults {
-                    // A dropped message is destroyed in flight after the
-                    // sender paid for it (bits accrued above), regardless
-                    // of the receiver's state — it is an injected fault,
-                    // not a model loss.
-                    if plan.drops(round, v, port.raw()) {
-                        stats.injected_drops += 1;
-                        if let Some(rec) = metrics.as_mut() {
-                            rec.on_dropped();
+            });
+            let lanes = &mut shard_lanes[..lanes_used];
+            // First error in lane order = first error in node order =
+            // exactly where the serial path would have aborted.
+            for lane in lanes.iter_mut() {
+                if let Some(err) = lane.error.take() {
+                    return Err(err);
+                }
+            }
+            for lane in lanes.iter_mut() {
+                for rec in lane.records.iter() {
+                    stats.bits_by_edge[rec.edge as usize] += rec.bits;
+                    stats.max_message_bits = stats.max_message_bits.max(rec.bits);
+                    if let Some(m) = metrics.as_mut() {
+                        m.on_send(rec.edge as usize, rec.bits as usize);
+                    }
+                    match rec.kind {
+                        SentKind::Delivered => {
+                            stats.messages_delivered += 1;
+                            stats.bits_received_by_node[rec.to as usize] += rec.bits;
+                            if let Some(m) = metrics.as_mut() {
+                                m.on_delivered();
+                            }
+                            slots.push(slot_of[rec.to as usize]);
                         }
-                        if config.record_trace {
-                            record_dropped(&mut trace_buf, round, v, to);
+                        SentKind::DeliveredDup => {
+                            stats.messages_delivered += 2;
+                            stats.dup_deliveries += 1;
+                            stats.bits_received_by_node[rec.to as usize] += 2 * rec.bits;
+                            if let Some(m) = metrics.as_mut() {
+                                m.on_delivered();
+                                m.on_dup_delivered();
+                            }
+                            slots.push(slot_of[rec.to as usize]);
+                            slots.push(slot_of[rec.to as usize]);
                         }
-                        continue;
+                        SentKind::Lost => {
+                            stats.messages_lost += 1;
+                            if let Some(m) = metrics.as_mut() {
+                                m.on_lost();
+                            }
+                        }
+                        SentKind::Dropped => {
+                            stats.injected_drops += 1;
+                            if let Some(m) = metrics.as_mut() {
+                                m.on_dropped();
+                            }
+                        }
                     }
                 }
-                if driver.is_awake_in(to, round) {
-                    stats.messages_delivered += 1;
-                    stats.bits_received_by_node[to as usize] += bits as u64;
+                arena.append(&mut lane.arena);
+            }
+        } else {
+            for &v in awake_now.iter() {
+                let node = NodeId::new(v);
+                outbox.clear();
+                protocols[v as usize].send(&ctxs[v as usize], round, outbox);
+                for Envelope { port, msg } in outbox.drain() {
+                    let (to, recv_port, bits, edge) =
+                        route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
                     if let Some(rec) = metrics.as_mut() {
-                        rec.on_delivered();
+                        rec.on_send(edge, bits);
                     }
-                    if config.record_trace {
-                        record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
+                    if let Some(plan) = faults {
+                        // A dropped message is destroyed in flight after the
+                        // sender paid for it (bits accrued above), regardless
+                        // of the receiver's state — it is an injected fault,
+                        // not a model loss.
+                        if plan.drops(round, v, port.raw()) {
+                            stats.injected_drops += 1;
+                            if let Some(rec) = metrics.as_mut() {
+                                rec.on_dropped();
+                            }
+                            if config.record_trace {
+                                record_dropped(&mut trace_buf, round, v, to);
+                            }
+                            continue;
+                        }
                     }
-                    slots.push(slot_of[to as usize]);
-                    // An injected duplication delivers a second identical
-                    // copy; it counts as a delivery of its own so the
-                    // conservation audit reconciles.
-                    let dup = match faults {
-                        Some(plan) => plan.duplicates(round, v, port.raw()),
-                        None => false,
-                    };
-                    if dup {
+                    let to_awake = awake_stamp[to as usize] == round;
+                    debug_assert_eq!(to_awake, driver.is_awake_in(to, round));
+                    if to_awake {
                         stats.messages_delivered += 1;
-                        stats.dup_deliveries += 1;
                         stats.bits_received_by_node[to as usize] += bits as u64;
                         if let Some(rec) = metrics.as_mut() {
-                            rec.on_dup_delivered();
+                            rec.on_delivered();
                         }
                         if config.record_trace {
                             record_delivered(&mut trace_buf, round, v, to, recv_port, bits, &msg);
                         }
                         slots.push(slot_of[to as usize]);
-                        arena.push(Envelope::new(Port::new(recv_port), msg.clone()));
-                    }
-                    arena.push(Envelope::new(Port::new(recv_port), msg));
-                } else {
-                    stats.messages_lost += 1;
-                    if let Some(rec) = metrics.as_mut() {
-                        rec.on_lost();
-                    }
-                    if config.record_trace {
-                        record_lost(&mut trace_buf, round, v, to);
+                        // An injected duplication delivers a second identical
+                        // copy; it counts as a delivery of its own so the
+                        // conservation audit reconciles.
+                        let dup = match faults {
+                            Some(plan) => plan.duplicates(round, v, port.raw()),
+                            None => false,
+                        };
+                        if dup {
+                            stats.messages_delivered += 1;
+                            stats.dup_deliveries += 1;
+                            stats.bits_received_by_node[to as usize] += bits as u64;
+                            if let Some(rec) = metrics.as_mut() {
+                                rec.on_dup_delivered();
+                            }
+                            if config.record_trace {
+                                record_delivered(
+                                    &mut trace_buf,
+                                    round,
+                                    v,
+                                    to,
+                                    recv_port,
+                                    bits,
+                                    &msg,
+                                );
+                            }
+                            slots.push(slot_of[to as usize]);
+                            arena.push(Envelope::new(Port::new(recv_port), msg.clone()));
+                        }
+                        arena.push(Envelope::new(Port::new(recv_port), msg));
+                    } else {
+                        stats.messages_lost += 1;
+                        if let Some(rec) = metrics.as_mut() {
+                            rec.on_lost();
+                        }
+                        if config.record_trace {
+                            record_lost(&mut trace_buf, round, v, to);
+                        }
                     }
                 }
             }
@@ -901,6 +1210,7 @@ where
                 trace.push(event);
             }
         }
+        stats.arena_peak_envelopes = stats.arena_peak_envelopes.max(arena.len() as u64);
 
         // --- Deliver half-step ---
         // Group the arena by receiver slot with an O(M) counting sort

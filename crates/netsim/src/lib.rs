@@ -65,7 +65,7 @@ pub use error::SimError;
 pub use faults::FaultPlan;
 pub use metrics::{Metrics, PhaseSpan, PhaseTotals, RoundReport};
 pub use payload::{bits_for_range, bits_for_value, Payload};
-pub use protocol::{Envelope, NextWake, NodeCtx, Outbox, Protocol};
+pub use protocol::{Envelope, NextWake, NodeCtx, Outbox, PortWeights, Protocol};
 pub use sim::{RunOutcome, SimConfig, Simulator};
 pub use stats::RunStats;
 pub use trace::{Trace, TraceEvent};

@@ -12,8 +12,9 @@ use std::fmt;
 ///
 /// `bit_size` must be the number of bits a reasonable binary encoding of
 /// the value would occupy — the quantity the CONGEST limit constrains and
-/// the congestion experiments accumulate per edge.
-pub trait Payload: Clone + fmt::Debug {
+/// the congestion experiments accumulate per edge. Payloads are `Send`
+/// because the sharded executor routes envelopes on worker threads.
+pub trait Payload: Clone + fmt::Debug + Send {
     /// Size of this message's wire encoding, in bits.
     fn bit_size(&self) -> usize;
 }

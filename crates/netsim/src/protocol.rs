@@ -1,5 +1,8 @@
 //! The node-side programming interface.
 
+use std::ops::Index;
+use std::sync::Arc;
+
 use graphlib::{NodeId, Port};
 
 use crate::{Payload, Round};
@@ -49,9 +52,95 @@ pub struct NodeCtx {
     /// algorithm requires it).
     pub max_external_id: u64,
     /// Weight of the edge behind each port, indexed by [`Port`].
-    pub port_weights: Vec<u64>,
+    pub port_weights: PortWeights,
     /// Seed material for this node's private randomness source.
     pub rng_seed: u64,
+}
+
+/// A node's per-port edge weights: a `[Port]`-indexed view into one shared
+/// run-wide weight array (the graph's flat CSR weights).
+///
+/// Behaves like the `Vec<u64>` it replaced — `weights[i]`, `len()`,
+/// iteration — but every node's view shares a single `Arc<[u64]>`, so
+/// building `n` contexts costs one allocation instead of `n` (the
+/// scale-campaign setup-cost fix), and contexts stay cheaply clonable and
+/// `Send + Sync` for the sharded send path.
+#[derive(Debug, Clone, Eq)]
+pub struct PortWeights {
+    all: Arc<[u64]>,
+    start: u32,
+    len: u32,
+}
+
+impl PortWeights {
+    /// The `len`-port window starting at global port slot `start` of the
+    /// shared weight array.
+    pub(crate) fn slice(all: Arc<[u64]>, start: u32, len: u32) -> Self {
+        debug_assert!(start as usize + len as usize <= all.len());
+        PortWeights { all, start, len }
+    }
+
+    /// Number of ports (the owning node's degree).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the node has no ports.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The weights as a contiguous slice, indexed by [`Port`].
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.all[self.start as usize..self.start as usize + self.len as usize]
+    }
+
+    /// Iterates over the per-port weights in port order.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.as_slice().iter()
+    }
+}
+
+impl Index<usize> for PortWeights {
+    type Output = u64;
+
+    fn index(&self, index: usize) -> &u64 {
+        &self.as_slice()[index]
+    }
+}
+
+/// Equality is by weight values (the node's observable knowledge), not by
+/// backing-array identity: a context built from a standalone vector equals
+/// one sliced out of the shared run-wide array.
+impl PartialEq for PortWeights {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// A standalone weight list (tests, hand-built contexts) becomes its own
+/// single-node backing array.
+impl From<Vec<u64>> for PortWeights {
+    fn from(weights: Vec<u64>) -> Self {
+        let len = weights.len() as u32;
+        PortWeights {
+            all: weights.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PortWeights {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 impl NodeCtx {
@@ -168,7 +257,11 @@ impl<M> Outbox<M> {
 /// were awake. The value returned from `deliver` (and from
 /// [`Protocol::init`] before round 1) schedules the node's next awake round
 /// or halts it.
-pub trait Protocol {
+///
+/// Protocols must be `Send`: the sharded executor may run the send
+/// half-step of disjoint node partitions on worker threads (a protocol
+/// value is still only ever touched by one thread at a time).
+pub trait Protocol: Send {
     /// Message payload type.
     type Msg: Payload;
 
@@ -199,13 +292,29 @@ mod tests {
             external_id: 3,
             n: 5,
             max_external_id: 5,
-            port_weights: vec![10, 20, 30],
+            port_weights: vec![10, 20, 30].into(),
             rng_seed: 0,
         };
         assert_eq!(ctx.degree(), 3);
         assert_eq!(ctx.weight(Port::new(1)), 20);
         let ports: Vec<Port> = ctx.ports().collect();
         assert_eq!(ports, vec![Port::new(0), Port::new(1), Port::new(2)]);
+    }
+
+    #[test]
+    fn port_weights_window_views_the_shared_array() {
+        let all: Arc<[u64]> = vec![1, 2, 3, 4, 5].into();
+        let w = PortWeights::slice(all.clone(), 1, 3);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert_eq!(w.as_slice(), &[2, 3, 4]);
+        assert_eq!(w[0], 2);
+        assert_eq!(w.iter().copied().sum::<u64>(), 9);
+        // Value equality across different backings.
+        assert_eq!(w, PortWeights::from(vec![2, 3, 4]));
+        assert_ne!(w, PortWeights::from(vec![2, 3]));
+        let empty = PortWeights::slice(all, 5, 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -186,15 +186,22 @@ impl<'g> RadioSimulator<'g> {
         let mut queue: BinaryHeap<Reverse<(Round, u32)>> = BinaryHeap::new();
 
         // Hoisted: `max_external_id` is an O(n) scan, so calling it per
-        // node would make setup O(n²).
+        // node would make setup O(n²); likewise the flat weight array is
+        // copied once and every context views a window of it instead of
+        // allocating a per-node `Vec`.
         let max_external_id = self.graph.max_external_id();
+        let weights: std::sync::Arc<[u64]> = self.graph.flat_port_weights().into();
         for node in self.graph.nodes() {
             let ctx = NodeCtx {
                 node,
                 external_id: self.graph.external_id(node),
                 n,
                 max_external_id,
-                port_weights: self.graph.ports(node).iter().map(|e| e.weight).collect(),
+                port_weights: crate::PortWeights::slice(
+                    std::sync::Arc::clone(&weights),
+                    self.graph.port_base(node),
+                    self.graph.degree(node) as u32,
+                ),
                 rng_seed: self
                     .master_seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)

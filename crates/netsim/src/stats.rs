@@ -41,6 +41,17 @@ pub struct RunStats {
     /// Nodes halted by an injected crash
     /// ([`FaultPlan::crashes`](crate::FaultPlan::crashes)).
     pub crashed_nodes: u64,
+    /// Heap bytes of the input graph representation
+    /// ([`graphlib::WeightedGraph::memory_bytes`]) — the dominant memory
+    /// term of a large-`n` run, recorded so `run --json` and the bench
+    /// panels can report bytes/node. Deterministic in the input graph.
+    pub graph_bytes: u64,
+    /// High-water envelope count of the delivery arena: the largest
+    /// number of in-flight messages buffered in any single round. Scaled
+    /// by the envelope size this bounds the executor's transient memory.
+    /// Deterministic (a function of the delivery schedule, identical
+    /// across drivers and shard counts).
+    pub arena_peak_envelopes: u64,
 }
 
 impl RunStats {
@@ -56,6 +67,8 @@ impl RunStats {
             injected_drops: 0,
             dup_deliveries: 0,
             crashed_nodes: 0,
+            graph_bytes: 0,
+            arena_peak_envelopes: 0,
         }
     }
 
@@ -76,6 +89,8 @@ impl RunStats {
         self.injected_drops = 0;
         self.dup_deliveries = 0;
         self.crashed_nodes = 0;
+        self.graph_bytes = 0;
+        self.arena_peak_envelopes = 0;
     }
 
     /// The paper's awake complexity: the maximum number of awake rounds
@@ -141,6 +156,8 @@ mod tests {
             injected_drops: 0,
             dup_deliveries: 0,
             crashed_nodes: 0,
+            graph_bytes: 0,
+            arena_peak_envelopes: 0,
         };
         assert_eq!(stats.awake_max(), 7);
         assert_eq!(stats.awake_total(), 15);

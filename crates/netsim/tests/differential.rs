@@ -550,3 +550,135 @@ fn all_three_drivers_agree_on_a_single_deep_wake() {
         assert_eq!(out.metrics, reference.metrics, "{executor}");
     }
 }
+
+/// A maximally wide workload for the shard matrix: every node wakes in
+/// lockstep every round, sends a weight-derived payload on every port,
+/// and folds its inbox into an order-sensitive digest. With hundreds of
+/// nodes awake per round this crosses the kernel's wide-round gate, so
+/// `--shards K` actually fans the send half-step out across threads —
+/// any divergence in partitioning, outbox merge order, fault
+/// adjudication, or inbox assembly shows up in the digest or the stats.
+#[derive(Debug)]
+struct WideWave {
+    left: u32,
+    digest: u64,
+}
+
+impl Protocol for WideWave {
+    type Msg = u64;
+
+    fn init(&mut self, _ctx: &NodeCtx) -> NextWake {
+        NextWake::At(1)
+    }
+
+    fn send(&mut self, ctx: &NodeCtx, round: Round, outbox: &mut Outbox<u64>) {
+        for p in ctx.ports() {
+            outbox.push(p, round ^ ctx.port_weights[p.index()]);
+        }
+    }
+
+    fn deliver(&mut self, _ctx: &NodeCtx, round: Round, inbox: &[Envelope<u64>]) -> NextWake {
+        for e in inbox {
+            self.digest = self
+                .digest
+                .rotate_left(9)
+                .wrapping_add(round ^ u64::from(e.port.raw()).wrapping_mul(e.msg | 1));
+        }
+        self.left -= 1;
+        if self.left == 0 {
+            NextWake::Halt
+        } else {
+            NextWake::At(round + 1)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharding the send half-step must be observationally invisible on
+    /// the rounds it actually parallelizes: wide lockstep rounds on the
+    /// chorded-cycle family (every node awake at once, far past the
+    /// wide-round gate) yield the serial baseline's stats, metrics, and
+    /// states at every shard count — across fault plans (drops exercise
+    /// the per-shard verdict replay, duplicates the arena clone order)
+    /// and with metrics recording toggled both ways.
+    #[test]
+    fn shard_counts_agree_on_wide_rounds(
+        n in 150usize..280,
+        master_seed in 0u64..500,
+        rounds in 2u32..6,
+        metrics in any::<bool>(),
+        faults in proptest::option::of((0u64..1000, 0u32..400_000, 0u32..400_000)),
+    ) {
+        let g = generators::chorded_cycle(n, 2, 7).unwrap();
+        let mut config = SimConfig::default().with_seed(master_seed);
+        if metrics {
+            config = config.with_metrics();
+        }
+        if let Some((fault_seed, drop_ppm, dup_ppm)) = faults {
+            config = config.with_faults(
+                FaultPlan::seeded(fault_seed)
+                    .with_drop_ppm(drop_ppm)
+                    .with_duplicate_ppm(dup_ppm),
+            );
+        }
+        let factory = |_: &NodeCtx| WideWave { left: rounds, digest: 0 };
+        let serial = Simulator::new(&g, config.clone().with_shards(1))
+            .run(factory)
+            .unwrap();
+        prop_assert!(serial.stats.messages_delivered > 0);
+        for shards in [2u32, 7] {
+            let sharded = Simulator::new(&g, config.clone().with_shards(shards))
+                .run(factory)
+                .unwrap();
+            prop_assert_eq!(&serial.stats, &sharded.stats, "shards={}", shards);
+            prop_assert_eq!(&serial.metrics, &sharded.metrics, "shards={}", shards);
+            for (a, b) in serial.states.iter().zip(&sharded.states) {
+                prop_assert_eq!(a.digest, b.digest, "shards={}", shards);
+                prop_assert_eq!(a.left, b.left, "shards={}", shards);
+            }
+        }
+    }
+
+    /// Below the wide-round gate (small graphs, sparse chaotic wakes) a
+    /// shard request falls back to the serial path round by round; the
+    /// knob must still be invisible there — including with tracing on,
+    /// which pins every round serial regardless of the shard count.
+    #[test]
+    fn shard_counts_agree_on_narrow_runs(
+        n in 3usize..12,
+        graph_seed in 0u64..300,
+        master_seed in 0u64..300,
+        wakes in 1u32..5,
+        max_gap in 1u64..20,
+        metrics in any::<bool>(),
+        trace in any::<bool>(),
+    ) {
+        let g = generators::random_connected(n, 0.3, graph_seed).unwrap();
+        let mut config = SimConfig::default().with_seed(master_seed);
+        if metrics {
+            config = config.with_metrics();
+        }
+        if trace {
+            config = config.with_trace();
+        }
+        let factory = |ctx: &NodeCtx| Chaotic::new(ctx, wakes, max_gap);
+        let serial = Simulator::new(&g, config.clone().with_shards(1))
+            .run(factory)
+            .unwrap();
+        for shards in [2u32, 7] {
+            let sharded = Simulator::new(&g, config.clone().with_shards(shards))
+                .run(factory)
+                .unwrap();
+            prop_assert_eq!(&serial.stats, &sharded.stats, "shards={}", shards);
+            prop_assert_eq!(&serial.trace, &sharded.trace, "shards={}", shards);
+            prop_assert_eq!(&serial.metrics, &sharded.metrics, "shards={}", shards);
+            for (a, b) in serial.states.iter().zip(&sharded.states) {
+                prop_assert_eq!(&a.received, &b.received, "shards={}", shards);
+                prop_assert_eq!(a.digest, b.digest, "shards={}", shards);
+                prop_assert_eq!(a.wakes_left, b.wakes_left, "shards={}", shards);
+            }
+        }
+    }
+}

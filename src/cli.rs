@@ -37,7 +37,9 @@ pub fn parse_algorithm(s: &str) -> Result<&'static AlgorithmSpec, String> {
 
 /// Builds a graph from a spec string like `ring:64`, `random:48:0.1`,
 /// `grid:4x8`, `barbell:6:3`, `caterpillar:5:2`, `bintree:31`,
-/// `complete:12`, `path:20`, or `star:16`.
+/// `complete:12`, `path:20`, `star:16`, or `scale:1000000:2` (the
+/// streaming chorded-cycle family — O(E) memory at build time, the spec
+/// for million-node campaigns).
 ///
 /// # Errors
 ///
@@ -70,11 +72,12 @@ pub fn build_graph(spec: &str, seed: u64) -> Result<WeightedGraph, String> {
         }
         ("barbell", [k, b]) => generators::barbell(int(k)?, int(b)?, seed),
         ("caterpillar", [s, l]) => generators::caterpillar(int(s)?, int(l)?, seed),
+        ("scale", [n, c]) => generators::chorded_cycle(int(n)?, int(c)?, seed),
         _ => {
             return Err(format!(
                 "unknown graph spec '{spec}' (expected ring:N, path:N, star:N, \
-                 complete:N, bintree:N, grid:RxC, random:N:P, barbell:K:B, or \
-                 caterpillar:S:L)"
+                 complete:N, bintree:N, grid:RxC, random:N:P, barbell:K:B, \
+                 caterpillar:S:L, or scale:N:C)"
             ))
         }
     };
@@ -110,13 +113,41 @@ pub fn run_with_faults(
     seed: u64,
     plan: &FaultPlan,
     executor: Option<Executor>,
+    shards: Option<u32>,
 ) -> Result<MstOutcome, String> {
     let mut opts = ExecOptions::seeded(seed).with_faults(plan.clone());
     if let Some(executor) = executor {
         opts = opts.with_executor(executor);
     }
+    if let Some(shards) = shards {
+        opts = opts.with_shards(shards);
+    }
     alg.run_with_options(graph, &opts, &mut MstScratch::new())
         .map_err(|e| e.to_string())
+}
+
+/// This process's peak resident set size in bytes (Linux `VmHWM`), or 0
+/// where `/proc/self/status` is unavailable. Deliberately *not* part of
+/// [`netsim::RunStats`]: the high-water mark is a property of the whole
+/// process, monotone across runs and allocator-dependent, so it would
+/// poison bit-identity contracts. Consumers diffing `run --json` output
+/// must neutralize this one field (the CI scale leg seds it to 0).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
 }
 
 /// Parses a `--crash NODE@ROUND` operand.
@@ -209,6 +240,8 @@ pub fn render_json(
          \"rounds\":{},\"awake_round_product\":{},\"messages_delivered\":{},\
          \"messages_lost\":{},\"max_message_bits\":{},\"log_constant\":{},\
          \"injected_drops\":{},\"dup_deliveries\":{},\"crashed_nodes\":{},\
+         \"memory\":{{\"graph_bytes\":{},\"arena_peak_envelopes\":{},\
+         \"peak_rss_bytes\":{}}},\
          \"fault_plan\":{}}}",
         alg.name,
         seed,
@@ -228,6 +261,9 @@ pub fn render_json(
         out.stats.injected_drops,
         out.stats.dup_deliveries,
         out.stats.crashed_nodes,
+        out.stats.graph_bytes,
+        out.stats.arena_peak_envelopes,
+        peak_rss_bytes(),
         render_fault_plan(plan),
     )
 }
@@ -341,6 +377,10 @@ pub enum Command {
         /// calendar driver). Every driver is bit-identical; the flag
         /// exists for differential checking and throughput comparison.
         executor: Option<Executor>,
+        /// Send-half-step shard count (`None` = serial). Bit-identical
+        /// for every value — `--shards 1` is the byte-equivalence
+        /// baseline for any `--shards K` run.
+        shards: Option<u32>,
     },
     /// `verify`: execute, check against the reference, exit non-zero on
     /// mismatch.
@@ -391,6 +431,9 @@ pub enum Command {
         bench_out: Option<String>,
         /// Time driver for every trial (`None` = registry default).
         executor: Option<Executor>,
+        /// Send-half-step shard count per trial (`None` = serial;
+        /// bit-identical for every value).
+        shards: Option<u32>,
     },
     /// `report`: generate the "Table 1, measured" artifact
     /// ([`bench::report`]) — every registry algorithm swept across graph
@@ -444,6 +487,13 @@ pub enum Command {
         /// Drivers to time (the naive oracle is `O(rounds · n)` — only
         /// ask for it at small sizes).
         executors: Vec<Executor>,
+        /// Node counts for the wide-wave workload rows (every node awake
+        /// every round — the regime sharding accelerates). Empty skips
+        /// the wave panel.
+        wave_sizes: Vec<usize>,
+        /// Shard counts swept on the wave rows (the panel asserts the
+        /// run stats agree across all of them).
+        shards: Vec<u32>,
         /// Also write the JSON rows to this file.
         out: Option<String>,
     },
@@ -502,6 +552,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut naive = false;
     let mut executor: Option<Executor> = None;
     let mut executors: Option<Vec<Executor>> = None;
+    let mut shards: Option<Vec<u32>> = None;
+    let mut wave_sizes: Option<Vec<usize>> = None;
     let mut faults = FaultPlan::default();
     let parse_executor = |v: &str| -> Result<Executor, String> {
         Executor::parse(v)
@@ -561,6 +613,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .collect::<Result<Vec<Executor>, String>>()?,
                 );
             }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                shards = Some(
+                    v.split(',')
+                        .map(|x| {
+                            x.trim()
+                                .parse::<u32>()
+                                .ok()
+                                .filter(|&s| s >= 1)
+                                .ok_or_else(|| format!("'{x}' is not a shard count (>= 1)"))
+                        })
+                        .collect::<Result<Vec<u32>, String>>()?,
+                );
+            }
+            "--wave-sizes" => {
+                let v = it.next().ok_or("--wave-sizes needs a value")?;
+                wave_sizes = Some(parse_usize_list(v, "wave size")?);
+            }
             "--fault-seed" => {
                 let v = it.next().ok_or("--fault-seed needs a value")?;
                 faults.fault_seed = v.parse().map_err(|_| format!("'{v}' is not a seed"))?;
@@ -593,6 +663,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    let single_shards = |shards: &Option<Vec<u32>>| -> Result<Option<u32>, String> {
+        match shards.as_deref() {
+            None => Ok(None),
+            Some([one]) => Ok(Some(*one)),
+            Some(_) => Err(
+                "this command takes a single --shards value (lists are for bench-engine)".into(),
+            ),
+        }
+    };
     if cmd == "report" {
         return Ok(Command::Report {
             sizes: sizes.unwrap_or_else(|| vec![8, 12, 16, 24]),
@@ -624,6 +703,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             executors: executors.unwrap_or_else(|| {
                 executor.map_or_else(|| vec![Executor::Calendar, Executor::Sync], |e| vec![e])
             }),
+            wave_sizes: wave_sizes.unwrap_or_default(),
+            shards: shards.unwrap_or_else(|| vec![1]),
             out,
         });
     }
@@ -643,6 +724,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             json,
             faults,
             executor,
+            shards: single_shards(&shards)?,
         }),
         "verify" => Ok(Command::Verify {
             alg: single_alg(&algs)?,
@@ -670,6 +752,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 json,
                 bench_out,
                 executor,
+                shards: single_shards(&shards)?,
             })
         }
         other => Err(format!(
@@ -691,7 +774,7 @@ sleeping-mst — distributed MST in the sleeping model (PODC 2022 reproduction)
 
 USAGE:
     sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
-                        [--executor sync|calendar|naive]
+                        [--executor sync|calendar|naive] [--shards K]
                         [--fault-seed S] [--drop-ppm P] [--dup-ppm P]
                         [--sleep-ppm P] [--jitter J] [--crash NODE@ROUND]…
     sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
@@ -700,6 +783,7 @@ USAGE:
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
                         [--bench-out FILE] [--executor sync|calendar|naive]
+                        [--shards K]
     sleeping-mst report [--sizes N,N,…] [--seeds A..B|A,B,…] [--naive]
                         [--executor sync|calendar|naive]
                         [--json] [--out FILE] [--md-out FILE]
@@ -707,12 +791,16 @@ USAGE:
                         [--out FILE] [--executor sync|calendar|naive]
     sleeping-mst bench-engine [--sizes N,N,…] [--seed S] [--out FILE]
                         [--executors calendar,sync[,naive]]
+                        [--wave-sizes N,N,…] [--shards K,K,…]
 
 ALGORITHMS:
 {algorithms}
 GRAPH SPECS:
     ring:N  path:N  star:N  complete:N  bintree:N  grid:RxC
-    random:N:P  barbell:K:B  caterpillar:S:L
+    random:N:P  barbell:K:B  caterpillar:S:L  scale:N:C
+    (scale:N:C is the streaming chorded-cycle family — N nodes, C chords
+    per node, built directly into the flat CSR layout; the spec for
+    million-node campaigns, e.g. scale:1000000:2)
 
 CHECK:
     Runs each algorithm (all of them when --alg is omitted) under the
@@ -768,6 +856,16 @@ EXECUTORS:
     metrics — so --executor only changes wall-clock cost (that is what
     `bench-engine` measures) and any divergence is a simulator bug.
 
+SHARDS:
+    --shards K splits the per-round send half-step across K worker
+    threads (wide rounds only; narrow rounds stay serial). Shard counts
+    are bit-identical by construction: every stat, trace, metric, and
+    fingerprint matches --shards 1 exactly, so any K can be diffed
+    byte-for-byte against the serial baseline. `run --json` reports a
+    \"memory\" block (graph_bytes, arena_peak_envelopes, peak_rss_bytes);
+    peak_rss_bytes is a whole-process high-water mark and is the one
+    field to neutralize when diffing outputs.
+
 BENCH-ENGINE:
     Times the drivers themselves on a sparse-wake panel (a few wakes per
     node separated by gaps of thousands of rounds — the regime the
@@ -806,9 +904,10 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             json,
             faults,
             executor,
+            shards,
         } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
-            Ok(g) => match run_with_faults(alg, &g, *seed, faults, *executor) {
+            Ok(g) => match run_with_faults(alg, &g, *seed, faults, *executor, *shards) {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(out) => {
                     let text = if *json {
@@ -964,6 +1063,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             json,
             bench_out,
             executor,
+            shards,
         } => {
             let family =
                 |n: usize, seed: u64| build_graph(&template.replace("{n}", &n.to_string()), seed);
@@ -973,6 +1073,9 @@ pub fn execute(cmd: &Command) -> (i32, String) {
                 .threads(*threads);
             if let Some(executor) = executor {
                 sweep = sweep.executor(*executor);
+            }
+            if let Some(shards) = shards {
+                sweep = sweep.shards(*shards);
             }
             for &alg in algs {
                 sweep = sweep.algorithm(alg);
@@ -1002,12 +1105,16 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             sizes,
             seed,
             executors,
+            wave_sizes,
+            shards,
             out,
         } => {
             let spec = engine_panel::EnginePanelSpec {
                 sizes: sizes.clone(),
                 executors: executors.clone(),
                 seed: *seed,
+                wave_sizes: wave_sizes.clone(),
+                shards: shards.clone(),
                 ..engine_panel::EnginePanelSpec::default()
             };
             match engine_panel::run_engine_panel(&spec) {
@@ -1034,6 +1141,22 @@ mod tests {
         s.iter().map(|x| x.to_string()).collect()
     }
 
+    /// Zeroes the one intentionally nondeterministic `run --json` field
+    /// (the process-wide RSS high-water mark) before byte comparison —
+    /// the same neutralization the CI scale leg applies with sed.
+    fn scrub_rss(s: &str) -> String {
+        let key = "\"peak_rss_bytes\":";
+        let Some(at) = s.find(key) else {
+            return s.to_string();
+        };
+        let digits_from = at + key.len();
+        let digits_len = s[digits_from..]
+            .bytes()
+            .take_while(|b| b.is_ascii_digit())
+            .count();
+        format!("{}0{}", &s[..digits_from], &s[digits_from + digits_len..])
+    }
+
     #[test]
     fn parses_run_command() {
         let cmd = parse_args(&args(&[
@@ -1056,8 +1179,73 @@ mod tests {
                 json: true,
                 faults: FaultPlan::default(),
                 executor: None,
+                shards: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_shards_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "randomized",
+            "--graph",
+            "scale:64:2",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Run { shards, .. } = cmd else {
+            unreachable!("expected run command");
+        };
+        assert_eq!(shards, Some(4));
+
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:{n}",
+            "--sizes",
+            "8",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        let Command::Sweep { shards, .. } = cmd else {
+            unreachable!("expected sweep command");
+        };
+        assert_eq!(shards, Some(2));
+
+        // run/sweep take exactly one value; bench-engine takes a list.
+        assert!(parse_args(&args(&[
+            "run", "--alg", "prim", "--graph", "ring:8", "--shards", "1,2"
+        ]))
+        .unwrap_err()
+        .contains("single --shards"));
+        assert!(parse_args(&args(&[
+            "run", "--alg", "prim", "--graph", "ring:8", "--shards", "0"
+        ]))
+        .unwrap_err()
+        .contains("shard count"));
+
+        let cmd = parse_args(&args(&[
+            "bench-engine",
+            "--wave-sizes",
+            "256,512",
+            "--shards",
+            "1,2,4",
+        ]))
+        .unwrap();
+        let Command::BenchEngine {
+            wave_sizes, shards, ..
+        } = cmd
+        else {
+            unreachable!("expected bench-engine command");
+        };
+        assert_eq!(wave_sizes, vec![256, 512]);
+        assert_eq!(shards, vec![1, 2, 4]);
     }
 
     #[test]
@@ -1107,6 +1295,8 @@ mod tests {
                 sizes: vec![1 << 14],
                 seed: 0,
                 executors: vec![Executor::Calendar, Executor::Sync],
+                wave_sizes: vec![],
+                shards: vec![1],
                 out: None,
             }
         );
@@ -1126,6 +1316,8 @@ mod tests {
                 sizes: vec![64],
                 seed: 3,
                 executors: vec![Executor::Calendar, Executor::Sync, Executor::Naive],
+                wave_sizes: vec![],
+                shards: vec![1],
                 out: None,
             }
         );
@@ -1161,6 +1353,7 @@ mod tests {
                 json: false,
                 bench_out: None,
                 executor: None,
+                shards: None,
             }
         );
         assert!(parse_args(&args(&[
@@ -1203,6 +1396,7 @@ mod tests {
             "random:14:0.2",
             "barbell:4:2",
             "caterpillar:4:2",
+            "scale:64:3",
         ] {
             let g = build_graph(spec, 1).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert!(g.node_count() > 0, "{spec}");
@@ -1211,6 +1405,8 @@ mod tests {
         assert!(build_graph("mystery:3", 0).is_err());
         assert!(build_graph("grid:3", 0).is_err());
         assert!(build_graph("random:5:nope", 0).is_err());
+        assert!(build_graph("scale:4:1", 0).is_err());
+        assert!(build_graph("scale:9:9", 0).is_err());
     }
 
     #[test]
@@ -1233,6 +1429,9 @@ mod tests {
         assert!(json.contains("\"max_message_bits\":"));
         assert!(json.contains("\"seed\":1"));
         assert!(json.contains("\"injected_drops\":0"));
+        assert!(json.contains("\"memory\":{\"graph_bytes\":"));
+        assert!(json.contains("\"arena_peak_envelopes\":"));
+        assert!(json.contains("\"peak_rss_bytes\":"));
         assert!(json.contains("\"fault_plan\":{\"fault_seed\":0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -1333,6 +1532,7 @@ mod tests {
         .unwrap();
         let (code_a, text_a) = execute(&cmd);
         let (code_b, text_b) = execute(&cmd);
+        let (text_a, text_b) = (scrub_rss(&text_a), scrub_rss(&text_b));
         assert_eq!((code_a, &text_a), (code_b, &text_b));
         if code_a == 0 {
             assert!(
@@ -1489,6 +1689,7 @@ mod tests {
             json: false,
             bench_out: None,
             executor: None,
+            shards: None,
         };
         let (code, text) = execute(&cmd);
         assert_eq!(code, 0, "{text}");
@@ -1503,6 +1704,7 @@ mod tests {
             json: true,
             bench_out: None,
             executor: None,
+            shards: None,
         };
         let (code, text) = execute(&cmd_json);
         assert_eq!(code, 0, "{text}");
@@ -1592,11 +1794,43 @@ mod tests {
                 .unwrap(),
             );
             assert_eq!(code, 0, "{executor}: {text}");
-            text
+            scrub_rss(&text)
         };
         let calendar = render("calendar");
         assert_eq!(calendar, render("sync"));
         assert_eq!(calendar, render("naive"));
+    }
+
+    #[test]
+    fn run_json_is_bit_identical_across_shard_counts() {
+        // The chorded cycle at n = 512 keeps every node in lockstep, so
+        // wide rounds actually cross the sharding gate; the JSON (minus
+        // the process-RSS field) must match the serial baseline exactly.
+        let render = |shards: &str| {
+            let (code, text) = execute(
+                &parse_args(&args(&[
+                    "run",
+                    "--alg",
+                    "randomized",
+                    "--graph",
+                    "scale:512:2",
+                    "--seed",
+                    "4",
+                    "--shards",
+                    shards,
+                    "--json",
+                ]))
+                .unwrap(),
+            );
+            assert_eq!(code, 0, "shards={shards}: {text}");
+            text
+        };
+        let serial = scrub_rss(&render("1"));
+        assert_eq!(serial, scrub_rss(&render("2")));
+        assert_eq!(serial, scrub_rss(&render("4")));
+        assert!(serial.contains("\"memory\":{\"graph_bytes\":"), "{serial}");
+        assert!(serial.contains("\"arena_peak_envelopes\":"), "{serial}");
+        assert!(serial.contains("\"peak_rss_bytes\":0"), "{serial}");
     }
 
     #[test]
