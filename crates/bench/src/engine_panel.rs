@@ -279,7 +279,6 @@ pub fn run_engine_panel(spec: &EnginePanelSpec) -> Result<Vec<EnginePanelRow>, S
             let out = sim
                 .run(|ctx| SparseWake::new(ctx, spec.wakes, max_gap))
                 .map_err(|e| format!("engine panel n={n} {executor}: {e}"))?;
-            // lint:allow(wall-clock) -- closes the timed window opened above
             let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
             match &reference {
                 None => reference = Some(out.stats.clone()),
@@ -326,7 +325,6 @@ pub fn run_engine_panel(spec: &EnginePanelSpec) -> Result<Vec<EnginePanelRow>, S
             let out = sim
                 .run(|ctx| WaveWake::new(ctx, spec.wakes))
                 .map_err(|e| format!("engine panel wave n={n} shards={shards}: {e}"))?;
-            // lint:allow(wall-clock) -- closes the timed window opened above
             let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
             match &reference {
                 None => reference = Some(out.stats.clone()),

@@ -1,23 +1,81 @@
 //! `conformance-lint` — the workspace's sleeping-model source lint.
 //!
-//! Usage: `conformance-lint [ROOT]` (default: current directory). Walks
-//! every `src/**/*.rs` under `ROOT`, applies the rules documented in the
-//! `conformance` crate, and prints one `file:line: rule: message` per
-//! finding. Exit codes: 0 clean, 1 findings, 2 I/O error.
+//! Usage: `conformance-lint [--json] [--pragmas] [ROOT]` (default root:
+//! current directory). Walks every `src/**/*.rs` under `ROOT`, applies
+//! the rules documented in the `conformance` crate, and prints one
+//! `file:line: rule: message` per finding. Exit codes: 0 clean, 1
+//! findings, 2 I/O or usage error.
+//!
+//! `--json` emits the byte-deterministic findings artifact CI diffs
+//! against the committed `conformance-baseline.json` (still exit 1 when
+//! findings exist). `--pragmas` instead prints the inventory of active
+//! `lint:allow` waivers — `file:line: rule: reason`, sorted — and exits
+//! 0 (waivers are not findings); with `--json`, the inventory is emitted
+//! as a JSON artifact.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    match conformance::lint_tree(Path::new(&root)) {
+    let mut json = false;
+    let mut pragmas = false;
+    let mut root: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--pragmas" => pragmas = true,
+            other if other.starts_with("--") => {
+                eprintln!("conformance-lint: unknown flag {other}");
+                eprintln!("usage: conformance-lint [--json] [--pragmas] [ROOT]");
+                return ExitCode::from(2);
+            }
+            other => {
+                if root.replace(other.to_string()).is_some() {
+                    eprintln!("conformance-lint: more than one ROOT given");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    let root = Path::new(&root);
+
+    if pragmas {
+        return match conformance::pragma_tree(root) {
+            Ok(entries) => {
+                if json {
+                    print!("{}", conformance::render_pragmas_json(&entries));
+                } else {
+                    for entry in &entries {
+                        println!("{entry}");
+                    }
+                    eprintln!("conformance-lint: {} active pragma(s)", entries.len());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("conformance-lint: error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match conformance::lint_tree(root) {
         Ok(findings) if findings.is_empty() => {
-            println!("conformance-lint: clean");
+            if json {
+                print!("{}", conformance::render_findings_json(&findings));
+            } else {
+                println!("conformance-lint: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
+            if json {
+                print!("{}", conformance::render_findings_json(&findings));
+            } else {
+                for finding in &findings {
+                    println!("{finding}");
+                }
             }
             eprintln!("conformance-lint: {} finding(s)", findings.len());
             ExitCode::from(1)

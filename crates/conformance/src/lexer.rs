@@ -1,0 +1,507 @@
+//! A minimal, dependency-free Rust tokenizer.
+//!
+//! The lint needs exactly enough lexical fidelity to never mistake a
+//! string literal, char literal, raw string, or (nested) block comment
+//! for code — the failure modes of the line-regex scanner this crate
+//! started as. It is *not* a full Rust lexer: multi-character operators
+//! come out as single [`TokKind::Punct`] tokens (`::` is two `:`s), and
+//! keywords are ordinary [`TokKind::Ident`]s. Rules match on short token
+//! sequences, so neither simplification loses information they need.
+//!
+//! What it does get right, because the rules depend on it:
+//!
+//! * string literals (`"…"`, `b"…"`) with escapes, spanning lines;
+//! * raw strings (`r"…"`, `r#"…"#`, `br##"…"##`) with hash counting;
+//! * char and byte-char literals (`'x'`, `'\n'`, `b'x'`) vs. lifetimes
+//!   (`'a`, `'static`) — a `'` is a lifetime when the identifier run it
+//!   introduces is not closed by another `'`;
+//! * nested block comments (`/* /* … */ */`) with depth counting;
+//! * raw identifiers (`r#match`);
+//! * float literals (`1.0`, `1e9`, `2.5f64`) distinguished from integer
+//!   literals — the `determinism` family flags float *forms*, and tuple
+//!   field chains (`x.0.1`) must not read as floats.
+
+use std::fmt;
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `static`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`), label included.
+    Lifetime,
+    /// String or byte-string literal, escapes resolved lexically only.
+    Str,
+    /// Raw (byte-)string literal (`r"…"`, `br#"…"#`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Integer literal (any radix, with or without suffix).
+    Int,
+    /// Float-shaped literal: fractional part, exponent, or `f32`/`f64`
+    /// suffix. The `determinism` rule keys on this.
+    Float,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// `// …` comment, doc comments included.
+    LineComment,
+    /// `/* … */` comment, nesting resolved, doc comments included.
+    BlockComment,
+}
+
+/// One token: its class, exact source text, and 1-indexed start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Exact source slice of the token.
+    pub text: &'a str,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl fmt::Display for Tok<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:?}:{}", self.line, self.kind, self.text)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The tokenizer state: a cursor over the source plus the current line.
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    /// Consumes an identifier run starting at the cursor.
+    fn eat_ident(&mut self) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a `"…"`-style string body (opening quote already eaten).
+    fn eat_str_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `#`*n* then `"` already positioned at
+    /// the first `#` or `"`; scans to `"` followed by *n* `#`s.
+    fn eat_raw_str_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            // `r#ident` raw identifier (hashes == 1, no quote): the `#`
+            // was consumed; the caller lexes the identifier run next.
+            return;
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mark = (self.pos, self.line);
+                for _ in 0..hashes {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                    } else {
+                        self.pos = mark.0;
+                        self.line = mark.1;
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    /// Consumes a block comment (the leading `/*` already eaten),
+    /// honoring nesting.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.starts_with("/*") {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.starts_with("*/") {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a numeric literal (first digit already eaten). Returns
+    /// `true` when the literal is float-shaped. `after_dot` suppresses
+    /// the fractional part so tuple-field chains (`x.0.1`) stay integral.
+    fn eat_number(&mut self, first: char, after_dot: bool) -> bool {
+        let mut float = false;
+        if first == '0' && matches!(self.peek(), Some('x' | 'o' | 'b')) {
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !after_dot
+            && self.peek() == Some('.')
+            && self.peek2().is_some_and(|c| c.is_ascii_digit())
+        {
+            float = true;
+            self.bump(); // '.'
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E'))
+            && (self.peek2().is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek2(), Some('+' | '-'))))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Suffix (`u64`, `f32`, `usize`, …): an identifier run glued on.
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        float
+    }
+}
+
+/// Tokenizes `src`. Whitespace is dropped; comments are kept as tokens
+/// (the pragma parser and test-region tracker need them positioned).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    let mut prev_code: Option<char> = None; // last non-comment punct, for `x.0.1`
+    while let Some(c) = lx.peek() {
+        let start = lx.pos;
+        let line = lx.line;
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let kind = if lx.starts_with("//") {
+            while let Some(&b) = src.as_bytes().get(lx.pos) {
+                if b == b'\n' {
+                    break;
+                }
+                lx.pos += 1;
+            }
+            TokKind::LineComment
+        } else if lx.starts_with("/*") {
+            lx.bump();
+            lx.bump();
+            lx.eat_block_comment();
+            TokKind::BlockComment
+        } else if c == '"' {
+            lx.bump();
+            lx.eat_str_body();
+            TokKind::Str
+        } else if (c == 'r' && matches!(lx.peek2(), Some('"' | '#')))
+            || (lx.starts_with("br\"") || lx.starts_with("br#"))
+        {
+            // Raw string — or a raw identifier (`r#match`), which
+            // eat_raw_str_body detects and leaves for the ident path.
+            lx.bump(); // r
+            if lx.peek() == Some('r') {
+                lx.bump(); // the 'r' of "br"
+            }
+            let body_start = lx.pos;
+            lx.eat_raw_str_body();
+            if lx.pos == body_start + 1 && !src[body_start..].starts_with('"') {
+                // Raw identifier: `r#` consumed, identifier follows.
+                lx.eat_ident();
+                TokKind::Ident
+            } else {
+                TokKind::RawStr
+            }
+        } else if c == 'b' && matches!(lx.peek2(), Some('"')) {
+            lx.bump();
+            lx.bump();
+            lx.eat_str_body();
+            TokKind::Str
+        } else if c == 'b' && matches!(lx.peek2(), Some('\'')) {
+            lx.bump(); // b
+            lx.bump(); // '
+            if lx.peek() == Some('\\') {
+                lx.bump();
+            }
+            lx.bump(); // the char
+            if lx.peek() == Some('\'') {
+                lx.bump();
+            }
+            TokKind::Char
+        } else if c == '\'' {
+            // Lifetime or char literal. `'X…` is a char literal exactly
+            // when the run it introduces is closed by `'`; `'\…` always
+            // is; anything else is a lifetime (or label).
+            lx.bump();
+            match lx.peek() {
+                Some('\\') => {
+                    lx.bump();
+                    lx.bump();
+                    while let Some(ch) = lx.peek() {
+                        // Multi-char escapes: `'\u{1F600}'`, `'\x7f'`.
+                        lx.bump();
+                        if ch == '\'' {
+                            break;
+                        }
+                    }
+                    TokKind::Char
+                }
+                Some(n) if is_ident_start(n) => {
+                    let run_start = lx.pos;
+                    lx.eat_ident();
+                    if lx.peek() == Some('\'') && lx.pos - run_start == n.len_utf8() {
+                        lx.bump();
+                        TokKind::Char
+                    } else {
+                        TokKind::Lifetime
+                    }
+                }
+                Some(_) => {
+                    // `'{'`, `'"'`, `' '` — single arbitrary char.
+                    lx.bump();
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                    }
+                    TokKind::Char
+                }
+                None => TokKind::Punct,
+            }
+        } else if c.is_ascii_digit() {
+            lx.bump();
+            if lx.eat_number(c, prev_code == Some('.')) {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            }
+        } else if is_ident_start(c) {
+            lx.bump();
+            lx.eat_ident();
+            TokKind::Ident
+        } else {
+            lx.bump();
+            TokKind::Punct
+        };
+        let text = &src[start..lx.pos];
+        // Recompute line increments for multi-line tokens consumed via
+        // raw pos arithmetic (the line-comment fast path never spans).
+        if matches!(kind, TokKind::Punct) {
+            prev_code = text.chars().next();
+        } else if !matches!(kind, TokKind::LineComment | TokKind::BlockComment) {
+            prev_code = None;
+        }
+        toks.push(Tok { kind, text, line });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code_needles() {
+        let toks = kinds(r#"let s = "HashMap // } {";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let r = r#"Instant::now() "quoted" //x"# ;"##);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStr));
+        assert!(!toks.iter().any(|(_, t)| *t == "Instant"));
+        // Closing correctly: the `;` survives as punctuation.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && *t == ";"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "r#match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* x.unwrap() */ still */ fn f() {}");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(!toks.iter().any(|(_, t)| *t == "unwrap"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "fn"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = '{'; let q = '\"'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+        // The brace inside the char literal is not punctuation.
+        let braces = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && (*t == "{" || *t == "}"))
+            .count();
+        assert_eq!(braces, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let toks = kinds("fn f() -> &'static str { \"x\" }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && *t == "'static"));
+    }
+
+    #[test]
+    fn float_forms_vs_integers() {
+        assert!(kinds("let x = 1.5;")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        assert!(kinds("let x = 1e9;")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        assert!(kinds("let x = 2f64;")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        assert!(!kinds("let x = 15u64;")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        assert!(!kinds("let x = 0xff;")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        // Range and tuple-field chains stay integral.
+        assert!(!kinds("for i in 0..10 {}")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        assert!(!kinds("let y = x.0.1;")
+            .iter()
+            .any(|(k, _)| *k == TokKind::Float));
+        // Method call on an integer literal.
+        let toks = kinds("let m = 1.max(2);");
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Float));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "max"));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_tokens() {
+        let src = "/*\n\n*/\nfn f() {\n  \"a\nb\"; x()\n}";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 4);
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 6);
+    }
+
+    #[test]
+    fn line_comment_keeps_text_and_line() {
+        let toks = lex("fn f() {}\n// lint:allow(x) -- y\nfn g() {}");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
+        assert_eq!(c.line, 2);
+        assert!(c.text.contains("lint:allow"));
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end tests of the `conformance-lint` binary: the exit-code
+//! contract (0 clean / 1 findings / 2 I/O error), the byte-deterministic
+//! `--json` artifact and its committed zero-findings baseline, and the
+//! `--pragmas` inventory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/conformance")
+        .to_path_buf()
+}
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_conformance-lint"))
+        .args(args)
+        .output()
+        .expect("spawn conformance-lint")
+}
+
+#[test]
+fn exit_0_on_a_clean_tree() {
+    // A tree containing only in-literal/in-comment needles is clean: the
+    // regression fixture for the old scanner's false positives, now also
+    // pinning exit code 0.
+    let clean = fixtures_root().join("crates/core");
+    let tmp = std::env::temp_dir().join(format!("conformance-clean-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&tmp);
+    fs::create_dir_all(tmp.join("crates/core/src")).expect("mk clean tree");
+    for file in ["strings.rs", "allowed.rs"] {
+        fs::copy(
+            clean.join("src").join(file),
+            tmp.join("crates/core/src").join(file),
+        )
+        .expect("copy fixture");
+    }
+    let out = run_lint(&[tmp.to_str().expect("utf-8 tmp path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+    let _ = fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn exit_1_on_the_violation_fixtures() {
+    let root = fixtures_root();
+    let root = root.to_str().expect("utf-8 fixtures path");
+    let out = run_lint(&[root]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Both new rule families reach the binary's report.
+    assert!(text.contains("shard-safety"), "{text}");
+    assert!(text.contains("determinism"), "{text}");
+    assert!(text.contains("stale-pragma"), "{text}");
+}
+
+#[test]
+fn exit_2_on_io_error_and_usage_error() {
+    let out = run_lint(&["/nonexistent/conformance-root"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn json_artifact_is_byte_identical_across_runs() {
+    let root = fixtures_root();
+    let root = root.to_str().expect("utf-8 fixtures path");
+    let one = run_lint(&["--json", root]);
+    let two = run_lint(&["--json", root]);
+    assert_eq!(one.status.code(), Some(1));
+    assert_eq!(
+        one.stdout, two.stdout,
+        "artifact must be byte-deterministic"
+    );
+    let text = String::from_utf8(one.stdout).expect("utf-8 artifact");
+    assert!(text.starts_with("{\n  \"schema\": 1,"), "{text}");
+    assert!(text.ends_with("]\n}\n"), "{text}");
+}
+
+#[test]
+fn workspace_json_matches_committed_baseline() {
+    let root = repo_root();
+    let out = run_lint(&["--json", root.to_str().expect("utf-8 repo root")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must be clean: {out:?}"
+    );
+    let artifact = String::from_utf8(out.stdout).expect("utf-8 artifact");
+    let baseline = fs::read_to_string(root.join("conformance-baseline.json"))
+        .expect("committed conformance-baseline.json at the repo root");
+    assert_eq!(
+        artifact, baseline,
+        "regenerate with: cargo run -p conformance --bin conformance-lint -- --json . > conformance-baseline.json"
+    );
+}
+
+#[test]
+fn pragma_inventory_is_sorted_and_exits_zero() {
+    let root = repo_root();
+    let out = run_lint(&["--pragmas", root.to_str().expect("utf-8 repo root")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf-8 inventory");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        !lines.is_empty(),
+        "the workspace carries at least the wall-clock waivers"
+    );
+    // Every entry is `file:line: rule: reason` with a known rule, and
+    // the inventory is sorted by (file, numeric line).
+    let mut keys: Vec<(String, u32)> = Vec::new();
+    for line in &lines {
+        let mut parts = line.splitn(4, ": ");
+        let loc = parts.next().expect("file:line");
+        let (file, line_no) = loc.rsplit_once(':').expect("file:line");
+        keys.push((file.to_string(), line_no.parse::<u32>().expect("line no")));
+        let rule = parts.next().expect("rule");
+        assert!(conformance::RULE_NAMES.contains(&rule), "{line}");
+        assert!(parts.next().is_some(), "missing reason: {line}");
+    }
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "inventory must be sorted by (file, line)");
+    // JSON mode is byte-deterministic too.
+    let a = run_lint(&["--pragmas", "--json", root.to_str().expect("utf-8")]);
+    let b = run_lint(&["--pragmas", "--json", root.to_str().expect("utf-8")]);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout);
+}

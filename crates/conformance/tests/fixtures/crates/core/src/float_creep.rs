@@ -1,0 +1,18 @@
+//! Seeded violation fixture: float arithmetic and tie-unstable sorts in
+//! deterministic-state code (`determinism`). Never compiled.
+
+struct Fragment {
+    // determinism: weights are u64; an f64 field rots fingerprints.
+    level_estimate: f64,
+}
+
+fn merge_priority(frag: &Fragment, rounds: u64) -> u64 {
+    // determinism: float literal + cast arithmetic on protocol state.
+    let decay = 0.5 * frag.level_estimate;
+    (rounds as f64 * decay) as u64
+}
+
+fn order_moes(moes: &mut Vec<(u64, u64)>) {
+    // determinism: tied keys reorder across toolchains.
+    moes.sort_unstable_by_key(|&(weight, _)| weight);
+}

@@ -1,0 +1,9 @@
+//! Seeded violation fixture: a waiver that outlived its code
+//! (`stale-pragma`). Never compiled.
+
+// The unwrap this excused was refactored into a typed error; the pragma
+// must now be reported as stale.
+// lint:allow(bare-unwrap) -- slot is populated by the caller
+fn lookup(slot: Option<u32>) -> u32 {
+    slot.unwrap_or(0)
+}

@@ -1,0 +1,31 @@
+//! Counter-fixture: every needle below lives inside a literal or a
+//! comment, where the old line-regex scanner false-positived. The
+//! tokenizer must report NOTHING for this file. Never compiled.
+
+fn doc_text() -> &'static str {
+    // A string literal full of needles: data, not code.
+    "HashMap and Instant::now() and x.unwrap() // std::time { Mutex"
+}
+
+fn raw_text() -> &'static str {
+    // Raw string with hashes and embedded quotes.
+    r#"weights: HashMap<u64, f64> "quoted" sort_unstable_by_key par_iter"#
+}
+
+fn char_quote() -> char {
+    // The '"' char literal corrupted the old scanner's in-string state,
+    // making it treat the rest of the file as a string.
+    '"'
+}
+
+fn braces_in_strings(n: usize) -> String {
+    // Braces inside literals skewed the old brace-balance test-region
+    // tracking; `{n}` must not open a scope.
+    format!("outer {{ inner }} {n}")
+}
+
+/* A nested /* block comment */ mentioning thread_rng and RefCell::new()
+   stays a comment to the very end. */
+fn after_comment() -> u32 {
+    0
+}

@@ -1,0 +1,27 @@
+//! Seeded violation fixture: shared-mutable primitives and unordered
+//! parallelism in lane-executed code (`shard-safety`). Never compiled.
+
+use std::sync::Mutex;
+use std::sync::atomic::AtomicU64 as Counter;
+
+// shard-safety: thread_local state diverges per shard worker.
+thread_local! {
+    static SCRATCH: Vec<u64> = Vec::new();
+}
+
+// shard-safety: a data race waiting for a second shard.
+static mut GLOBAL_ROUND: u64 = 0;
+
+struct Racy {
+    // shard-safety: shared-mutable primitive in lane state.
+    inbox: Mutex<Vec<u64>>,
+    // shard-safety: the alias resolves back to AtomicU64.
+    delivered: Counter,
+}
+
+fn fan_out(lanes: &[Racy]) {
+    // shard-safety: unordered parallel iteration breaks lane order.
+    lanes.par_iter().for_each(|lane| {
+        lane.inbox.lock().expect("poisoned").clear();
+    });
+}

@@ -61,6 +61,50 @@ fn fixture_findings_name_file_and_line() {
 }
 
 #[test]
+fn new_family_fixtures_fire_with_file_and_line() {
+    let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
+    let shard = findings
+        .iter()
+        .find(|f| f.rule == "shard-safety")
+        .expect("shard-safety fixture finding");
+    assert_eq!(shard.file, "crates/netsim/src/protocol.rs");
+    assert!(shard.line > 0);
+    let det = findings
+        .iter()
+        .find(|f| f.rule == "determinism")
+        .expect("determinism fixture finding");
+    assert_eq!(det.file, "crates/core/src/float_creep.rs");
+    let stale = findings
+        .iter()
+        .find(|f| f.rule == "stale-pragma")
+        .expect("stale-pragma fixture finding");
+    assert_eq!(stale.file, "crates/core/src/stale.rs");
+    assert_eq!(stale.line, 6);
+    // The alias in the shard fixture resolves: `Counter` is AtomicU64.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "shard-safety" && f.message.contains("AtomicU64")),
+        "alias resolution finding missing: {findings:?}"
+    );
+}
+
+#[test]
+fn tokenizer_regression_fixture_is_silent() {
+    // Every needle in strings.rs lives inside a literal or a comment —
+    // the constructs the old line-regex scanner false-positived on
+    // (braces and `//` in string/char/raw-string literals, nested block
+    // comments). The tokenizer must report nothing there.
+    let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
+    let in_strings: Vec<String> = findings
+        .iter()
+        .filter(|f| f.file.ends_with("strings.rs"))
+        .map(|f| f.to_string())
+        .collect();
+    assert!(in_strings.is_empty(), "{in_strings:?}");
+}
+
+#[test]
 fn allowed_fixture_is_silent() {
     let findings = lint_tree(&fixtures_root()).expect("walk fixtures");
     assert!(

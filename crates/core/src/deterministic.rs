@@ -583,6 +583,7 @@ impl DeterministicMst {
                 2 if listening => bcast_shape(&mut steps),
                 _ => {}
             }
+            // lint:allow(determinism) -- step offsets within a block are pairwise distinct by Timeline construction
             steps.sort_unstable_by_key(|&(off, _)| off);
             return steps;
         }
@@ -642,6 +643,7 @@ impl DeterministicMst {
                     }
                 }
             }
+            // lint:allow(determinism) -- step offsets within a block are pairwise distinct by Timeline construction
             steps.sort_unstable_by_key(|&(off, _)| off);
             return steps;
         }
@@ -682,6 +684,7 @@ impl DeterministicMst {
             }
             _ => {}
         }
+        // lint:allow(determinism) -- step offsets within a block are pairwise distinct by Timeline construction
         steps.sort_unstable_by_key(|&(off, _)| off);
         steps
     }

@@ -137,6 +137,7 @@ impl PrimMst {
             }
             _ => {}
         }
+        // lint:allow(determinism) -- step offsets within a block are pairwise distinct by Timeline construction
         steps.sort_unstable_by_key(|&(off, _)| off);
         steps
     }

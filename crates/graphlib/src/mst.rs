@@ -112,6 +112,7 @@ impl PortIncidence {
 /// ```
 pub fn kruskal(graph: &WeightedGraph) -> SpanningForest {
     let mut order: Vec<EdgeId> = (0..graph.edge_count() as u32).map(EdgeId::new).collect();
+    // lint:allow(determinism) -- edge weights are pairwise distinct (WeightedGraph invariant), keys never tie
     order.sort_unstable_by_key(|&id| graph.edge(id).weight);
 
     let mut uf = UnionFind::new(graph.node_count());

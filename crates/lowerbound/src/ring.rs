@@ -30,6 +30,7 @@ pub fn instance(n: usize, seed: u64) -> Result<WeightedGraph, GraphError> {
 pub fn two_heaviest(graph: &WeightedGraph) -> (EdgeId, EdgeId) {
     assert!(graph.edge_count() >= 2, "need at least two edges");
     let mut ids: Vec<EdgeId> = (0..graph.edge_count() as u32).map(EdgeId::new).collect();
+    // lint:allow(determinism) -- edge weights are pairwise distinct (WeightedGraph invariant), keys never tie
     ids.sort_unstable_by_key(|&id| std::cmp::Reverse(graph.edge(id).weight));
     (ids[0], ids[1])
 }

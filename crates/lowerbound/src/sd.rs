@@ -47,8 +47,8 @@ impl SdInstance {
     pub fn random(k: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         SdInstance {
-            x: (0..k).map(|_| rng.gen_bool(0.5)).collect(),
-            y: (0..k).map(|_| rng.gen_bool(0.5)).collect(),
+            x: (0..k).map(|_| rng.gen_bool(0.5)).collect(), // lint:allow(determinism) -- fair-coin parameter to the seeded RNG
+            y: (0..k).map(|_| rng.gen_bool(0.5)).collect(), // lint:allow(determinism) -- fair-coin parameter to the seeded RNG
         }
     }
 

@@ -58,6 +58,27 @@ use crate::{
 /// threshold only picks which code path computes it.
 const SHARD_MIN_AWAKE: usize = 128;
 
+/// The shard-engagement decision, as a pure function: `Some(chunk_len)`
+/// when the send half-step of a round with `awake_len` awake nodes runs
+/// sharded (the ascending awake set is split into contiguous chunks of
+/// `chunk_len`, one lane per chunk), `None` when it runs serially.
+///
+/// This is the *entire* input surface of the decision — the awake set's
+/// size, the configured shard count, and whether the run is traced
+/// (trace payload formatting is inherently sequential). Nothing else:
+/// not wall-clock, not load, not thread identity. `tests/shard_boundary.rs`
+/// pins the purity and the 127/128/129 engagement boundary.
+#[must_use]
+pub fn shard_chunk_len(awake_len: usize, shards: u32, record_trace: bool) -> Option<usize> {
+    let shard_target = (shards as usize).max(1);
+    let shard_gate = SHARD_MIN_AWAKE.max(shard_target);
+    if shard_target > 1 && !record_trace && awake_len >= shard_gate {
+        Some(awake_len.div_ceil(shard_target))
+    } else {
+        None
+    }
+}
+
 /// Which time driver executes a run.
 ///
 /// All three produce bit-identical outcomes (final states, stats, trace,
@@ -939,9 +960,7 @@ where
     // parallelize (or any traced run — trace payload formatting is
     // inherently sequential) takes the serial path, and the outcomes are
     // bit-identical either way (the cross-shard differential proptests
-    // pin this).
-    let shard_target = (config.shards as usize).max(1);
-    let shard_gate = SHARD_MIN_AWAKE.max(shard_target);
+    // pin this). The per-round decision is [`shard_chunk_len`].
     // `None` when metrics are off: the hot path pays one untaken branch
     // per event and execution is bit-identical (pinned fingerprints).
     let mut metrics = if config.record_metrics {
@@ -1040,7 +1059,9 @@ where
         // so their order is driver-independent (see [`record_delivered`]).
         arena.clear();
         slots.clear();
-        if shard_target > 1 && !config.record_trace && awake_now.len() >= shard_gate {
+        if let Some(chunk_len) =
+            shard_chunk_len(awake_now.len(), config.shards, config.record_trace)
+        {
             // --- Sharded send ---
             // Partition the ascending awake set into contiguous chunks;
             // each worker runs its nodes' sends against a disjoint
@@ -1048,7 +1069,6 @@ where
             // its own lane. Concatenating the lanes in shard order
             // reproduces serial node order exactly, so the merge below
             // replays the identical accounting stream.
-            let chunk_len = awake_now.len().div_ceil(shard_target);
             let lanes_used = awake_now.len().div_ceil(chunk_len);
             if shard_lanes.len() < lanes_used {
                 shard_lanes.resize_with(lanes_used, ShardScratch::new);
