@@ -22,6 +22,7 @@ pub mod chaos;
 pub mod engine_panel;
 pub mod harness;
 pub mod report;
+pub mod serve;
 
 pub use chaos::{run_chaos, ChaosReport, ChaosSpec, ChaosTrial, Outcome};
 pub use engine_panel::{

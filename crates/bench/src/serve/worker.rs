@@ -1,0 +1,331 @@
+//! Dispatch state and the worker pool.
+//!
+//! All coordination lives behind one `Mutex<DispatchState>` plus two
+//! condvars: `work` (workers sleep here waiting for jobs) and `idle`
+//! (the drain path sleeps here waiting for the queue *and* the
+//! in-flight table to empty). The lock covers admission, cache lookup,
+//! coalescing, and result publication, so the front-door decision for a
+//! request is atomic: between "miss recorded" and "waiter registered"
+//! nothing can race in and double-execute.
+//!
+//! Each worker owns a warm [`MstScratch`] for its whole lifetime — the
+//! executor arena is paid for once per worker, not once per request
+//! (the same trick the sweep harness's worker threads use).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+use graphlib::generators;
+use mst_core::wire::CanonicalRun;
+use mst_core::{AlgorithmSpec, MstScratch};
+use netsim::Executor;
+
+use crate::harness::{self, Sweep};
+use crate::serve::admission::TokenBucket;
+use crate::serve::cache::ResultCache;
+use crate::serve::protocol::{
+    codes, render_error_body, render_response, render_run_result, Source,
+};
+use crate::{chaos, report};
+
+/// The work a job executes; rendering is part of the job so cached
+/// bytes are exactly what a cold response would have carried.
+#[derive(Debug, Clone)]
+pub(crate) enum JobKind {
+    /// One canonical algorithm run.
+    Run(CanonicalRun),
+    /// A harness sweep over a size × seed grid.
+    Sweep {
+        algs: Vec<&'static AlgorithmSpec>,
+        template: String,
+        sizes: Vec<usize>,
+        seeds: Vec<u64>,
+    },
+    /// The scaling report.
+    Report { sizes: Vec<usize>, seeds: Vec<u64> },
+    /// A chaos campaign.
+    Chaos {
+        seed: u64,
+        sizes: Vec<usize>,
+        trials: u64,
+    },
+}
+
+/// A queued unit of work, keyed by its canonical fingerprint.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub fingerprint: u64,
+    pub kind: JobKind,
+}
+
+/// A requester waiting on an in-flight execution.
+#[derive(Debug)]
+pub(crate) struct Waiter {
+    /// Correlation id to stamp on the response.
+    pub id: u64,
+    /// The connection's writer channel.
+    pub tx: Sender<String>,
+    /// `false` for the requester that triggered the execution,
+    /// `true` for everyone who coalesced onto it.
+    pub coalesced: bool,
+}
+
+/// Monotone front-door counters; a snapshot renders as the `stats`
+/// response and the final [`ServerStats`](crate::serve::ServerStats).
+/// Invariant (checked by `tests/serve.rs`):
+/// `received == shed + hits + coalesced + misses` and
+/// `executed == misses` once the daemon has drained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Cacheable requests that parsed and validated.
+    pub received: u64,
+    /// Requests shed by the token bucket.
+    pub shed: u64,
+    /// Requests served straight from the LRU.
+    pub hits: u64,
+    /// Requests that rode along on an identical in-flight execution.
+    pub coalesced: u64,
+    /// Requests that triggered an execution.
+    pub misses: u64,
+    /// Executions completed by the worker pool.
+    pub executed: u64,
+    /// Malformed or invalid request lines.
+    pub rejected: u64,
+}
+
+impl Counters {
+    /// Renders the stats response body.
+    pub fn render(&self, cache_len: usize, cache_evictions: u64, workers: usize) -> String {
+        format!(
+            "{{\"received\":{},\"shed\":{},\"hits\":{},\"coalesced\":{},\"misses\":{},\
+             \"executed\":{},\"rejected\":{},\"cache_len\":{cache_len},\
+             \"cache_evictions\":{cache_evictions},\"workers\":{workers}}}",
+            self.received,
+            self.shed,
+            self.hits,
+            self.coalesced,
+            self.misses,
+            self.executed,
+            self.rejected,
+        )
+    }
+}
+
+/// Everything the dispatcher lock protects.
+#[derive(Debug)]
+pub(crate) struct DispatchState {
+    pub queue: VecDeque<Job>,
+    /// fingerprint → everyone waiting on that execution. Presence of a
+    /// key means the job is queued or running.
+    pub in_flight: BTreeMap<u64, Vec<Waiter>>,
+    pub cache: ResultCache,
+    pub bucket: TokenBucket,
+    pub counters: Counters,
+    /// Set when the daemon stops accepting work; workers exit once the
+    /// queue is empty.
+    pub draining: bool,
+}
+
+/// The shared dispatcher: state + wakeup channels.
+#[derive(Debug)]
+pub(crate) struct Dispatch {
+    pub state: Mutex<DispatchState>,
+    /// Signaled when a job is queued or draining begins.
+    pub work: Condvar,
+    /// Signaled when the last queued/in-flight job completes.
+    pub idle: Condvar,
+}
+
+impl Dispatch {
+    pub(crate) fn new(cache_capacity: usize, bucket: TokenBucket) -> Dispatch {
+        Dispatch {
+            state: Mutex::new(DispatchState {
+                queue: VecDeque::new(),
+                in_flight: BTreeMap::new(),
+                cache: ResultCache::new(cache_capacity),
+                bucket,
+                counters: Counters::default(),
+                draining: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// Front door for one cacheable request. Returns the response line
+    /// to send immediately (shed / hit / draining), or `None` if the
+    /// request was queued or coalesced — its line will arrive via `tx`
+    /// when the execution lands.
+    pub(crate) fn submit(
+        &self,
+        job: Job,
+        id: u64,
+        tx: Sender<String>,
+        now_nanos: u64,
+    ) -> Option<String> {
+        let mut st = self.state.lock().expect("dispatch lock");
+        if st.draining {
+            return Some(render_response(
+                id,
+                Source::Control,
+                false,
+                &render_error_body(codes::SHUTTING_DOWN, "daemon is draining; no new work"),
+            ));
+        }
+        st.counters.received += 1;
+        // Admission first: the bucket guards the front door, cache hits
+        // included — shedding must stay deterministic in the arrival
+        // sequence alone, not in what happens to be cached.
+        if !st.bucket.try_admit(now_nanos) {
+            st.counters.shed += 1;
+            return Some(render_response(
+                id,
+                Source::Admission,
+                false,
+                &render_error_body(
+                    codes::OVER_CAPACITY,
+                    "admission bucket empty; retry after a refill interval",
+                ),
+            ));
+        }
+        if let Some(cached) = st.cache.get(job.fingerprint) {
+            st.counters.hits += 1;
+            return Some(render_response(id, Source::Cache, cached.ok, &cached.body));
+        }
+        if let Some(waiters) = st.in_flight.get_mut(&job.fingerprint) {
+            waiters.push(Waiter {
+                id,
+                tx,
+                coalesced: true,
+            });
+            st.counters.coalesced += 1;
+            return None;
+        }
+        st.counters.misses += 1;
+        st.in_flight.insert(
+            job.fingerprint,
+            vec![Waiter {
+                id,
+                tx,
+                coalesced: false,
+            }],
+        );
+        st.queue.push_back(job);
+        drop(st);
+        self.work.notify_one();
+        None
+    }
+
+    /// Worker thread body: pull → execute → publish, until draining and
+    /// the queue is empty.
+    pub(crate) fn worker_loop(self: &Arc<Self>, scratch: &mut MstScratch) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("dispatch lock");
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    if st.draining {
+                        return;
+                    }
+                    st = self.work.wait(st).expect("dispatch lock");
+                }
+            };
+            let outcome = execute_job(&job.kind, scratch);
+            let (ok, body): (bool, Arc<str>) = match outcome {
+                Ok(body) => (true, Arc::from(body)),
+                Err((code, message)) => (false, Arc::from(render_error_body(code, &message))),
+            };
+            let waiters = {
+                let mut st = self.state.lock().expect("dispatch lock");
+                st.cache.insert(job.fingerprint, ok, Arc::clone(&body));
+                st.counters.executed += 1;
+                let waiters = st.in_flight.remove(&job.fingerprint).unwrap_or_default();
+                if st.queue.is_empty() && st.in_flight.is_empty() {
+                    self.idle.notify_all();
+                }
+                waiters
+            };
+            for w in waiters {
+                let source = if w.coalesced {
+                    Source::Coalesced
+                } else {
+                    Source::Exec
+                };
+                // A hung-up connection just drops its line.
+                let _ = w.tx.send(render_response(w.id, source, ok, &body));
+            }
+        }
+    }
+}
+
+/// Executes one job, rendering its response body fragment. Errors carry
+/// a typed code plus a human-readable message; every error here is a
+/// deterministic function of the request, so callers cache them like
+/// successes.
+pub(crate) fn execute_job(
+    kind: &JobKind,
+    scratch: &mut MstScratch,
+) -> Result<String, (&'static str, String)> {
+    match kind {
+        JobKind::Run(run) => {
+            let graph =
+                generators::from_spec(&run.graph, run.seed).map_err(|e| (codes::BAD_GRAPH, e))?;
+            let out = run
+                .alg
+                .run_with_options(&graph, &run.exec_options(), scratch)
+                .map_err(|e| (e.to_json_code(), e.to_string()))?;
+            Ok(render_run_result(
+                run.alg,
+                &graph,
+                run.seed,
+                run.faults.as_ref(),
+                &out,
+            ))
+        }
+        JobKind::Sweep {
+            algs,
+            template,
+            sizes,
+            seeds,
+        } => {
+            let template = template.clone();
+            let family = move |n: usize, seed: u64| {
+                generators::from_spec(&template.replace("{n}", &n.to_string()), seed)
+            };
+            let mut sweep = Sweep::new(&family)
+                .sizes(sizes.iter().copied())
+                .seeds(seeds.iter().copied())
+                .threads(1);
+            for alg in algs {
+                sweep = sweep.algorithm(alg);
+            }
+            let results = sweep.run().map_err(|e| (codes::BAD_GRAPH, e))?;
+            Ok(harness::render_json(&results))
+        }
+        JobKind::Report { sizes, seeds } => {
+            let spec = report::ReportSpec {
+                sizes: sizes.clone(),
+                seeds: seeds.clone(),
+                executor: Executor::Calendar,
+            };
+            let report = report::generate(&spec).map_err(|e| (codes::INTERNAL, e))?;
+            Ok(report.to_json())
+        }
+        JobKind::Chaos {
+            seed,
+            sizes,
+            trials,
+        } => {
+            let spec = chaos::ChaosSpec {
+                seed: *seed,
+                sizes: sizes.clone(),
+                trials: *trials,
+                executor: Executor::Calendar,
+            };
+            Ok(chaos::run_chaos(&spec).to_json())
+        }
+    }
+}

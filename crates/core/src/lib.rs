@@ -51,13 +51,14 @@ pub mod runner;
 pub mod schedule;
 pub mod timeline;
 pub mod toolbox;
+pub mod wire;
 
 pub use exec::{round_budget, ExecOptions};
 pub use registry::{AlgorithmSpec, ALGORITHMS};
 pub use runner::{
-    collect_mst_edges, run_always_awake, run_always_awake_scratch, run_deterministic,
-    run_deterministic_scratch, run_deterministic_with, run_logstar, run_logstar_scratch, run_prim,
-    run_prim_scratch, run_randomized, run_randomized_scratch, run_randomized_with,
-    run_spanning_tree, run_spanning_tree_scratch, MstCollectError, MstOutcome, MstScratch,
-    RunError,
+    collect_mst_edges, parse_run_code, run_always_awake, run_always_awake_scratch,
+    run_deterministic, run_deterministic_scratch, run_deterministic_with, run_logstar,
+    run_logstar_scratch, run_prim, run_prim_scratch, run_randomized, run_randomized_scratch,
+    run_randomized_with, run_spanning_tree, run_spanning_tree_scratch, MstCollectError, MstOutcome,
+    MstScratch, RunError, RUN_ERROR_CODES,
 };

@@ -143,6 +143,47 @@ impl fmt::Display for RunError {
     }
 }
 
+/// Every stable [`RunError`] wire code: the five run-layer codes plus
+/// the embedded [`netsim::SIM_ERROR_CODES`] namespace. Frozen vocabulary
+/// — service responses embed these, so renaming one is a wire break the
+/// round-trip tests catch.
+pub const RUN_ERROR_CODES: &[&str] = &[
+    "run.collect",
+    "run.disconnected",
+    "run.model",
+    "run.panicked",
+    "run.degraded",
+];
+
+/// Resolves a wire code back to its canonical `&'static str` — either a
+/// run-layer code from [`RUN_ERROR_CODES`] or a simulator code from
+/// [`netsim::SIM_ERROR_CODES`] — or `None` for unknown codes.
+pub fn parse_run_code(code: &str) -> Option<&'static str> {
+    RUN_ERROR_CODES
+        .iter()
+        .copied()
+        .find(|&c| c == code)
+        .or_else(|| netsim::parse_sim_code(code))
+}
+
+impl RunError {
+    /// The stable, machine-readable wire code for this error — the typed
+    /// `"code"` field of a service error response. Simulator errors keep
+    /// their own `sim.*` namespace ([`SimError::to_json_code`]); the
+    /// run-layer variants use `run.*`. Per-instance detail stays in
+    /// [`fmt::Display`]; the code never changes spelling.
+    pub fn to_json_code(&self) -> &'static str {
+        match self {
+            RunError::Sim(e) => e.to_json_code(),
+            RunError::Collect(_) => "run.collect",
+            RunError::Disconnected { .. } => "run.disconnected",
+            RunError::Model(_) => "run.model",
+            RunError::Panicked { .. } => "run.panicked",
+            RunError::Degraded { .. } => "run.degraded",
+        }
+    }
+}
+
 impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -915,5 +956,59 @@ mod tests {
         let err = run_prim(&g, 1).unwrap_err();
         assert!(matches!(err, RunError::Disconnected { algorithm: "prim" }));
         assert!(err.to_string().contains("connected"));
+    }
+
+    /// Satellite (wire encoding): one instance of every [`RunError`]
+    /// variant, for exhaustive wire-code tests.
+    fn all_run_error_variants() -> Vec<RunError> {
+        vec![
+            RunError::Sim(SimError::MaxRoundsExceeded {
+                limit: 10,
+                running: 2,
+            }),
+            RunError::Collect(MstCollectError {
+                edge: EdgeId::new(0),
+                endpoint: NodeId::new(1),
+            }),
+            RunError::Disconnected { algorithm: "prim" },
+            RunError::Model(Vec::new()),
+            RunError::Panicked {
+                message: "boom".into(),
+            },
+            RunError::Degraded {
+                edges: 3,
+                output_trees: 2,
+                graph_components: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_are_distinct() {
+        let variants = all_run_error_variants();
+        // 5 run.* codes + the Sim passthrough variant.
+        assert_eq!(
+            variants.len(),
+            RUN_ERROR_CODES.len() + 1,
+            "new variant? add its code"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &variants {
+            let code = e.to_json_code();
+            assert!(seen.insert(code), "duplicate code {code}");
+            // Round trip: the code parses back to the identical static str,
+            // whether it lives in the run.* or the sim.* namespace.
+            assert_eq!(parse_run_code(code), Some(code));
+            assert!(
+                code.starts_with("run.") || code.starts_with("sim."),
+                "{code}"
+            );
+        }
+        // Every sim.* code resolves through the run-layer parser too
+        // (serve responses carry both namespaces in one field).
+        for &code in netsim::SIM_ERROR_CODES {
+            assert_eq!(parse_run_code(code), Some(code));
+        }
+        assert_eq!(parse_run_code("run.no-such-error"), None);
     }
 }

@@ -398,6 +398,61 @@ pub fn with_id_space(
     Ok(graph)
 }
 
+/// Builds a graph from a colon-separated spec string — the one grammar
+/// shared by the CLI, the serve daemon, and the loadgen traces:
+/// `ring:64`, `path:20`, `star:16`, `complete:12`, `bintree:31`,
+/// `grid:4x8`, `random:48:0.1`, `barbell:6:3`, `caterpillar:5:2`, or
+/// `scale:1000000:2` (the streaming chorded-cycle family).
+///
+/// The spec string is part of the service plane's cache key, so the
+/// grammar is deliberately strict: no whitespace tolerance, no aliases —
+/// two spellings of the same graph would otherwise occupy two cache
+/// slots.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed specs or invalid sizes.
+pub fn from_spec(spec: &str, seed: u64) -> Result<WeightedGraph, String> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    let int = |s: &str| -> Result<usize, String> {
+        s.parse()
+            .map_err(|_| format!("'{s}' is not a positive integer"))
+    };
+    let graph: Result<WeightedGraph, GraphError> = match (kind, args.as_slice()) {
+        ("ring", [n]) => ring(int(n)?, seed),
+        ("path", [n]) => path(int(n)?, seed),
+        ("star", [n]) => star(int(n)?, seed),
+        ("complete", [n]) => complete(int(n)?, seed),
+        ("bintree", [n]) => binary_tree(int(n)?, seed),
+        ("grid", [dims]) => {
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid spec '{dims}' must look like 4x8"))?;
+            grid(int(r)?, int(c)?, seed)
+        }
+        ("random", [n, p]) => {
+            // lint:allow(determinism) -- parsing the random:N:P probability operand, a generator input
+            let p: f64 = p
+                .parse()
+                .map_err(|_| format!("'{p}' is not a probability"))?;
+            random_connected(int(n)?, p, seed)
+        }
+        ("barbell", [k, b]) => barbell(int(k)?, int(b)?, seed),
+        ("caterpillar", [s, l]) => caterpillar(int(s)?, int(l)?, seed),
+        ("scale", [n, c]) => chorded_cycle(int(n)?, int(c)?, seed),
+        _ => {
+            return Err(format!(
+                "unknown graph spec '{spec}' (expected ring:N, path:N, star:N, \
+                 complete:N, bintree:N, grid:RxC, random:N:P, barbell:K:B, \
+                 caterpillar:S:L, or scale:N:C)"
+            ))
+        }
+    };
+    graph.map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +470,41 @@ mod tests {
     #[test]
     fn distinct_weights_rejects_tiny_span() {
         assert!(distinct_weights(10, 5, 0).is_err());
+    }
+
+    #[test]
+    fn from_spec_builds_every_family_and_matches_direct_calls() {
+        for spec in [
+            "ring:12",
+            "path:9",
+            "star:7",
+            "complete:6",
+            "bintree:15",
+            "grid:3x4",
+            "random:14:0.2",
+            "barbell:4:2",
+            "caterpillar:4:2",
+            "scale:64:3",
+        ] {
+            let g = from_spec(spec, 1).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(g.node_count() > 0, "{spec}");
+        }
+        // The spec path is the direct generator call, bit for bit.
+        assert_eq!(from_spec("ring:16", 7).unwrap(), ring(16, 7).unwrap());
+        assert_eq!(
+            from_spec("random:14:0.2", 3).unwrap(),
+            random_connected(14, 0.2, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_spec_rejects_malformed_specs() {
+        assert!(from_spec("ring:2", 0).is_err());
+        assert!(from_spec("mystery:3", 0).is_err());
+        assert!(from_spec("grid:3", 0).is_err());
+        assert!(from_spec("random:5:nope", 0).is_err());
+        assert!(from_spec("ring:8 ", 0).is_err(), "no whitespace tolerance");
+        assert!(from_spec("", 0).unwrap_err().contains("unknown graph spec"));
     }
 
     #[test]

@@ -82,9 +82,99 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+/// Every stable [`SimError`] wire code, in declaration order — the
+/// vocabulary [`SimError::to_json_code`] draws from. Service responses
+/// embed these codes, so they are frozen: renaming one is a wire-format
+/// break that [`parse_sim_code`] round-trip tests will catch.
+pub const SIM_ERROR_CODES: &[&str] = &[
+    "sim.port-out-of-range",
+    "sim.message-too-large",
+    "sim.wake-not-in-future",
+    "sim.max-rounds-exceeded",
+    "sim.stalled",
+];
+
+/// Resolves a wire code back to its canonical `&'static str` (the exact
+/// value [`SimError::to_json_code`] returns), or `None` for unknown
+/// codes. Serde-free round-trip support for typed service errors.
+pub fn parse_sim_code(code: &str) -> Option<&'static str> {
+    SIM_ERROR_CODES.iter().copied().find(|&c| c == code)
+}
+
+impl SimError {
+    /// The stable, machine-readable wire code for this error variant —
+    /// what a service response puts in its `"code"` field. Codes carry
+    /// no per-instance detail (that stays in [`fmt::Display`]); they are
+    /// the typed part of the encoding and never change spelling.
+    pub fn to_json_code(&self) -> &'static str {
+        match self {
+            SimError::PortOutOfRange { .. } => "sim.port-out-of-range",
+            SimError::MessageTooLarge { .. } => "sim.message-too-large",
+            SimError::WakeNotInFuture { .. } => "sim.wake-not-in-future",
+            SimError::MaxRoundsExceeded { .. } => "sim.max-rounds-exceeded",
+            SimError::Stalled { .. } => "sim.stalled",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One instance of every variant, for exhaustive code tests.
+    fn all_variants() -> Vec<SimError> {
+        vec![
+            SimError::PortOutOfRange {
+                node: NodeId::new(1),
+                port: Port::new(7),
+                round: 2,
+            },
+            SimError::MessageTooLarge {
+                node: NodeId::new(1),
+                round: 2,
+                bits: 99,
+                limit: 64,
+            },
+            SimError::WakeNotInFuture {
+                node: NodeId::new(1),
+                round: 5,
+                requested: 5,
+            },
+            SimError::MaxRoundsExceeded {
+                limit: 10,
+                running: 3,
+            },
+            SimError::Stalled {
+                running: 2,
+                round: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_are_distinct() {
+        let variants = all_variants();
+        assert_eq!(
+            variants.len(),
+            SIM_ERROR_CODES.len(),
+            "new variant? add its code"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &variants {
+            let code = e.to_json_code();
+            assert!(seen.insert(code), "duplicate code {code}");
+            // Round trip: the code parses back to the identical static str.
+            assert_eq!(parse_sim_code(code), Some(code));
+            // Codes are wire-safe: lowercase, dotted namespace, no spaces.
+            assert!(code.starts_with("sim."), "{code}");
+            assert!(
+                code.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b == b'.' || b == b'-'),
+                "{code}"
+            );
+        }
+        assert_eq!(parse_sim_code("sim.no-such-error"), None);
+    }
 
     #[test]
     fn display_mentions_key_fields() {

@@ -61,7 +61,7 @@ pub mod radio;
 pub mod validate;
 
 pub use engine::{Executor, ExecutorScratch};
-pub use error::SimError;
+pub use error::{parse_sim_code, SimError, SIM_ERROR_CODES};
 pub use faults::FaultPlan;
 pub use metrics::{Metrics, PhaseSpan, PhaseTotals, RoundReport};
 pub use payload::{bits_for_range, bits_for_value, Payload};

@@ -1,0 +1,374 @@
+//! `loadgen` — a replayable traffic generator for `sleeping-mst serve`.
+//!
+//! Replays a seeded trace of run requests against a daemon socket and
+//! writes the `BENCH_serve.json` artifact. The trace is a pure function
+//! of `--seed`/`--requests`/`--distinct` (splitmix64 over a fixed
+//! request pool), so against a cold daemon in `closed` mode every
+//! non-latency field of the artifact is byte-deterministic: request
+//! counts, per-source response counts, the server counter deltas, the
+//! cache hit rate, and an FNV-1a 64 checksum over every response line in
+//! arrival order. The wall-clock measurements (latency percentiles,
+//! throughput) are grouped under one `"wall"` object so CI can
+//! neutralize them with a single regex before `cmp` — the same idiom the
+//! scale job uses for `peak_rss_bytes`.
+//!
+//! Modes:
+//!
+//! * `closed` (default): one request in flight at a time — latency is
+//!   pure service time and the hit/miss split is exactly reproducible
+//!   (first sight of a pool entry misses, every repeat hits).
+//! * `open`: fire `--burst` requests back-to-back, then collect the
+//!   burst's responses — the regime that exercises in-flight coalescing
+//!   and token-bucket shedding (those counts are timing-dependent, so
+//!   `open` artifacts are demos, not `cmp` material).
+//!
+//! ```text
+//! loadgen --socket /tmp/mst.sock --seed 1 --requests 200 --distinct 12 \
+//!         --out BENCH_serve.json --shutdown
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+// lint:allow(wall-clock) -- loadgen measures real client-observed latency
+use std::time::{Duration, Instant};
+
+use bench::serve::protocol::Json;
+use mst_core::wire::fnv64;
+
+/// Fixed request pool dimensions: pool entry `i` cycles algorithms and
+/// small graphs and uses `i` as the run seed, so any two entries differ
+/// in at least the seed — `--distinct D` therefore yields exactly `D`
+/// distinct canonical cache keys.
+const ALGS: &[&str] = &[
+    "randomized",
+    "deterministic",
+    "logstar",
+    "prim",
+    "spanning-tree",
+    "always-awake",
+];
+const GRAPHS: &[&str] = &[
+    "ring:12",
+    "path:16",
+    "star:12",
+    "grid:3x4",
+    "complete:8",
+    "bintree:15",
+];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pool_request(id: u64, entry: usize) -> String {
+    format!(
+        "{{\"id\":{id},\"cmd\":\"run\",\"alg\":\"{}\",\"graph\":\"{}\",\"seed\":{entry}}}",
+        ALGS[entry % ALGS.len()],
+        GRAPHS[entry % GRAPHS.len()],
+    )
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+struct Args {
+    socket: String,
+    seed: u64,
+    requests: usize,
+    distinct: usize,
+    mode: Mode,
+    burst: usize,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        socket: String::new(),
+        seed: 1,
+        requests: 200,
+        distinct: 12,
+        mode: Mode::Closed,
+        burst: 16,
+        out: None,
+        shutdown: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = value("--socket")?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: not a u64".to_string())?;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests: not a count".to_string())?;
+            }
+            "--distinct" => {
+                args.distinct = value("--distinct")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&d| d >= 1)
+                    .ok_or("--distinct: not a count (>= 1)".to_string())?;
+            }
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => return Err(format!("--mode: '{other}' is not closed|open")),
+                };
+            }
+            "--burst" => {
+                args.burst = value("--burst")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&b| b >= 1)
+                    .ok_or("--burst: not a count (>= 1)".to_string())?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err("--socket is required".into());
+    }
+    Ok(args)
+}
+
+/// Connects, retrying briefly — the daemon may still be binding.
+fn connect(socket: &str) -> Result<UnixStream, String> {
+    for _ in 0..200 {
+        if let Ok(stream) = UnixStream::connect(socket) {
+            return Ok(stream);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    Err(format!("cannot connect to {socket} after 5s"))
+}
+
+struct Client {
+    writer: BufWriter<UnixStream>,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn new(socket: &str) -> Result<Client, String> {
+        let stream = connect(socket)?;
+        let write_half = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client {
+            writer: BufWriter::new(write_half),
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".into()),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(format!("recv failed: {e}")),
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Result<String, String> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+/// Server counters parsed from a `stats` response.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerCounters {
+    received: u64,
+    shed: u64,
+    hits: u64,
+    coalesced: u64,
+    misses: u64,
+    executed: u64,
+    rejected: u64,
+}
+
+fn parse_stats(line: &str) -> Result<ServerCounters, String> {
+    let doc = Json::parse(line).map_err(|e| format!("bad stats response: {e}"))?;
+    let result = doc.get("result").ok_or("stats response has no result")?;
+    let field = |name: &str| -> u64 { result.get(name).and_then(Json::as_u64).unwrap_or(0) };
+    Ok(ServerCounters {
+        received: field("received"),
+        shed: field("shed"),
+        hits: field("hits"),
+        coalesced: field("coalesced"),
+        misses: field("misses"),
+        executed: field("executed"),
+        rejected: field("rejected"),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut client = Client::new(&args.socket)?;
+
+    let before = parse_stats(&client.request("{\"id\":0,\"cmd\":\"stats\"}")?)?;
+
+    // The seeded trace: request j draws pool entry splitmix(seed-stream) % D.
+    let mut rng = args.seed;
+    let trace: Vec<usize> = (0..args.requests)
+        .map(|_| (splitmix64(&mut rng) % args.distinct as u64) as usize)
+        .collect();
+
+    let mut checksum: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut latencies_micros: Vec<u64> = Vec::with_capacity(args.requests);
+    let mut sources: BTreeMap<String, u64> = BTreeMap::new();
+    let mut ok_count = 0u64;
+    let mut err_count = 0u64;
+
+    let mut note_response =
+        |line: &str, latency: Option<Duration>, checksum: &mut u64| -> Result<(), String> {
+            // Fold the raw response line (arrival order) into the artifact
+            // checksum, then tally envelope fields.
+            *checksum ^= fnv64(line.as_bytes());
+            *checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+            let doc = Json::parse(line).map_err(|e| format!("bad response: {e}"))?;
+            let source = doc
+                .get("source")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            *sources.entry(source).or_insert(0) += 1;
+            match doc.get("ok") {
+                Some(Json::Bool(true)) => ok_count += 1,
+                _ => err_count += 1,
+            }
+            if let Some(latency) = latency {
+                latencies_micros.push(latency.as_micros() as u64);
+            }
+            Ok(())
+        };
+
+    // lint:allow(wall-clock) -- throughput measurement starts here
+    let started = Instant::now();
+    match args.mode {
+        Mode::Closed => {
+            for (j, &entry) in trace.iter().enumerate() {
+                let line = pool_request(j as u64 + 1, entry);
+                // lint:allow(wall-clock) -- per-request latency sample
+                let t0 = Instant::now();
+                let response = client.request(&line)?;
+                note_response(&response, Some(t0.elapsed()), &mut checksum)?;
+            }
+        }
+        Mode::Open => {
+            for (burst_idx, burst) in trace.chunks(args.burst).enumerate() {
+                let base = burst_idx * args.burst;
+                // lint:allow(wall-clock) -- per-burst latency sample
+                let t0 = Instant::now();
+                for (k, &entry) in burst.iter().enumerate() {
+                    client.send(&pool_request((base + k) as u64 + 1, entry))?;
+                }
+                for _ in burst {
+                    let response = client.recv()?;
+                    note_response(&response, Some(t0.elapsed()), &mut checksum)?;
+                }
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    let after = parse_stats(&client.request("{\"id\":0,\"cmd\":\"stats\"}")?)?;
+    if args.shutdown {
+        let bye = client.request("{\"id\":0,\"cmd\":\"shutdown\"}")?;
+        if !bye.contains("\"draining\":true") {
+            return Err(format!("unexpected shutdown response: {bye}"));
+        }
+    }
+
+    let delta = |f: fn(&ServerCounters) -> u64| f(&after).saturating_sub(f(&before));
+    let received = delta(|c| c.received);
+    let hits = delta(|c| c.hits);
+    let coalesced = delta(|c| c.coalesced);
+    let hit_rate = if received == 0 {
+        0.0
+    } else {
+        (hits + coalesced) as f64 / received as f64
+    };
+
+    latencies_micros.sort_unstable();
+    let percentile = |p: usize| -> u64 {
+        if latencies_micros.is_empty() {
+            return 0;
+        }
+        latencies_micros[(latencies_micros.len() * p / 100).min(latencies_micros.len() - 1)]
+    };
+    let secs = wall.as_secs_f64().max(1e-9);
+
+    let source_count = |name: &str| sources.get(name).copied().unwrap_or(0);
+    let artifact = format!(
+        "{{\"kind\":\"serve_load\",\"mode\":\"{}\",\"seed\":{},\"requests\":{},\
+         \"distinct\":{},\"burst\":{},\"responses\":{{\"ok\":{ok_count},\"err\":{err_count}}},\
+         \"sources\":{{\"exec\":{},\"cache\":{},\"coalesced\":{},\"admission\":{},\"reject\":{}}},\
+         \"server\":{{\"received\":{received},\"shed\":{},\"hits\":{hits},\
+         \"coalesced\":{coalesced},\"misses\":{},\"executed\":{},\"rejected\":{}}},\
+         \"hit_rate\":{hit_rate:.4},\"result_fnv\":\"{checksum:#018x}\",\
+         \"wall\":{{\"wall_seconds\":{:.6},\"requests_per_sec\":{:.1},\
+         \"p50_micros\":{},\"p99_micros\":{}}}}}\n",
+        match args.mode {
+            Mode::Closed => "closed",
+            Mode::Open => "open",
+        },
+        args.seed,
+        args.requests,
+        args.distinct,
+        args.burst,
+        source_count("exec"),
+        source_count("cache"),
+        source_count("coalesced"),
+        source_count("admission"),
+        source_count("reject"),
+        delta(|c| c.shed),
+        delta(|c| c.misses),
+        delta(|c| c.executed),
+        delta(|c| c.rejected),
+        secs,
+        args.requests as f64 / secs,
+        percentile(50),
+        percentile(99),
+    );
+
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &artifact).map_err(|e| format!("cannot write {path}: {e}"))?
+        }
+        None => print!("{artifact}"),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    }
+}

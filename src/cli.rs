@@ -19,8 +19,8 @@
 //!     --sizes 16,32,64 --seeds 0..3
 //! ```
 
-use bench::{chaos, engine_panel, harness, report};
-use graphlib::{generators, mst, traversal, GraphError, WeightedGraph};
+use bench::{chaos, engine_panel, harness, report, serve};
+use graphlib::{generators, mst, traversal, WeightedGraph};
 use mst_core::registry::{self, AlgorithmSpec};
 use mst_core::{ExecOptions, MstOutcome, MstScratch};
 use netsim::{Executor, FaultPlan};
@@ -45,43 +45,7 @@ pub fn parse_algorithm(s: &str) -> Result<&'static AlgorithmSpec, String> {
 ///
 /// Returns a human-readable message on malformed specs or invalid sizes.
 pub fn build_graph(spec: &str, seed: u64) -> Result<WeightedGraph, String> {
-    let mut parts = spec.split(':');
-    let kind = parts.next().unwrap_or_default();
-    let args: Vec<&str> = parts.collect();
-    let int = |s: &str| -> Result<usize, String> {
-        s.parse()
-            .map_err(|_| format!("'{s}' is not a positive integer"))
-    };
-    let graph: Result<WeightedGraph, GraphError> = match (kind, args.as_slice()) {
-        ("ring", [n]) => generators::ring(int(n)?, seed),
-        ("path", [n]) => generators::path(int(n)?, seed),
-        ("star", [n]) => generators::star(int(n)?, seed),
-        ("complete", [n]) => generators::complete(int(n)?, seed),
-        ("bintree", [n]) => generators::binary_tree(int(n)?, seed),
-        ("grid", [dims]) => {
-            let (r, c) = dims
-                .split_once('x')
-                .ok_or_else(|| format!("grid spec '{dims}' must look like 4x8"))?;
-            generators::grid(int(r)?, int(c)?, seed)
-        }
-        ("random", [n, p]) => {
-            let p: f64 = p
-                .parse()
-                .map_err(|_| format!("'{p}' is not a probability"))?;
-            generators::random_connected(int(n)?, p, seed)
-        }
-        ("barbell", [k, b]) => generators::barbell(int(k)?, int(b)?, seed),
-        ("caterpillar", [s, l]) => generators::caterpillar(int(s)?, int(l)?, seed),
-        ("scale", [n, c]) => generators::chorded_cycle(int(n)?, int(c)?, seed),
-        _ => {
-            return Err(format!(
-                "unknown graph spec '{spec}' (expected ring:N, path:N, star:N, \
-                 complete:N, bintree:N, grid:RxC, random:N:P, barbell:K:B, \
-                 caterpillar:S:L, or scale:N:C)"
-            ))
-        }
-    };
-    graph.map_err(|e| e.to_string())
+    generators::from_spec(spec, seed)
 }
 
 /// Runs `alg` on `graph`.
@@ -497,6 +461,23 @@ pub enum Command {
         /// Also write the JSON rows to this file.
         out: Option<String>,
     },
+    /// `serve`: the sweep-as-a-service daemon ([`bench::serve`]) — a
+    /// fixed worker pool of warm executor scratches behind a Unix
+    /// socket, answering NDJSON run/sweep/report/chaos requests with a
+    /// deterministic result cache, in-flight coalescing, token-bucket
+    /// admission, and graceful drain on a `shutdown` request.
+    Serve {
+        /// Unix-domain socket path to bind.
+        socket: String,
+        /// Worker threads (each owns one warm scratch).
+        workers: usize,
+        /// Result-cache capacity in entries (0 disables caching).
+        cache_capacity: usize,
+        /// Token-bucket burst capacity.
+        bucket_capacity: u64,
+        /// Token-bucket refill rate, tokens per second.
+        refill_per_sec: u64,
+    },
     /// `help`: usage text.
     Help,
 }
@@ -555,6 +536,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut shards: Option<Vec<u32>> = None;
     let mut wave_sizes: Option<Vec<usize>> = None;
     let mut faults = FaultPlan::default();
+    let mut socket: Option<String> = None;
+    let mut workers = 2usize;
+    let mut cache_capacity = 256usize;
+    let mut bucket_capacity = 4096u64;
+    let mut refill_per_sec = 4096u64;
     let parse_executor = |v: &str| -> Result<Executor, String> {
         Executor::parse(v)
             .ok_or_else(|| format!("unknown executor '{v}' (expected sync, calendar, or naive)"))
@@ -660,6 +646,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 let (node, round) = parse_crash(v)?;
                 faults = faults.with_crash(node, round);
             }
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or_else(|| format!("'{v}' is not a worker count (>= 1)"))?;
+            }
+            "--cache-capacity" => {
+                let v = it.next().ok_or("--cache-capacity needs a value")?;
+                cache_capacity = v
+                    .parse()
+                    .map_err(|_| format!("'{v}' is not a cache capacity"))?;
+            }
+            "--bucket-capacity" => {
+                let v = it.next().ok_or("--bucket-capacity needs a value")?;
+                bucket_capacity = v
+                    .parse()
+                    .map_err(|_| format!("'{v}' is not a token count"))?;
+            }
+            "--refill-per-sec" => {
+                let v = it.next().ok_or("--refill-per-sec needs a value")?;
+                refill_per_sec = v
+                    .parse()
+                    .map_err(|_| format!("'{v}' is not a refill rate"))?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -706,6 +719,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             wave_sizes: wave_sizes.unwrap_or_default(),
             shards: shards.unwrap_or_else(|| vec![1]),
             out,
+        });
+    }
+    if cmd == "serve" {
+        return Ok(Command::Serve {
+            socket: socket.ok_or("--socket is required for 'serve'")?,
+            workers,
+            cache_capacity,
+            bucket_capacity,
+            refill_per_sec,
         });
     }
     let graph = graph.ok_or("--graph is required")?;
@@ -757,7 +779,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!(
             "unknown command '{other}' (run, verify, info, check, sweep, report, \
-             chaos, bench-engine, help)"
+             chaos, bench-engine, serve, help)"
         )),
     }
 }
@@ -792,6 +814,8 @@ USAGE:
     sleeping-mst bench-engine [--sizes N,N,…] [--seed S] [--out FILE]
                         [--executors calendar,sync[,naive]]
                         [--wave-sizes N,N,…] [--shards K,K,…]
+    sleeping-mst serve  --socket PATH [--workers W] [--cache-capacity C]
+                        [--bucket-capacity B] [--refill-per-sec R]
 
 ALGORITHMS:
 {algorithms}
@@ -866,6 +890,18 @@ SHARDS:
     peak_rss_bytes is a whole-process high-water mark and is the one
     field to neutralize when diffing outputs.
 
+SERVE:
+    Runs the sweep-as-a-service daemon: newline-delimited JSON requests
+    (run, sweep, report, chaos, stats, shutdown) over a Unix socket, one
+    response line per request. Workers keep warm executor scratches;
+    identical requests coalesce onto one execution; results land in a
+    deterministic LRU keyed by the canonical request (executor and shard
+    knobs erased — all drivers are bit-identical); a token bucket sheds
+    over-budget requests with the typed error `serve.over-capacity`
+    instead of queueing them. Blocks until a `shutdown` request, drains
+    every admitted job, then prints the front-door counters. Drive it
+    with the `loadgen` binary to produce the BENCH_serve.json artifact.
+
 BENCH-ENGINE:
     Times the drivers themselves on a sparse-wake panel (a few wakes per
     node separated by gaps of thousands of rounds — the regime the
@@ -882,6 +918,39 @@ BENCH-ENGINE:
 pub fn execute(cmd: &Command) -> (i32, String) {
     match cmd {
         Command::Help => (0, usage()),
+        Command::Serve {
+            socket,
+            workers,
+            cache_capacity,
+            bucket_capacity,
+            refill_per_sec,
+        } => {
+            let config = serve::ServeConfig {
+                socket: socket.into(),
+                workers: *workers,
+                cache_capacity: *cache_capacity,
+                bucket_capacity: *bucket_capacity,
+                refill_per_sec: *refill_per_sec,
+            };
+            // Blocks until a client sends a `shutdown` request, then
+            // drains and reports the front-door counters.
+            match serve::Server::start(config).and_then(serve::Server::join) {
+                Err(e) => (2, format!("error: {e}\n")),
+                Ok(stats) => (
+                    0,
+                    format!(
+                        "serve: drained after {} requests ({} executed, {} cache hits, \
+                         {} coalesced, {} shed, {} rejected)\n",
+                        stats.counters.received,
+                        stats.counters.executed,
+                        stats.counters.hits,
+                        stats.counters.coalesced,
+                        stats.counters.shed,
+                        stats.counters.rejected,
+                    ),
+                ),
+            }
+        }
         Command::Info { graph, seed } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
             Ok(g) => (

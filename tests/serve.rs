@@ -1,0 +1,513 @@
+//! Service-level battery for the `serve` daemon: the cache/coalesce
+//! plane must be byte-invisible (every response fragment identical to a
+//! cold direct execution), the admission controller must shed with a
+//! typed error, the front-door counters must reconcile exactly, and the
+//! loadgen artifact must be byte-deterministic modulo its wall-clock
+//! group.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use bench::serve::admission::TokenBucket;
+use bench::serve::protocol::{codes, render_error_body, render_run_result};
+use bench::serve::{ServeConfig, Server};
+use sleeping_mst::graphlib::generators;
+use sleeping_mst::mst_core::wire::{CanonicalRun, RunRequest};
+use sleeping_mst::mst_core::MstScratch;
+use sleeping_mst::netsim::FaultPlan;
+
+fn test_socket(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mst-serve-{}-{name}.sock", std::process::id()))
+}
+
+struct Client {
+    writer: BufWriter<UnixStream>,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = UnixStream::connect(server.socket()).expect("connect");
+        let write_half = stream.try_clone().expect("clone");
+        Client {
+            writer: BufWriter::new(write_half),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end().to_string()
+    }
+
+    fn request(&mut self, line: &str) -> Response {
+        self.send(line);
+        Response::parse(&self.recv())
+    }
+}
+
+/// A textually-dissected response envelope. The fragment is the exact
+/// byte range of the `result`/`error` value — no JSON round trip, so
+/// byte comparisons against cold renders are honest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Response {
+    id: u64,
+    ok: bool,
+    source: String,
+    fragment: String,
+}
+
+impl Response {
+    fn parse(line: &str) -> Response {
+        let grab = |prefix: &str| -> Option<&str> {
+            let start = line.find(prefix)? + prefix.len();
+            Some(&line[start..])
+        };
+        let id = grab("{\"id\":")
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|v| v.parse().ok())
+            .expect("envelope id");
+        let ok = line.contains(",\"ok\":true,");
+        let source = grab(",\"source\":\"")
+            .and_then(|rest| rest.split('"').next())
+            .expect("envelope source")
+            .to_string();
+        let key = if ok { ",\"result\":" } else { ",\"error\":" };
+        let fragment = grab(key).expect("envelope body");
+        let fragment = fragment[..fragment.len() - 1].to_string(); // strip envelope '}'
+        Response {
+            id,
+            ok,
+            source,
+            fragment,
+        }
+    }
+}
+
+/// Server counters pulled from a `stats` response fragment.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Stats {
+    received: u64,
+    shed: u64,
+    hits: u64,
+    coalesced: u64,
+    misses: u64,
+    executed: u64,
+    rejected: u64,
+}
+
+fn stats(client: &mut Client) -> Stats {
+    let resp = client.request("{\"id\":999,\"cmd\":\"stats\"}");
+    assert!(resp.ok && resp.source == "control", "{resp:?}");
+    let field = |name: &str| -> u64 {
+        let prefix = format!("\"{name}\":");
+        let start = resp.fragment.find(&prefix).expect("stat field") + prefix.len();
+        resp.fragment[start..]
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    Stats {
+        received: field("received"),
+        shed: field("shed"),
+        hits: field("hits"),
+        coalesced: field("coalesced"),
+        misses: field("misses"),
+        executed: field("executed"),
+        rejected: field("rejected"),
+    }
+}
+
+fn reconcile(s: &Stats) {
+    assert_eq!(
+        s.received,
+        s.shed + s.hits + s.coalesced + s.misses,
+        "front-door counters must partition received: {s:?}"
+    );
+    assert_eq!(
+        s.executed, s.misses,
+        "every miss executes exactly once: {s:?}"
+    );
+}
+
+/// The cold path a daemon response must be byte-identical to: build the
+/// graph, run with the canonical options, render — exactly what a
+/// worker does, computed here without any serve machinery.
+fn cold_run(run: &CanonicalRun, scratch: &mut MstScratch) -> (bool, String) {
+    match generators::from_spec(&run.graph, run.seed) {
+        Err(e) => (false, render_error_body(codes::BAD_GRAPH, &e)),
+        Ok(graph) => match run
+            .alg
+            .run_with_options(&graph, &run.exec_options(), scratch)
+        {
+            Ok(out) => (
+                true,
+                render_run_result(run.alg, &graph, run.seed, run.faults.as_ref(), &out),
+            ),
+            Err(e) => (false, render_error_body(e.to_json_code(), &e.to_string())),
+        },
+    }
+}
+
+const ALGS: &[&str] = &["randomized", "deterministic", "always-awake"];
+const GRAPHS: &[&str] = &["ring:10", "grid:3x3", "star:9", "ring:0"];
+const EXECUTORS: &[&str] = &["calendar", "sync", "naive"];
+
+/// One pool entry of the proptest traffic: indices into the tables
+/// above plus a seed and a fault toggle.
+fn request_line(id: u64, (a, g, seed, faulty, e): (usize, usize, u64, bool, usize)) -> String {
+    let faults = if faulty {
+        ",\"faults\":{\"fault_seed\":1,\"drop_ppm\":5000}"
+    } else {
+        ""
+    };
+    format!(
+        "{{\"id\":{id},\"cmd\":\"run\",\"alg\":\"{}\",\"graph\":\"{}\",\"seed\":{seed},\
+         \"executor\":\"{}\"{faults}}}",
+        ALGS[a], GRAPHS[g], EXECUTORS[e]
+    )
+}
+
+fn canonical((a, g, seed, faulty, _): (usize, usize, u64, bool, usize)) -> CanonicalRun {
+    RunRequest {
+        alg: ALGS[a].into(),
+        graph: GRAPHS[g].into(),
+        seed,
+        executor: None,
+        shards: None,
+        faults: if faulty {
+            FaultPlan::seeded(1).with_drop_ppm(5000)
+        } else {
+            FaultPlan::default()
+        },
+    }
+    .canonicalize()
+    .expect("pool algorithms are registered")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: cache correctness under random request sequences. The
+    /// sequence runs twice back to back, so the replay half is served
+    /// almost entirely from cache — and every response fragment (hit,
+    /// miss, success, or deterministic error) must be byte-identical to
+    /// a cold direct execution. Counters must reconcile exactly.
+    #[test]
+    fn cached_responses_are_byte_identical_to_cold_runs(
+        sequence in vec((0usize..3, 0usize..4, 0u64..2, any::<bool>(), 0usize..3), 4..10),
+    ) {
+        let server = Server::start(ServeConfig::new(test_socket("proptest"))).unwrap();
+        let mut client = Client::connect(&server);
+        let mut scratch = MstScratch::new();
+
+        let trace: Vec<_> = sequence.iter().chain(sequence.iter()).collect();
+        for (j, &&entry) in trace.iter().enumerate() {
+            let resp = client.request(&request_line(j as u64 + 1, entry));
+            prop_assert_eq!(resp.id, j as u64 + 1);
+            let run = canonical(entry);
+            let (cold_ok, cold_fragment) = cold_run(&run, &mut scratch);
+            prop_assert_eq!(resp.ok, cold_ok, "{:?}", entry);
+            prop_assert_eq!(&resp.fragment, &cold_fragment, "{:?}", entry);
+            // The replay half must come out of the cache.
+            if j >= sequence.len() {
+                prop_assert_eq!(&resp.source, "cache", "{:?}", entry);
+            }
+        }
+
+        let distinct: BTreeSet<String> = sequence
+            .iter()
+            .map(|&entry| canonical(entry).cache_key())
+            .collect();
+        let s = stats(&mut client);
+        reconcile(&s);
+        prop_assert_eq!(s.received, trace.len() as u64);
+        prop_assert_eq!(s.misses, distinct.len() as u64);
+        prop_assert_eq!(s.hits, trace.len() as u64 - distinct.len() as u64);
+        prop_assert_eq!(s.coalesced, 0, "closed loop never coalesces");
+        prop_assert_eq!(s.shed + s.rejected, 0);
+
+        server.begin_shutdown();
+        let final_stats = server.join().unwrap();
+        prop_assert_eq!(final_stats.counters.executed, distinct.len() as u64);
+    }
+
+    /// Satellite: the token bucket never admits more than capacity plus
+    /// accrued refill, and a trace's admit/shed pattern replays exactly.
+    #[test]
+    fn bucket_admission_is_bounded_and_replayable(
+        capacity in 0u64..10,
+        refill in 0u64..5,
+        arrivals in vec(0u64..2_000_000_000, 1..200),
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let pattern = |mut b: TokenBucket| -> Vec<bool> {
+            arrivals.iter().map(|&t| b.try_admit(t)).collect()
+        };
+        let admitted = pattern(TokenBucket::new(capacity, refill));
+        let count = admitted.iter().filter(|&&a| a).count() as u64;
+        // Tokens that ever existed over the horizon: the initial burst
+        // plus refill accrued through the last arrival (+1 for floors).
+        let horizon = *arrivals.last().unwrap() as u128;
+        let bound = capacity + (u128::from(refill) * horizon / 1_000_000_000) as u64 + 1;
+        prop_assert!(count <= bound, "admitted {count} > bound {bound}");
+        prop_assert_eq!(admitted, pattern(TokenBucket::new(capacity, refill)));
+    }
+}
+
+/// Identical requests fired back to back coalesce onto one execution:
+/// with the cache disabled, one worker runs the job and everyone gets
+/// the same bytes.
+#[test]
+fn identical_in_flight_requests_coalesce_onto_one_execution() {
+    let mut config = ServeConfig::new(test_socket("coalesce"));
+    config.cache_capacity = 0; // only coalescing can dedupe
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect(&server);
+
+    // A deliberately heavy request so the burst lands while it runs.
+    let line = |id: u64| {
+        format!("{{\"id\":{id},\"cmd\":\"run\",\"alg\":\"randomized\",\"graph\":\"ring:128\",\"seed\":3}}")
+    };
+    for id in 1..=8 {
+        client.send(&line(id));
+    }
+    let responses: Vec<Response> = (0..8).map(|_| Response::parse(&client.recv())).collect();
+
+    let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (1..=8).collect::<Vec<u64>>());
+    for r in &responses {
+        assert!(r.ok, "{r:?}");
+        assert_eq!(
+            &r.fragment, &responses[0].fragment,
+            "coalesced bytes differ"
+        );
+    }
+    let execs = responses.iter().filter(|r| r.source == "exec").count();
+    let coalesced = responses.iter().filter(|r| r.source == "coalesced").count();
+    assert_eq!((execs, coalesced), (1, 7), "{responses:?}");
+
+    let s = stats(&mut client);
+    reconcile(&s);
+    assert_eq!((s.misses, s.coalesced, s.hits), (1, 7, 0));
+
+    server.begin_shutdown();
+    assert_eq!(server.join().unwrap().counters.executed, 1);
+}
+
+/// Over-budget requests shed immediately with the typed
+/// `serve.over-capacity` error — they never queue.
+#[test]
+fn bucket_sheds_over_budget_requests_with_typed_error() {
+    let mut config = ServeConfig::new(test_socket("shed"));
+    config.bucket_capacity = 2;
+    config.refill_per_sec = 0;
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect(&server);
+
+    let mut shed = Vec::new();
+    for id in 1..=5u64 {
+        let resp = client.request(&format!(
+            "{{\"id\":{id},\"cmd\":\"run\",\"alg\":\"prim\",\"graph\":\"ring:10\",\"seed\":{id}}}"
+        ));
+        if !resp.ok {
+            shed.push(resp);
+        }
+    }
+    assert_eq!(shed.len(), 3, "capacity 2, refill 0: exactly 3 of 5 shed");
+    for r in &shed {
+        assert_eq!(&r.source, "admission", "{r:?}");
+        assert!(
+            r.fragment.contains("\"code\":\"serve.over-capacity\""),
+            "{r:?}"
+        );
+    }
+
+    let s = stats(&mut client);
+    reconcile(&s);
+    assert_eq!((s.received, s.shed, s.misses, s.executed), (5, 3, 2, 2));
+
+    server.begin_shutdown();
+    server.join().unwrap();
+}
+
+/// Deterministic failures are cached like successes: the second bad
+/// request is a cache hit carrying the identical typed error bytes.
+#[test]
+fn deterministic_errors_are_cached() {
+    let server = Server::start(ServeConfig::new(test_socket("errcache"))).unwrap();
+    let mut client = Client::connect(&server);
+
+    let line = "{\"id\":1,\"cmd\":\"run\",\"alg\":\"prim\",\"graph\":\"ring:0\",\"seed\":0}";
+    let first = client.request(line);
+    assert!(!first.ok && first.source == "exec", "{first:?}");
+    assert!(
+        first.fragment.contains("\"code\":\"request.bad-graph\""),
+        "{first:?}"
+    );
+
+    let second = client.request(line);
+    assert!(!second.ok && second.source == "cache", "{second:?}");
+    assert_eq!(second.fragment, first.fragment, "cached error bytes differ");
+
+    let s = stats(&mut client);
+    assert_eq!((s.hits, s.misses, s.executed), (1, 1, 1));
+
+    server.begin_shutdown();
+    server.join().unwrap();
+}
+
+/// Malformed lines get a typed reject without disturbing the
+/// cacheable-request counters.
+#[test]
+fn malformed_requests_are_rejected_with_typed_errors() {
+    let server = Server::start(ServeConfig::new(test_socket("reject"))).unwrap();
+    let mut client = Client::connect(&server);
+
+    for (line, code) in [
+        ("this is not json", codes::PARSE),
+        ("{\"id\":7,\"cmd\":\"warp\"}", codes::PARSE),
+        ("{\"id\":8,\"cmd\":\"run\",\"alg\":\"bogus\",\"graph\":\"ring:8\"}", codes::BAD_ALGORITHM),
+        ("{\"id\":9,\"cmd\":\"sweep\",\"template\":\"ring:64\"}", codes::BAD_TEMPLATE),
+        (
+            "{\"id\":10,\"cmd\":\"run\",\"alg\":\"prim\",\"graph\":\"ring:8\",\"executor\":\"warp\"}",
+            codes::BAD_EXECUTOR,
+        ),
+    ] {
+        let resp = client.request(line);
+        assert!(!resp.ok, "{resp:?}");
+        assert_eq!(&resp.source, "reject", "{resp:?}");
+        assert!(
+            resp.fragment.contains(&format!("\"code\":\"{code}\"")),
+            "{resp:?} expected {code}"
+        );
+    }
+
+    let s = stats(&mut client);
+    assert_eq!((s.received, s.rejected), (0, 5));
+
+    server.begin_shutdown();
+    server.join().unwrap();
+}
+
+/// Batch request kinds (sweep/report/chaos) execute and cache like runs.
+#[test]
+fn batch_requests_are_served_and_cached() {
+    let server = Server::start(ServeConfig::new(test_socket("batch"))).unwrap();
+    let mut client = Client::connect(&server);
+
+    let line = "{\"id\":1,\"cmd\":\"sweep\",\"algs\":\"prim\",\"template\":\"ring:{n}\",\
+                \"sizes\":[8,12],\"seeds\":[0]}";
+    let first = client.request(line);
+    assert!(first.ok && first.source == "exec", "{first:?}");
+    assert!(
+        first.fragment.contains("\"algorithm\":\"prim\""),
+        "{first:?}"
+    );
+    let second = client.request(line);
+    assert!(second.ok && second.source == "cache", "{second:?}");
+    assert_eq!(second.fragment, first.fragment);
+
+    let chaos =
+        client.request("{\"id\":3,\"cmd\":\"chaos\",\"seed\":1,\"sizes\":[8],\"trials\":1}");
+    assert!(
+        chaos.ok && chaos.fragment.contains("\"matrix\""),
+        "truncated: {}",
+        &chaos.fragment[..chaos.fragment.len().min(120)]
+    );
+
+    server.begin_shutdown();
+    let final_stats = server.join().unwrap();
+    assert_eq!(final_stats.counters.executed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Loadgen determinism (satellite): the artifact is byte-identical across
+// two cold daemon boots once the wall-clock group is neutralized.
+// ---------------------------------------------------------------------------
+
+fn neutralize_wall(artifact: &str) -> String {
+    let start = artifact
+        .find("\"wall\":{")
+        .expect("artifact has a wall group");
+    let end = start + artifact[start..].find('}').expect("wall group closes");
+    format!(
+        "{}\"wall\":{{}}{}",
+        &artifact[..start],
+        &artifact[end + 1..]
+    )
+}
+
+fn loadgen_once(tag: &str) -> String {
+    let socket = test_socket(&format!("loadgen-{tag}"));
+    let out =
+        std::env::temp_dir().join(format!("mst-bench-serve-{}-{tag}.json", std::process::id()));
+    let mut daemon = std::process::Command::new(env!("CARGO_BIN_EXE_sleeping-mst"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .args(["--workers", "3"])
+        .spawn()
+        .expect("spawn daemon");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .arg("--socket")
+        .arg(&socket)
+        .args([
+            "--seed",
+            "1",
+            "--requests",
+            "200",
+            "--distinct",
+            "12",
+            "--shutdown",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("run loadgen");
+    assert!(status.success(), "loadgen failed");
+    assert!(
+        daemon.wait().expect("daemon exit").success(),
+        "daemon failed"
+    );
+    let artifact = std::fs::read_to_string(&out).expect("read artifact");
+    let _ = std::fs::remove_file(&out);
+    artifact
+}
+
+#[test]
+fn loadgen_artifact_is_deterministic_modulo_wall_clock() {
+    let first = loadgen_once("a");
+    let second = loadgen_once("b");
+    assert_eq!(
+        neutralize_wall(&first),
+        neutralize_wall(&second),
+        "loadgen artifacts diverge beyond the wall group"
+    );
+    // The repeat-heavy seeded trace must stay overwhelmingly cached.
+    assert!(first.contains("\"hit_rate\":0.9400"), "{first}");
+    assert!(
+        first.contains("\"responses\":{\"ok\":200,\"err\":0}"),
+        "{first}"
+    );
+    assert!(
+        first.contains("\"sources\":{\"exec\":12,\"cache\":188,"),
+        "{first}"
+    );
+}
