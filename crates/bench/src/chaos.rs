@@ -23,7 +23,7 @@
 use graphlib::{generators, mst, UnionFind, WeightedGraph};
 use mst_core::registry::{AlgorithmSpec, ALGORITHMS};
 use mst_core::{ExecOptions, MstScratch, RunError};
-use netsim::{Executor, FaultPlan};
+use netsim::{EnergyModel, Executor, FaultPlan};
 
 /// Fault-intensity ladder, mildest first. Intensities are per-message /
 /// per-wake probabilities in ppm (see [`netsim::faults`]); `crash` adds a
@@ -48,6 +48,14 @@ pub struct ChaosSpec {
     /// [`Executor::Sync`] or [`Executor::Naive`] *is* the differential
     /// check against the default calendar driver.
     pub executor: Executor,
+    /// Send-half-step shard count every trial runs under. Like the
+    /// executor, shard counts are bit-identical, so this knob is part of
+    /// the same differential surface (CI `cmp`s shards 1 vs 2 matrices).
+    pub shards: Option<u32>,
+    /// Optional [`EnergyModel`] every trial charges against. Fills the
+    /// report's energy column; a budgeted model adds the
+    /// `energy` typed-failure bucket when nodes starve.
+    pub energy: Option<EnergyModel>,
 }
 
 impl Default for ChaosSpec {
@@ -57,6 +65,8 @@ impl Default for ChaosSpec {
             sizes: vec![8, 12],
             trials: 2,
             executor: Executor::Calendar,
+            shards: None,
+            energy: None,
         }
     }
 }
@@ -106,6 +116,9 @@ pub struct ChaosTrial {
     pub crashed_nodes: u64,
     /// Simulated rounds (0 when the run failed before completing).
     pub rounds: u64,
+    /// Total nano-joules spent under the spec's energy model (0 when no
+    /// model is configured or the run failed before completing).
+    pub energy_total: u64,
 }
 
 /// The full soak report: every trial in deterministic grid order.
@@ -267,6 +280,7 @@ fn run_trial(
         dup_deliveries: 0,
         crashed_nodes: 0,
         rounds: 0,
+        energy_total: 0,
     };
     let graph = match build_graph(family, n, seed) {
         Ok(g) => g,
@@ -276,15 +290,22 @@ fn run_trial(
         }
     };
     let plan = plan_for(level, seed, graph.node_count());
-    let opts = ExecOptions::seeded(seed)
+    let mut opts = ExecOptions::seeded(seed)
         .with_faults(plan)
         .with_executor(spec.executor);
+    if let Some(shards) = spec.shards {
+        opts = opts.with_shards(shards);
+    }
+    if let Some(model) = spec.energy {
+        opts = opts.with_energy(model);
+    }
     match algo.run_with_options(&graph, &opts, scratch) {
         Ok(out) => {
             trial.injected_drops = out.stats.injected_drops;
             trial.dup_deliveries = out.stats.dup_deliveries;
             trial.crashed_nodes = out.stats.crashed_nodes;
             trial.rounds = out.stats.rounds;
+            trial.energy_total = out.stats.energy_total();
             trial.outcome = classify_output(algo, &graph, &out.edges);
         }
         Err(e) => {
@@ -305,6 +326,7 @@ fn error_kind(e: &RunError) -> String {
         RunError::Model(_) => "model".to_string(),
         RunError::Panicked { .. } => "panic".to_string(),
         RunError::Degraded { .. } => "degraded".to_string(),
+        RunError::EnergyExhausted { .. } => "energy".to_string(),
         other => format!("other: {other}"),
     }
 }
@@ -333,15 +355,18 @@ impl ChaosReport {
                     .filter(|t| t.algorithm == algo.name && t.level == level)
                     .collect();
                 let count = |b: &str| group.iter().filter(|t| t.outcome.bucket() == b).count();
+                let energy: u64 = group.iter().map(|t| t.energy_total).sum();
                 cells.push(format!(
                     "{{\"algorithm\":\"{}\",\"level\":\"{}\",\"trials\":{},\
-                     \"correct\":{},\"typed_failures\":{},\"wrong_outputs\":{}}}",
+                     \"correct\":{},\"typed_failures\":{},\"wrong_outputs\":{},\
+                     \"energy_total\":{}}}",
                     algo.name,
                     level,
                     group.len(),
                     count("correct"),
                     count("typed-failure"),
                     count("wrong-output"),
+                    energy,
                 ));
             }
         }
@@ -357,7 +382,7 @@ impl ChaosReport {
                     "{{\"algorithm\":\"{}\",\"family\":\"{}\",\"level\":\"{}\",\
                      \"n\":{},\"seed\":{},\"outcome\":\"{}\",\"detail\":\"{}\",\
                      \"injected_drops\":{},\"dup_deliveries\":{},\
-                     \"crashed_nodes\":{},\"rounds\":{}}}",
+                     \"crashed_nodes\":{},\"rounds\":{},\"energy_total\":{}}}",
                     t.algorithm,
                     t.family,
                     t.level,
@@ -369,15 +394,21 @@ impl ChaosReport {
                     t.dup_deliveries,
                     t.crashed_nodes,
                     t.rounds,
+                    t.energy_total,
                 )
             })
             .collect();
+        let energy = match &self.spec.energy {
+            Some(model) => model.spec_string(),
+            None => "none".to_string(),
+        };
         format!(
             "{{\"seed\":{},\"sizes\":[{}],\"trials_per_cell\":{},\
-             \"matrix\":[{}],\"trials\":[{}]}}",
+             \"energy\":\"{}\",\"matrix\":[{}],\"trials\":[{}]}}",
             self.spec.seed,
             sizes.join(","),
             self.spec.trials,
+            energy,
             cells.join(","),
             rows.join(","),
         )
@@ -468,7 +499,7 @@ mod tests {
             seed: 3,
             sizes: vec![6],
             trials: 1,
-            executor: Executor::Calendar,
+            ..ChaosSpec::default()
         };
         let a = run_chaos(&spec);
         let b = run_chaos(&spec);
@@ -493,7 +524,7 @@ mod tests {
             seed: 11,
             sizes: vec![6],
             trials: 1,
-            executor: Executor::Calendar,
+            ..ChaosSpec::default()
         };
         let calendar = run_chaos(&spec).to_json();
         for executor in [Executor::Sync, Executor::Naive] {
@@ -503,6 +534,69 @@ mod tests {
             })
             .to_json();
             assert_eq!(calendar, other, "{executor}");
+        }
+    }
+
+    #[test]
+    fn energy_column_is_populated_and_bit_identical_across_executors_and_shards() {
+        let spec = ChaosSpec {
+            seed: 5,
+            sizes: vec![6],
+            trials: 1,
+            energy: Some(EnergyModel::reference()),
+            ..ChaosSpec::default()
+        };
+        let base = run_chaos(&spec);
+        let json = base.to_json();
+        assert!(json.contains("\"energy\":\"round:1000,tx:8,rx:4,idle:50\""));
+        // Every completed trial spent something under the reference model.
+        for t in base.trials.iter().filter(|t| t.rounds > 0) {
+            assert!(
+                t.energy_total > 0,
+                "{} {} {}",
+                t.algorithm,
+                t.family,
+                t.level
+            );
+        }
+        // The ledger is part of the differential surface: executors and
+        // shard counts must produce the same matrix bytes.
+        for executor in [Executor::Sync, Executor::Naive] {
+            let other = run_chaos(&ChaosSpec {
+                executor,
+                ..spec.clone()
+            });
+            assert_eq!(json, other.to_json(), "{executor}");
+        }
+        let sharded = run_chaos(&ChaosSpec {
+            shards: Some(2),
+            ..spec.clone()
+        });
+        assert_eq!(json, sharded.to_json(), "shards=2");
+    }
+
+    #[test]
+    fn budgeted_chaos_classifies_starvation_as_a_typed_energy_failure() {
+        // A budget below one round's cost starves every node immediately:
+        // each algorithm lands in the typed-failure bucket as "energy".
+        let spec = ChaosSpec {
+            seed: 9,
+            sizes: vec![6],
+            trials: 1,
+            energy: Some(EnergyModel::reference().with_budget(500)),
+            ..ChaosSpec::default()
+        };
+        let report = run_chaos(&spec);
+        assert!(report.wrong_outputs().is_empty());
+        for t in report.trials.iter().filter(|t| t.level == "none") {
+            assert_eq!(
+                t.outcome,
+                Outcome::TypedFailure("energy".to_string()),
+                "{} {} n={}",
+                t.algorithm,
+                t.family,
+                t.n
+            );
         }
     }
 

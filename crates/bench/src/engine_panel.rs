@@ -30,7 +30,9 @@
 //! across drivers.
 
 use graphlib::{generators, GraphBuilder, Port, WeightedGraph};
-use netsim::{Executor, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig, Simulator};
+use netsim::{
+    EnergyModel, Executor, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig, Simulator,
+};
 
 /// What the panel sweeps: sizes × drivers for the sparse workload, sizes
 /// × shard counts for the wave workload, plus the wake-schedule shape.
@@ -53,6 +55,12 @@ pub struct EnginePanelSpec {
     /// Shard counts to time on each wave size; `1` is the serial
     /// baseline the speedup column is measured against.
     pub shards: Vec<u32>,
+    /// Optional pricing model charged inside the kernel. When set, every
+    /// row carries an `energy_total` ledger sum, and the panel's existing
+    /// cross-driver / cross-shard [`netsim::RunStats`] equality check
+    /// extends to the per-node energy ledger for free (the ledger lives
+    /// in the stats).
+    pub energy: Option<EnergyModel>,
 }
 
 impl Default for EnginePanelSpec {
@@ -65,6 +73,7 @@ impl Default for EnginePanelSpec {
             gap_per_node: 4096,
             wave_sizes: Vec::new(),
             shards: vec![1],
+            energy: Some(EnergyModel::reference()),
         }
     }
 }
@@ -90,6 +99,9 @@ pub struct EnginePanelRow {
     pub graph_bytes: u64,
     /// Graph bytes per node — the scale campaign's memory budget column.
     pub bytes_per_node: f64,
+    /// Ledger sum under [`EnginePanelSpec::energy`] (0 with no model).
+    /// Deterministic in the spec seed, like `rounds` and `messages`.
+    pub energy_total: u64,
     /// Wall-clock seconds for the simulation call.
     pub wall_seconds: f64,
     /// Simulated rounds per wall-clock second.
@@ -270,9 +282,12 @@ pub fn run_engine_panel(spec: &EnginePanelSpec) -> Result<Vec<EnginePanelRow>, S
         let max_gap = spec.gap_per_node.saturating_mul(n.max(1) as u64);
         let mut reference: Option<netsim::RunStats> = None;
         for &executor in &spec.executors {
-            let config = SimConfig::default()
+            let mut config = SimConfig::default()
                 .with_seed(spec.seed)
                 .with_executor(executor);
+            if let Some(model) = spec.energy {
+                config = config.with_energy(model);
+            }
             let sim = Simulator::new(&graph, config);
             // lint:allow(wall-clock) -- the panel's whole point is real elapsed time per driver
             let started = std::time::Instant::now();
@@ -302,6 +317,7 @@ pub fn run_engine_panel(spec: &EnginePanelSpec) -> Result<Vec<EnginePanelRow>, S
                 messages,
                 graph_bytes: out.stats.graph_bytes,
                 bytes_per_node: out.stats.graph_bytes as f64 / n.max(1) as f64,
+                energy_total: out.stats.energy_total(),
                 wall_seconds,
                 rounds_per_sec: out.stats.rounds as f64 / wall_seconds,
                 messages_per_sec: messages as f64 / wall_seconds,
@@ -316,9 +332,12 @@ pub fn run_engine_panel(spec: &EnginePanelSpec) -> Result<Vec<EnginePanelRow>, S
             .map_err(|e| format!("engine panel wave n={n}: {e}"))?;
         let mut reference: Option<netsim::RunStats> = None;
         for &shards in &spec.shards {
-            let config = SimConfig::default()
+            let mut config = SimConfig::default()
                 .with_seed(spec.seed)
                 .with_shards(shards);
+            if let Some(model) = spec.energy {
+                config = config.with_energy(model);
+            }
             let sim = Simulator::new(&graph, config);
             // lint:allow(wall-clock) -- the shard sweep times real elapsed time per shard count
             let started = std::time::Instant::now();
@@ -348,6 +367,7 @@ pub fn run_engine_panel(spec: &EnginePanelSpec) -> Result<Vec<EnginePanelRow>, S
                 messages,
                 graph_bytes: out.stats.graph_bytes,
                 bytes_per_node: out.stats.graph_bytes as f64 / n.max(1) as f64,
+                energy_total: out.stats.energy_total(),
                 wall_seconds,
                 rounds_per_sec: out.stats.rounds as f64 / wall_seconds,
                 messages_per_sec: messages as f64 / wall_seconds,
@@ -367,7 +387,7 @@ pub fn render_engine_panel_json(rows: &[EnginePanelRow]) -> String {
             format!(
                 "{{\"workload\":\"{}\",\"n\":{},\"executor\":\"{}\",\"shards\":{},\
                  \"rounds\":{},\"messages\":{},\"graph_bytes\":{},\
-                 \"bytes_per_node\":{:.2},\"wall_seconds\":{:.6},\
+                 \"bytes_per_node\":{:.2},\"energy_total\":{},\"wall_seconds\":{:.6},\
                  \"rounds_per_sec\":{:.1},\"messages_per_sec\":{:.1}}}",
                 r.workload,
                 r.n,
@@ -377,6 +397,7 @@ pub fn render_engine_panel_json(rows: &[EnginePanelRow]) -> String {
                 r.messages,
                 r.graph_bytes,
                 r.bytes_per_node,
+                r.energy_total,
                 r.wall_seconds,
                 r.rounds_per_sec,
                 r.messages_per_sec,
@@ -413,6 +434,7 @@ mod tests {
             gap_per_node: 4,
             wave_sizes: vec![],
             shards: vec![1],
+            energy: Some(EnergyModel::reference()),
         };
         let rows = run_engine_panel(&spec).unwrap();
         assert_eq!(rows.len(), 6);
@@ -421,11 +443,15 @@ mod tests {
             assert_eq!(chunk[0].rounds, chunk[2].rounds);
             assert_eq!(chunk[0].messages, chunk[1].messages);
             assert_eq!(chunk[0].messages, chunk[2].messages);
+            assert!(chunk[0].energy_total > 0, "reference model charged");
+            assert_eq!(chunk[0].energy_total, chunk[1].energy_total);
+            assert_eq!(chunk[0].energy_total, chunk[2].energy_total);
             assert!(chunk[0].rounds > chunk[0].n as u64, "gaps were simulated");
         }
         let json = render_engine_panel_json(&rows);
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert_eq!(json.matches("\"executor\"").count(), 6);
+        assert_eq!(json.matches("\"energy_total\"").count(), 6);
     }
 
     /// Wave rows must agree bit-for-bit across shard counts, including
@@ -441,6 +467,7 @@ mod tests {
             gap_per_node: 4,
             wave_sizes: vec![256],
             shards: vec![1, 2, 3],
+            energy: Some(EnergyModel::reference()),
         };
         let rows = run_engine_panel(&spec).unwrap();
         assert_eq!(rows.len(), 3);
@@ -448,6 +475,8 @@ mod tests {
             assert_eq!(row.workload, "wave");
             assert_eq!(row.rounds, rows[0].rounds);
             assert_eq!(row.messages, rows[0].messages);
+            assert!(row.energy_total > 0);
+            assert_eq!(row.energy_total, rows[0].energy_total);
             assert!(row.graph_bytes > 0);
             assert!(row.bytes_per_node > 0.0);
         }

@@ -18,7 +18,7 @@ use std::sync::Mutex;
 use graphlib::WeightedGraph;
 use mst_core::registry::AlgorithmSpec;
 use mst_core::{ExecOptions, MstOutcome, MstScratch, RunError};
-use netsim::{Executor, RunStats};
+use netsim::{EnergyModel, Executor, RunStats};
 
 /// How one sweep algorithm executes a trial.
 enum Runner<'a> {
@@ -98,6 +98,7 @@ pub struct Sweep<'a> {
     threads: usize,
     executor: Option<Executor>,
     shards: Option<u32>,
+    energy: Option<EnergyModel>,
 }
 
 impl<'a> Sweep<'a> {
@@ -113,6 +114,7 @@ impl<'a> Sweep<'a> {
             threads: 0,
             executor: None,
             shards: None,
+            energy: None,
         }
     }
 
@@ -174,6 +176,18 @@ impl<'a> Sweep<'a> {
     /// only trades wall-clock for cores within each trial.
     pub fn shards(mut self, shards: u32) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Prices every registry trial under `model` (see
+    /// [`netsim::EnergyModel`]). Charging happens inside the one
+    /// execution kernel, so the resulting per-node ledgers are
+    /// bit-identical across drivers, shard counts, and thread counts
+    /// like every other stat. A model with a budget can make trials fail
+    /// with the typed [`mst_core::RunError::EnergyExhausted`]. Custom
+    /// [`Sweep::algorithm_fn`] runners ignore this knob.
+    pub fn energy(mut self, model: EnergyModel) -> Self {
+        self.energy = Some(model);
         self
     }
 
@@ -256,6 +270,9 @@ impl<'a> Sweep<'a> {
                 }
                 if let Some(shards) = self.shards {
                     opts = opts.with_shards(shards);
+                }
+                if let Some(model) = self.energy {
+                    opts = opts.with_energy(model);
                 }
                 spec.run_with_options(&graph, &opts, scratch)
             }

@@ -16,7 +16,7 @@
 use graphlib::{generators, WeightedGraph};
 use mst_core::registry::{self, AlgorithmSpec};
 use mst_core::{ExecOptions, MstScratch};
-use netsim::{Executor, Metrics, RunStats};
+use netsim::{EnergyModel, Executor, Metrics, RunStats};
 
 /// The report panel: sizes, seeds, and the backing time driver.
 #[derive(Debug, Clone)]
@@ -29,6 +29,11 @@ pub struct ReportSpec {
     /// (the golden tests pin `Naive` against `Calendar`); the choice only
     /// changes generation wall-clock.
     pub executor: Executor,
+    /// Energy model the panel charges under (no budget by default, so
+    /// outcomes are unchanged — the model only fills the energy columns).
+    /// The ledger is deterministic, so it is part of the pinned report
+    /// bytes.
+    pub energy: EnergyModel,
 }
 
 impl Default for ReportSpec {
@@ -37,6 +42,7 @@ impl Default for ReportSpec {
             sizes: vec![8, 12, 16, 24],
             seeds: vec![0, 1],
             executor: Executor::Calendar,
+            energy: EnergyModel::reference(),
         }
     }
 }
@@ -62,6 +68,11 @@ pub struct CellRow {
     pub bits_sent: f64,
     /// Mean (over seeds) of the run's max single-round per-edge congestion.
     pub max_edge_bits: f64,
+    /// Mean heaviest per-node energy spend (nano-joules) under the
+    /// panel's [`EnergyModel`] — the energy analogue of `awake_max`.
+    pub energy_max: f64,
+    /// Mean total energy spend across all nodes.
+    pub energy_total: f64,
 }
 
 /// One phase label's whole-run totals for the breakdown panel (largest
@@ -119,6 +130,10 @@ pub struct Report {
     pub sizes: Vec<usize>,
     /// Seeds swept.
     pub seeds: Vec<u64>,
+    /// Canonical spec string of the panel's [`EnergyModel`]
+    /// ([`EnergyModel::spec_string`]) — the pricing behind the energy
+    /// columns.
+    pub energy: String,
     /// One block per graph family.
     pub families: Vec<FamilyReport>,
 }
@@ -158,13 +173,15 @@ fn run_once(
     graph: &WeightedGraph,
     seed: u64,
     executor: Executor,
+    energy: EnergyModel,
     scratch: &mut MstScratch,
 ) -> Result<(RunStats, Metrics), String> {
     spec.run_with_options(
         graph,
         &ExecOptions::seeded(seed)
             .with_metrics()
-            .with_executor(executor),
+            .with_executor(executor)
+            .with_energy(energy),
         scratch,
     )
     .map(|out| (out.stats, out.metrics))
@@ -223,12 +240,16 @@ pub fn generate(spec: &ReportSpec) -> Result<Report, String> {
                     messages_sent: 0.0,
                     bits_sent: 0.0,
                     max_edge_bits: 0.0,
+                    energy_max: 0.0,
+                    energy_total: 0.0,
                 };
                 let k = spec.seeds.len() as f64;
                 for &seed in &spec.seeds {
                     let graph = build_family(family, n, seed)?;
                     let (stats, metrics) =
-                        run_once(alg, &graph, seed, spec.executor, &mut scratch)?;
+                        run_once(alg, &graph, seed, spec.executor, spec.energy, &mut scratch)?;
+                    cell.energy_max += stats.energy_max() as f64 / k;
+                    cell.energy_total += stats.energy_total() as f64 / k;
                     cell.awake_max += stats.awake_max() as f64 / k;
                     cell.rounds += stats.rounds as f64 / k;
                     cell.active_rounds += metrics.active_rounds() as f64 / k;
@@ -273,6 +294,7 @@ pub fn generate(spec: &ReportSpec) -> Result<Report, String> {
     Ok(Report {
         sizes: spec.sizes.clone(),
         seeds: spec.seeds.clone(),
+        energy: spec.energy.spec_string(),
         families,
     })
 }
@@ -297,6 +319,7 @@ impl Report {
         push_list(&mut s, &self.sizes);
         s.push_str(",\"seeds\":");
         push_list(&mut s, &self.seeds);
+        s.push_str(&format!(",\"energy\":\"{}\"", self.energy));
         s.push_str(",\"families\":[");
         for (fi, fam) in self.families.iter().enumerate() {
             if fi > 0 {
@@ -326,7 +349,8 @@ impl Report {
                         "{{\"n\":{},\"seeds\":{},\"awake_max\":{:.3},\
                          \"awake_over_log\":{:.3},\"rounds\":{:.3},\
                          \"active_rounds\":{:.3},\"messages_sent\":{:.3},\
-                         \"bits_sent\":{:.3},\"max_edge_bits\":{:.3}}}",
+                         \"bits_sent\":{:.3},\"max_edge_bits\":{:.3},\
+                         \"energy_max\":{:.3},\"energy_total\":{:.3}}}",
                         r.n,
                         r.seeds,
                         r.awake_max,
@@ -336,6 +360,8 @@ impl Report {
                         r.messages_sent,
                         r.bits_sent,
                         r.max_edge_bits,
+                        r.energy_max,
+                        r.energy_total,
                     ));
                 }
                 s.push_str("],\"phases\":[");
@@ -371,24 +397,26 @@ impl Report {
         let mut s = format!(
             "# Table 1, measured\n\n\
              Panel: sizes {{{}}}, seeds {{{}}}; generated by `sleeping-mst report`.\n\
-             `b` columns are least-squares exponents of `metric ~ n^b` across the panel.\n",
+             `b` columns are least-squares exponents of `metric ~ n^b` across the panel.\n\
+             Energy columns price runs under the `{}` model (nano-joules).\n",
             sizes.join(", "),
             seeds.join(", "),
+            self.energy,
         );
         for fam in &self.families {
             s.push_str(&format!(
                 "\n## Family `{}`\n\n\
-                 | algorithm | paper awake bound | awake max @ n={top_n} | awake/log2 n | awake b | paper rounds bound | rounds @ n={top_n} | rounds b | messages b |\n\
-                 |---|---|---|---|---|---|---|---|---|\n",
+                 | algorithm | paper awake bound | awake max @ n={top_n} | awake/log2 n | awake b | paper rounds bound | rounds @ n={top_n} | rounds b | messages b | energy max @ n={top_n} |\n\
+                 |---|---|---|---|---|---|---|---|---|---|\n",
                 fam.family
             ));
             for alg in &fam.algorithms {
                 let top = alg.rows.iter().find(|r| r.n == top_n);
-                let (awake, over_log, rounds) = top.map_or((0.0, 0.0, 0.0), |r| {
-                    (r.awake_max, r.awake_over_log, r.rounds)
+                let (awake, over_log, rounds, energy) = top.map_or((0.0, 0.0, 0.0, 0.0), |r| {
+                    (r.awake_max, r.awake_over_log, r.rounds, r.energy_max)
                 });
                 s.push_str(&format!(
-                    "| {} | {} | {:.1} | {:.2} | {:.3} | {} | {:.0} | {:.3} | {:.3} |\n",
+                    "| {} | {} | {:.1} | {:.2} | {:.3} | {} | {:.0} | {:.3} | {:.3} | {:.0} |\n",
                     alg.name,
                     alg.awake_bound,
                     awake,
@@ -398,6 +426,7 @@ impl Report {
                     rounds,
                     alg.rounds_exponent,
                     alg.messages_exponent,
+                    energy,
                 ));
             }
             for alg in &fam.algorithms {
@@ -432,7 +461,7 @@ mod tests {
         ReportSpec {
             sizes: vec![6, 8],
             seeds: vec![0],
-            executor: Executor::Calendar,
+            ..ReportSpec::default()
         }
     }
 
@@ -445,6 +474,10 @@ mod tests {
             for alg in &fam.algorithms {
                 assert_eq!(alg.rows.len(), 2);
                 assert!(alg.rows.iter().all(|r| r.awake_max > 0.0));
+                // The reference model charges every awake round, so the
+                // energy columns are populated for every cell.
+                assert!(alg.rows.iter().all(|r| r.energy_max > 0.0));
+                assert!(alg.rows.iter().all(|r| r.energy_total >= r.energy_max));
                 assert!(!alg.phases.is_empty(), "{}", alg.name);
                 let share: f64 = alg.phases.iter().map(|p| p.awake_share).sum();
                 assert!((share - 1.0).abs() < 1e-9, "{}: {share}", alg.name);
@@ -479,7 +512,7 @@ mod tests {
         let err = generate(&ReportSpec {
             sizes: vec![],
             seeds: vec![0],
-            executor: Executor::Calendar,
+            ..ReportSpec::default()
         })
         .unwrap_err();
         assert!(err.contains("at least one"));

@@ -41,7 +41,7 @@
 use graphlib::WeightedGraph;
 use mst_core::wire::{fnv64, RunRequest};
 use mst_core::{AlgorithmSpec, MstOutcome};
-use netsim::{Executor, FaultPlan};
+use netsim::{EnergyModel, Executor, FaultPlan};
 
 use mst_core::wire::CanonicalRun;
 
@@ -417,6 +417,20 @@ pub fn parse_request(line: &str) -> Result<RequestEnvelope, RequestError> {
                     )
                 })?),
             };
+            let energy = match doc.get("energy").and_then(Json::as_str) {
+                None => None,
+                Some(spec) => Some(EnergyModel::parse(spec).ok_or_else(|| {
+                    parse_fail(format!(
+                        "unknown energy model '{spec}' (expected 'reference', 'radio', \
+                         or a comma list of round:/tx:/rx:/idle:/budget: costs)"
+                    ))
+                })?),
+            };
+            // A bare budget prices the run under the reference model.
+            let energy = match doc.get("budget").and_then(Json::as_u64) {
+                Some(b) => Some(energy.unwrap_or_else(EnergyModel::reference).with_budget(b)),
+                None => energy,
+            };
             let req = RunRequest {
                 alg: field("alg")?,
                 graph: field("graph")?,
@@ -427,6 +441,7 @@ pub fn parse_request(line: &str) -> Result<RequestEnvelope, RequestError> {
                     .and_then(Json::as_u64)
                     .map(|n| n.max(1) as u32),
                 faults: parse_fault_plan(doc.get("faults")).map_err(&parse_fail)?,
+                energy,
             };
             let canonical = req
                 .canonicalize()
@@ -640,6 +655,7 @@ pub fn render_run_result(
     graph: &WeightedGraph,
     seed: u64,
     faults: Option<&FaultPlan>,
+    energy: Option<&EnergyModel>,
     out: &MstOutcome,
 ) -> String {
     let plan = faults.cloned().unwrap_or_default();
@@ -648,14 +664,29 @@ pub fn render_run_result(
         .iter()
         .map(|(node, round)| format!("[{node},{round}]"))
         .collect();
+    // The energy object appears only for runs under an active model, so
+    // plain-run fragments stay byte-identical to the pre-energy wire
+    // format (pinned goldens, cross-process cmp artifacts).
+    let energy = match energy {
+        Some(model) => format!(
+            ",\"energy\":{{\"model\":\"{}\",\"total\":{},\"max\":{},\
+             \"idle_listen_rounds\":{},\"exhausted_nodes\":{}}}",
+            model.spec_string(),
+            out.stats.energy_total(),
+            out.stats.energy_max(),
+            out.stats.idle_listen_rounds,
+            out.stats.exhausted_nodes,
+        ),
+        None => String::new(),
+    };
     format!(
         "{{\"algorithm\":\"{}\",\"seed\":{},\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
          \"total_weight\":{},\"phases\":{},\"awake_max\":{},\"awake_avg\":{:.3},\
          \"rounds\":{},\"awake_round_product\":{},\"messages_delivered\":{},\
          \"messages_lost\":{},\"max_message_bits\":{},\"log_constant\":{},\
          \"injected_drops\":{},\"dup_deliveries\":{},\"crashed_nodes\":{},\
-         \"memory\":{{\"graph_bytes\":{},\"arena_peak_envelopes\":{}}},\
-         \"fault_plan\":{{\"fault_seed\":{},\"drop_ppm\":{},\"duplicate_ppm\":{},\
+         \"memory\":{{\"graph_bytes\":{},\"arena_peak_envelopes\":{}}}{}\
+         ,\"fault_plan\":{{\"fault_seed\":{},\"drop_ppm\":{},\"duplicate_ppm\":{},\
          \"spurious_sleep_ppm\":{},\"wake_jitter\":{},\"crashes\":[{}]}}}}",
         alg.name,
         seed,
@@ -677,6 +708,7 @@ pub fn render_run_result(
         out.stats.crashed_nodes,
         out.stats.graph_bytes,
         out.stats.arena_peak_envelopes,
+        energy,
         plan.fault_seed,
         plan.drop_ppm,
         plan.duplicate_ppm,

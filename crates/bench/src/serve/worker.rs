@@ -19,7 +19,6 @@ use std::sync::{Arc, Condvar, Mutex};
 use graphlib::generators;
 use mst_core::wire::CanonicalRun;
 use mst_core::{AlgorithmSpec, MstScratch};
-use netsim::Executor;
 
 use crate::harness::{self, Sweep};
 use crate::serve::admission::TokenBucket;
@@ -282,6 +281,7 @@ pub(crate) fn execute_job(
                 &graph,
                 run.seed,
                 run.faults.as_ref(),
+                run.energy.as_ref(),
                 &out,
             ))
         }
@@ -309,7 +309,7 @@ pub(crate) fn execute_job(
             let spec = report::ReportSpec {
                 sizes: sizes.clone(),
                 seeds: seeds.clone(),
-                executor: Executor::Calendar,
+                ..report::ReportSpec::default()
             };
             let report = report::generate(&spec).map_err(|e| (codes::INTERNAL, e))?;
             Ok(report.to_json())
@@ -323,7 +323,7 @@ pub(crate) fn execute_job(
                 seed: *seed,
                 sizes: sizes.clone(),
                 trials: *trials,
-                executor: Executor::Calendar,
+                ..chaos::ChaosSpec::default()
             };
             Ok(chaos::run_chaos(&spec).to_json())
         }

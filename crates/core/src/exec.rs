@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
-use netsim::{Executor, FaultPlan, Round, SimConfig};
+use netsim::{EnergyModel, Executor, FaultPlan, Round, SimConfig, WakePolicy};
 
 use crate::runner::RunError;
 
@@ -50,6 +50,16 @@ pub struct ExecOptions {
     /// the serial default. Like the executor choice, shard counts are
     /// bit-identical — they trade wall-clock for cores, nothing else.
     pub shards: Option<u32>,
+    /// Energy model to charge against, if any. `None` — and inert models
+    /// (all costs zero, no matter the budget) — take the exact no-energy
+    /// execution path. A budgeted model engages the same watchdog and
+    /// degradation safeguards as an active fault plan, because exhausted
+    /// nodes fall asleep through the crash machinery.
+    pub energy: Option<EnergyModel>,
+    /// Wake-schedule transform ([`WakePolicy`]). The default
+    /// [`WakePolicy::Block`] (and other identity policies) takes the
+    /// exact untransformed path.
+    pub wake_policy: WakePolicy,
 }
 
 impl ExecOptions {
@@ -91,9 +101,40 @@ impl ExecOptions {
         self
     }
 
+    /// Attaches an energy model.
+    pub fn with_energy(mut self, model: EnergyModel) -> Self {
+        self.energy = Some(model);
+        self
+    }
+
+    /// Selects the wake-schedule policy for the run.
+    pub fn with_wake_policy(mut self, policy: WakePolicy) -> Self {
+        self.wake_policy = policy;
+        self
+    }
+
     /// The plan, if it would actually do anything.
     pub fn active_faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().filter(|p| !p.is_inert())
+    }
+
+    /// The energy model, if it would actually charge anything.
+    pub fn active_energy(&self) -> Option<&EnergyModel> {
+        self.energy.as_ref().filter(|m| !m.is_inert())
+    }
+
+    /// Whether this run can lose nodes or messages before completion: an
+    /// active fault plan, an energy budget under an active model
+    /// (exhaustion reuses the crash machinery), or a non-identity wake
+    /// policy (delayed wakes break the transmission schedule's
+    /// receiver-is-awake guarantee, so messages get lost). Gates the
+    /// watchdog and the degraded-output check — a duty-cycled run that
+    /// "completes" with a partial forest must surface as
+    /// [`crate::RunError::Degraded`], never as a silently wrong tree.
+    pub fn lossy(&self) -> bool {
+        self.active_faults().is_some()
+            || self.active_energy().is_some_and(|m| m.budget.is_some())
+            || !self.wake_policy.is_identity()
     }
 
     /// The [`SimConfig`] these options describe.
@@ -114,6 +155,10 @@ impl ExecOptions {
         if let Some(shards) = self.shards {
             config = config.with_shards(shards);
         }
+        if let Some(model) = self.energy {
+            config = config.with_energy(model);
+        }
+        config = config.with_wake_policy(self.wake_policy);
         config
     }
 }
@@ -219,6 +264,42 @@ mod tests {
         let config = opts.sim_config();
         assert_eq!(config.max_rounds, 500);
         assert_eq!(config.faults, Some(plan));
+    }
+
+    #[test]
+    fn inert_energy_models_do_not_count_as_active() {
+        use netsim::{EnergyModel, WakePolicy};
+        // All-zero costs are inert even with a budget attached; the run
+        // cannot spend, so nothing can exhaust.
+        let idle = ExecOptions::seeded(1).with_energy(EnergyModel::default().with_budget(5));
+        assert!(idle.energy.is_some());
+        assert!(idle.active_energy().is_none());
+        assert!(!idle.lossy());
+        // A priced model is active; only a budget makes it lossy.
+        let priced = ExecOptions::seeded(1).with_energy(EnergyModel::reference());
+        assert!(priced.active_energy().is_some());
+        assert!(!priced.lossy());
+        let budgeted =
+            ExecOptions::seeded(1).with_energy(EnergyModel::reference().with_budget(10_000));
+        assert!(budgeted.lossy());
+        // Faults make a run lossy independently of energy.
+        let faulted = ExecOptions::seeded(1).with_faults(FaultPlan::seeded(9).with_drop_ppm(1));
+        assert!(faulted.lossy());
+        // So does a non-identity wake policy: delayed wakes break the
+        // schedule's receiver-is-awake guarantee. Identity
+        // parameterizations stay non-lossy.
+        let delayed =
+            ExecOptions::seeded(1).with_wake_policy(WakePolicy::HeavyTail { seed: 7, cap: 5 });
+        assert!(delayed.lossy());
+        let identity = ExecOptions::seeded(1).with_wake_policy(WakePolicy::DutyCycle { period: 1 });
+        assert!(!identity.lossy());
+        // Energy and policy are threaded into the SimConfig verbatim.
+        let config = budgeted
+            .clone()
+            .with_wake_policy(WakePolicy::DutyCycle { period: 4 })
+            .sim_config();
+        assert_eq!(config.energy, budgeted.energy);
+        assert_eq!(config.wake_policy, WakePolicy::DutyCycle { period: 4 });
     }
 
     #[test]

@@ -126,13 +126,16 @@ impl AlgorithmSpec {
 
     /// Runs the algorithm under explicit [`ExecOptions`].
     ///
-    /// Fault-free options take the exact [`AlgorithmSpec::run_with_scratch`]
-    /// path. When the plan is active (non-inert), two safeguards engage:
+    /// Fault-free, budget-free options take the exact
+    /// [`AlgorithmSpec::run_with_scratch`] path. When the run is lossy
+    /// ([`ExecOptions::lossy`]: an active fault plan, an energy budget
+    /// under an active model, or a non-identity wake policy), two
+    /// safeguards engage:
     ///
     /// * a **round-budget watchdog** — unless the caller set an explicit
-    ///   budget, [`round_budget`] caps the run so fault-induced livelock
-    ///   (a protocol re-scheduling wakes forever for a signal a drop or
-    ///   crash destroyed) surfaces as
+    ///   budget, [`round_budget`] caps the run so livelock (a protocol
+    ///   re-scheduling wakes forever for a signal a drop, crash, or
+    ///   energy-exhausted peer destroyed) surfaces as
     ///   [`netsim::SimError::MaxRoundsExceeded`], never a hang;
     /// * **panic capture** — a protocol invariant tripped by a lost
     ///   coordination message becomes [`RunError::Panicked`] instead of
@@ -140,7 +143,7 @@ impl AlgorithmSpec {
     ///
     /// # Errors
     ///
-    /// Propagates the runner's [`RunError`]; under active faults also
+    /// Propagates the runner's [`RunError`]; on lossy runs also
     /// [`RunError::Panicked`] and watchdog-capped simulator errors.
     pub fn run_with_options(
         &self,
@@ -152,15 +155,16 @@ impl AlgorithmSpec {
         if opts.executor.is_none() {
             opts.executor = Some(self.default_executor);
         }
-        match opts.active_faults().cloned() {
-            None => (self.runner)(graph, &opts, scratch),
-            Some(plan) => {
-                if opts.max_rounds.is_none() {
-                    opts.max_rounds = Some(round_budget(graph.node_count(), &plan));
-                }
-                run_caught(|| (self.runner)(graph, &opts, scratch))
-            }
+        if !opts.lossy() {
+            return (self.runner)(graph, &opts, scratch);
         }
+        if opts.max_rounds.is_none() {
+            // Budget-only runs (no fault plan) size the watchdog off the
+            // calm plan — no jitter or sleep stretch applies.
+            let plan = opts.active_faults().cloned().unwrap_or_default();
+            opts.max_rounds = Some(round_budget(graph.node_count(), &plan));
+        }
+        run_caught(|| (self.runner)(graph, &opts, scratch))
     }
 
     /// Runs the algorithm under an injected [`FaultPlan`]: the uniform

@@ -14,8 +14,8 @@ use std::fmt;
 
 use graphlib::{EdgeId, NodeId, Port, WeightedGraph};
 use netsim::{
-    ExecutorScratch, NodeCtx, Protocol, RunStats, SimConfig, SimError, Simulator, ValidateError,
-    ValidatingExecutor, Violation,
+    ExecutorScratch, NodeCtx, Protocol, Round, RunStats, SimConfig, SimError, Simulator,
+    ValidateError, ValidatingExecutor, Violation,
 };
 
 use crate::baseline::{ghs_always_awake, GhsAlwaysAwake};
@@ -108,6 +108,19 @@ pub enum RunError {
         /// Connected components of the input graph.
         graph_components: usize,
     },
+    /// A node spent past its energy budget
+    /// ([`netsim::EnergyModel::budget`]) and was forced asleep
+    /// permanently. Promoted from [`netsim::SimError::EnergyExhausted`]
+    /// to a first-class run-layer error so chaos harnesses classify
+    /// energy starvation apart from other simulator failures. Carries
+    /// the run's *first* exhaustion, adjudicated in serial node order —
+    /// identical across drivers and shard counts.
+    EnergyExhausted {
+        /// The first node to exhaust its budget.
+        node: NodeId,
+        /// The round its ledger went past the budget.
+        round: Round,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -139,11 +152,16 @@ impl fmt::Display for RunError {
                 "degraded output under injected faults: {edges} edges forming \
                  {output_trees} tree(s) on a graph with {graph_components} component(s)"
             ),
+            RunError::EnergyExhausted { node, round } => write!(
+                f,
+                "node {node} exhausted its energy budget in round {round}; \
+                 the run cannot complete without it"
+            ),
         }
     }
 }
 
-/// Every stable [`RunError`] wire code: the five run-layer codes plus
+/// Every stable [`RunError`] wire code: the six run-layer codes plus
 /// the embedded [`netsim::SIM_ERROR_CODES`] namespace. Frozen vocabulary
 /// — service responses embed these, so renaming one is a wire break the
 /// round-trip tests catch.
@@ -153,6 +171,7 @@ pub const RUN_ERROR_CODES: &[&str] = &[
     "run.model",
     "run.panicked",
     "run.degraded",
+    "run.energy-exhausted",
 ];
 
 /// Resolves a wire code back to its canonical `&'static str` — either a
@@ -180,6 +199,7 @@ impl RunError {
             RunError::Model(_) => "run.model",
             RunError::Panicked { .. } => "run.panicked",
             RunError::Degraded { .. } => "run.degraded",
+            RunError::EnergyExhausted { .. } => "run.energy-exhausted",
         }
     }
 }
@@ -192,7 +212,8 @@ impl std::error::Error for RunError {
             RunError::Disconnected { .. }
             | RunError::Model(_)
             | RunError::Panicked { .. }
-            | RunError::Degraded { .. } => None,
+            | RunError::Degraded { .. }
+            | RunError::EnergyExhausted { .. } => None,
         }
     }
 }
@@ -200,7 +221,7 @@ impl std::error::Error for RunError {
 impl From<ValidateError> for RunError {
     fn from(e: ValidateError) -> Self {
         match e {
-            ValidateError::Sim(s) => RunError::Sim(s),
+            ValidateError::Sim(s) => s.into(),
             ValidateError::Model(v) => RunError::Model(v),
         }
     }
@@ -208,7 +229,13 @@ impl From<ValidateError> for RunError {
 
 impl From<SimError> for RunError {
     fn from(e: SimError) -> Self {
-        RunError::Sim(e)
+        match e {
+            // Energy exhaustion is promoted to its own run-layer variant
+            // (and wire code) so harnesses classify starvation apart from
+            // other simulator failures.
+            SimError::EnergyExhausted { node, round } => RunError::EnergyExhausted { node, round },
+            other => RunError::Sim(other),
+        }
     }
 }
 
@@ -363,10 +390,12 @@ where
         }
     }
     let config = opts.sim_config();
-    let faulted = config.faults.as_ref().is_some_and(|p| !p.is_inert());
+    // Lossy runs (active faults, or an energy budget that can force nodes
+    // asleep) must not pass off partial forests as answers.
+    let lossy = opts.lossy();
     let out = Simulator::new(graph, config).run_with_scratch(scratch, spec.factory)?;
     let edges = collect_mst_edges(graph, &out.states, spec.ports)?;
-    if faulted {
+    if lossy {
         check_spanning_forest(graph, &edges)?;
     }
     let phases = out.states.iter().map(spec.phases).max().unwrap_or(0);
@@ -980,13 +1009,17 @@ mod tests {
                 output_trees: 2,
                 graph_components: 1,
             },
+            RunError::EnergyExhausted {
+                node: NodeId::new(4),
+                round: 12,
+            },
         ]
     }
 
     #[test]
     fn wire_codes_round_trip_and_are_distinct() {
         let variants = all_run_error_variants();
-        // 5 run.* codes + the Sim passthrough variant.
+        // 6 run.* codes + the Sim passthrough variant.
         assert_eq!(
             variants.len(),
             RUN_ERROR_CODES.len() + 1,
@@ -1010,5 +1043,30 @@ mod tests {
             assert_eq!(parse_run_code(code), Some(code));
         }
         assert_eq!(parse_run_code("run.no-such-error"), None);
+    }
+
+    #[test]
+    fn energy_exhaustion_is_promoted_from_sim_errors() {
+        let err: RunError = SimError::EnergyExhausted {
+            node: NodeId::new(3),
+            round: 7,
+        }
+        .into();
+        assert_eq!(
+            err,
+            RunError::EnergyExhausted {
+                node: NodeId::new(3),
+                round: 7,
+            }
+        );
+        assert_eq!(err.to_json_code(), "run.energy-exhausted");
+        assert!(err.to_string().contains("v3") && err.to_string().contains('7'));
+        // Other simulator errors still pass through untouched.
+        let err: RunError = SimError::Stalled {
+            running: 1,
+            round: 2,
+        }
+        .into();
+        assert!(matches!(err, RunError::Sim(SimError::Stalled { .. })));
     }
 }

@@ -18,17 +18,22 @@
 //! * **inert fault plans** — a plan whose every intensity is zero takes
 //!   the exact no-fault execution path
 //!   ([`ExecOptions::active_faults`]), so it normalizes to "no plan" and
-//!   shares the plain run's cache slot.
+//!   shares the plain run's cache slot;
+//! * **inert energy models** — a model whose every cost is zero cannot
+//!   charge anything (budget or not), takes the exact no-energy path,
+//!   and likewise normalizes to "no model".
 //!
 //! What stays in the key: algorithm name, graph spec string, seed (it
-//! feeds both the graph weights and the protocol coins), and any active
+//! feeds both the graph weights and the protocol coins), any active
 //! fault plan (every field, crashes included — fault decisions are a
-//! pure function of the plan, so the plan *is* the behavior).
+//! pure function of the plan, so the plan *is* the behavior), and any
+//! active energy model (charging fills the response's ledger, and a
+//! budget can flip the outcome to `run.energy-exhausted`).
 //!
 //! The fingerprint is FNV-1a 64 over the canonical key string — the same
 //! construction the report golden tests pin artifacts with.
 
-use netsim::{Executor, FaultPlan};
+use netsim::{EnergyModel, Executor, FaultPlan};
 
 use crate::exec::ExecOptions;
 use crate::registry::{self, AlgorithmSpec};
@@ -63,6 +68,10 @@ pub struct RunRequest {
     pub shards: Option<u32>,
     /// Fault plan; an inert plan canonicalizes to "no plan".
     pub faults: FaultPlan,
+    /// Energy model to charge against; an inert model (all costs zero)
+    /// canonicalizes to "no model" — it cannot change output bytes or
+    /// the ledger, so it shares the plain run's cache slot.
+    pub energy: Option<EnergyModel>,
 }
 
 /// A validated, canonical run request: the algorithm resolved against
@@ -79,6 +88,10 @@ pub struct CanonicalRun {
     pub seed: u64,
     /// The active fault plan, or `None` if the request's plan was inert.
     pub faults: Option<FaultPlan>,
+    /// The active energy model, or `None` if the request's model was
+    /// absent or inert. Stays in the cache key: charging fills the
+    /// response's energy ledger, and a budget can change the outcome.
+    pub energy: Option<EnergyModel>,
     /// Execution-only: requested driver (excluded from the key).
     pub executor: Option<Executor>,
     /// Execution-only: requested shard count (excluded from the key).
@@ -107,6 +120,7 @@ impl RunRequest {
             graph: self.graph.clone(),
             seed: self.seed,
             faults: Some(self.faults.clone()).filter(|p| !p.is_inert()),
+            energy: self.energy.filter(|m| !m.is_inert()),
             executor: self.executor,
             shards: self.shards,
         })
@@ -141,6 +155,11 @@ impl CanonicalRun {
                 crashes.join(";"),
             ));
         }
+        if let Some(model) = &self.energy {
+            // spec_string() is canonical (fixed field order, budget only
+            // when present), so it can feed the key directly.
+            key.push_str(&format!("|energy={}", model.spec_string()));
+        }
         key
     }
 
@@ -163,6 +182,9 @@ impl CanonicalRun {
         }
         if let Some(shards) = self.shards {
             opts = opts.with_shards(shards);
+        }
+        if let Some(model) = self.energy {
+            opts = opts.with_energy(model);
         }
         opts
     }
@@ -228,6 +250,39 @@ mod tests {
             active.cache_key()
         );
         assert!(active.exec_options().active_faults().is_some());
+    }
+
+    #[test]
+    fn inert_energy_models_share_the_plain_slot_and_active_ones_do_not() {
+        let mut req = request("randomized", "ring:16", 7);
+        let plain = req.canonicalize().unwrap();
+        // All-zero costs: inert even with a budget attached.
+        req.energy = Some(EnergyModel::default().with_budget(123));
+        let inert = req.canonicalize().unwrap();
+        assert_eq!(plain.cache_key(), inert.cache_key());
+        assert!(inert.energy.is_none());
+        assert_eq!(inert.exec_options(), ExecOptions::seeded(7));
+
+        req.energy = Some(EnergyModel::reference());
+        let active = req.canonicalize().unwrap();
+        assert_ne!(plain.cache_key(), active.cache_key());
+        assert!(
+            active
+                .cache_key()
+                .contains("|energy=round:1000,tx:8,rx:4,idle:50"),
+            "{}",
+            active.cache_key()
+        );
+        assert!(active.exec_options().active_energy().is_some());
+        // A budget extends the same segment and moves the fingerprint.
+        req.energy = Some(EnergyModel::reference().with_budget(5_000_000));
+        let budgeted = req.canonicalize().unwrap();
+        assert_ne!(active.fingerprint(), budgeted.fingerprint());
+        assert!(
+            budgeted.cache_key().ends_with("budget:5000000"),
+            "{}",
+            budgeted.cache_key()
+        );
     }
 
     #[test]

@@ -46,8 +46,8 @@ use graphlib::{NodeId, Port, WeightedGraph};
 
 use crate::metrics::MetricsRecorder;
 use crate::{
-    Envelope, FaultPlan, NextWake, NodeCtx, Outbox, Payload, PortWeights, Protocol, Round,
-    RunOutcome, RunStats, SimConfig, SimError, Trace, TraceEvent,
+    EnergyModel, Envelope, FaultPlan, NextWake, NodeCtx, Outbox, Payload, PortWeights, Protocol,
+    Round, RunOutcome, RunStats, SimConfig, SimError, Trace, TraceEvent, WakePolicy,
 };
 
 /// Rounds with fewer awake nodes than this run the send half-step
@@ -140,6 +140,21 @@ impl std::fmt::Display for Executor {
 /// support costs nothing unless a fault can actually fire.
 fn active_faults(config: &SimConfig) -> Option<&FaultPlan> {
     config.faults.as_ref().filter(|plan| !plan.is_inert())
+}
+
+/// The active energy model of a config, if it can affect the run at all.
+/// Mirrors [`active_faults`]: an inert model (every cost zero) is
+/// filtered out, so the kernel takes the exact no-energy path for it and
+/// a zero-cost run is bit-identical to a run with no model
+/// (`tests/energy_conservation.rs` pins this).
+fn active_energy(config: &SimConfig) -> Option<&EnergyModel> {
+    config.energy.as_ref().filter(|model| !model.is_inert())
+}
+
+/// The active wake policy of a config, if it can move any wake. Identity
+/// policies ([`WakePolicy::is_identity`]) take the exact no-policy path.
+fn active_policy(config: &SimConfig) -> Option<WakePolicy> {
+    Some(config.wake_policy).filter(|policy| !policy.is_identity())
 }
 
 /// Builds the initial knowledge handed to `node` (KT0 plus run
@@ -280,10 +295,12 @@ enum SentKind {
 
 /// One adjudicated send attempt, in a shard worker's send order. Holds
 /// exactly what the merge needs to replay the serial path's accounting:
-/// the receiver (stats + inbox slot), the wire size, the edge, and the
+/// the sender (the energy ledger charges transmit bits to it), the
+/// receiver (stats + inbox slot), the wire size, the edge, and the
 /// outcome.
 #[derive(Debug, Clone, Copy)]
 struct SentRecord {
+    from: u32,
     to: u32,
     edge: u32,
     bits: u64,
@@ -369,6 +386,7 @@ fn shard_send<P: Protocol>(
             if let Some(plan) = faults {
                 if plan.drops(round, v, port.raw()) {
                     lane.records.push(SentRecord {
+                        from: v,
                         to,
                         edge,
                         bits,
@@ -384,6 +402,7 @@ fn shard_send<P: Protocol>(
                 };
                 if dup {
                     lane.records.push(SentRecord {
+                        from: v,
                         to,
                         edge,
                         bits,
@@ -392,6 +411,7 @@ fn shard_send<P: Protocol>(
                     lane.arena.push(Envelope::new(entry.back_port, msg.clone()));
                 } else {
                     lane.records.push(SentRecord {
+                        from: v,
                         to,
                         edge,
                         bits,
@@ -401,6 +421,7 @@ fn shard_send<P: Protocol>(
                 lane.arena.push(Envelope::new(entry.back_port, msg));
             } else {
                 lane.records.push(SentRecord {
+                    from: v,
                     to,
                     edge,
                     bits,
@@ -955,6 +976,18 @@ where
     } = bufs;
     let mut trace = Trace::default();
     let faults = active_faults(config);
+    // Energy charging and wake-policy transforms live here, in the one
+    // kernel, so every driver and every shard count produces the same
+    // ledger and the same schedule by construction. Both are `None` on
+    // the common path (inert model / identity policy) and cost one
+    // untaken branch per event.
+    let energy = active_energy(config);
+    let policy = active_policy(config);
+    // First budget exhaustion of the run (earliest round, lowest node
+    // within it — the deliver loop visits nodes ascending). Any
+    // exhaustion makes the run report `EnergyExhausted` at the end; the
+    // run itself continues with the node forced asleep, like a crash.
+    let mut first_exhausted: Option<(NodeId, Round)> = None;
     stats.graph_bytes = graph.memory_bytes();
     // Sharding is a pure execution strategy: any round too narrow to
     // parallelize (or any traced run — trace payload formatting is
@@ -977,6 +1010,12 @@ where
                 Some(plan) => plan.jittered(v as u32, r),
                 None => r,
             };
+            // The wake policy maps the (possibly jittered) request to the
+            // round the node actually wakes in — always at or after it.
+            let r = match policy {
+                Some(p) => p.applied(v as u32, r),
+                None => r,
+            };
             driver.schedule(v as u32, r);
             running += 1;
         }
@@ -987,6 +1026,11 @@ where
 
     while let Some(round) = driver.next_round(awake_now) {
         if round > config.max_rounds {
+            // An earlier exhaustion explains the overrun (the forced
+            // sleep is what strands the survivors); report it instead.
+            if let Some((node, round)) = first_exhausted {
+                return Err(SimError::EnergyExhausted { node, round });
+            }
             return Err(SimError::MaxRoundsExceeded {
                 limit: config.max_rounds,
                 running,
@@ -1037,10 +1081,17 @@ where
         // trace events — which precede the round's buffered
         // delivery events in the recorded order anyway — are all
         // independent of how the send half-step executes.
+        // Nano-joules charged this round (round + tx + rx + idle terms),
+        // for the metrics timeline; stays 0 without an active model.
+        let mut round_energy = 0u64;
         for (slot, &v) in awake_now.iter().enumerate() {
             slot_of[v as usize] = slot as u32;
             awake_stamp[v as usize] = round;
             stats.awake_by_node[v as usize] += 1;
+            if let Some(em) = energy {
+                stats.energy_spent_by_node[v as usize] += em.round_cost;
+                round_energy += em.round_cost;
+            }
             if config.record_trace {
                 trace.push(TraceEvent::Awake {
                     round,
@@ -1106,6 +1157,14 @@ where
                 for rec in lane.records.iter() {
                     stats.bits_by_edge[rec.edge as usize] += rec.bits;
                     stats.max_message_bits = stats.max_message_bits.max(rec.bits);
+                    if let Some(em) = energy {
+                        // The sender pays transmit energy for every routed
+                        // message — lost and dropped ones included, exactly
+                        // as the serial path charges.
+                        let tx = em.tx_bit_cost * rec.bits;
+                        stats.energy_spent_by_node[rec.from as usize] += tx;
+                        round_energy += tx;
+                    }
                     if let Some(m) = metrics.as_mut() {
                         m.on_send(rec.edge as usize, rec.bits as usize);
                     }
@@ -1113,6 +1172,11 @@ where
                         SentKind::Delivered => {
                             stats.messages_delivered += 1;
                             stats.bits_received_by_node[rec.to as usize] += rec.bits;
+                            if let Some(em) = energy {
+                                let rx = em.rx_bit_cost * rec.bits;
+                                stats.energy_spent_by_node[rec.to as usize] += rx;
+                                round_energy += rx;
+                            }
                             if let Some(m) = metrics.as_mut() {
                                 m.on_delivered();
                             }
@@ -1122,6 +1186,11 @@ where
                             stats.messages_delivered += 2;
                             stats.dup_deliveries += 1;
                             stats.bits_received_by_node[rec.to as usize] += 2 * rec.bits;
+                            if let Some(em) = energy {
+                                let rx = 2 * em.rx_bit_cost * rec.bits;
+                                stats.energy_spent_by_node[rec.to as usize] += rx;
+                                round_energy += rx;
+                            }
                             if let Some(m) = metrics.as_mut() {
                                 m.on_delivered();
                                 m.on_dup_delivered();
@@ -1153,6 +1222,14 @@ where
                 for Envelope { port, msg } in outbox.drain() {
                     let (to, recv_port, bits, edge) =
                         route_envelope(graph, config, &mut stats, node, round, port, &msg)?;
+                    if let Some(em) = energy {
+                        // Transmit energy accrues at routing time: the
+                        // sender pays whether the message is delivered,
+                        // lost, or dropped in flight.
+                        let tx = em.tx_bit_cost * bits as u64;
+                        stats.energy_spent_by_node[v as usize] += tx;
+                        round_energy += tx;
+                    }
                     if let Some(rec) = metrics.as_mut() {
                         rec.on_send(edge, bits);
                     }
@@ -1177,6 +1254,11 @@ where
                     if to_awake {
                         stats.messages_delivered += 1;
                         stats.bits_received_by_node[to as usize] += bits as u64;
+                        if let Some(em) = energy {
+                            let rx = em.rx_bit_cost * bits as u64;
+                            stats.energy_spent_by_node[to as usize] += rx;
+                            round_energy += rx;
+                        }
                         if let Some(rec) = metrics.as_mut() {
                             rec.on_delivered();
                         }
@@ -1195,6 +1277,11 @@ where
                             stats.messages_delivered += 1;
                             stats.dup_deliveries += 1;
                             stats.bits_received_by_node[to as usize] += bits as u64;
+                            if let Some(em) = energy {
+                                let rx = em.rx_bit_cost * bits as u64;
+                                stats.energy_spent_by_node[to as usize] += rx;
+                                round_energy += rx;
+                            }
                             if let Some(rec) = metrics.as_mut() {
                                 rec.on_dup_delivered();
                             }
@@ -1279,8 +1366,35 @@ where
         for (slot, &v) in awake_now.iter().enumerate() {
             let node = NodeId::new(v);
             let (start, len) = inbox_ranges[slot];
+            if len == 0 {
+                // An awake round that delivered nothing is idle listening.
+                // Counted whether or not an energy model is active, so an
+                // inert model stays bit-identical to no model.
+                stats.idle_listen_rounds += 1;
+                if let Some(em) = energy {
+                    stats.energy_spent_by_node[v as usize] += em.idle_cost;
+                    round_energy += em.idle_cost;
+                }
+            }
             let inbox = &arena[start as usize..(start + len) as usize];
-            match protocols[v as usize].deliver(&ctxs[v as usize], round, inbox) {
+            let next = protocols[v as usize].deliver(&ctxs[v as usize], round, inbox);
+            // Budget adjudication: by deliver time every charge of the
+            // node's round (round, tx, rx, idle) has accrued, so the
+            // verdict is final — and reached in serial node order under
+            // every driver and shard count.
+            let exhausted = match energy {
+                Some(em) => em
+                    .budget
+                    .is_some_and(|b| stats.energy_spent_by_node[v as usize] > b),
+                None => false,
+            };
+            if exhausted {
+                stats.exhausted_nodes += 1;
+                if first_exhausted.is_none() {
+                    first_exhausted = Some((node, round));
+                }
+            }
+            match next {
                 NextWake::At(r) => {
                     if r <= round {
                         return Err(SimError::WakeNotInFuture {
@@ -1289,11 +1403,23 @@ where
                             requested: r,
                         });
                     }
-                    let r = match faults {
-                        Some(plan) => plan.jittered(v, r),
-                        None => r,
-                    };
-                    driver.schedule(v, r);
+                    if exhausted {
+                        // Forced asleep permanently — the crash machinery:
+                        // the requested wake is discarded and messages to
+                        // the node are lost from here on.
+                        driver.halt(v);
+                        running -= 1;
+                    } else {
+                        let r = match faults {
+                            Some(plan) => plan.jittered(v, r),
+                            None => r,
+                        };
+                        let r = match policy {
+                            Some(p) => p.applied(v, r),
+                            None => r,
+                        };
+                        driver.schedule(v, r);
+                    }
                 }
                 NextWake::Halt => {
                     driver.halt(v);
@@ -1306,11 +1432,18 @@ where
         }
 
         if let Some(rec) = metrics.as_mut() {
+            rec.set_energy(round_energy);
             rec.finish_round();
         }
         observer(round, &protocols);
     }
 
+    // A budget violation outranks the residual symptoms it causes (the
+    // stall of the survivors, or even a clean-looking completion): any
+    // exhaustion fails the run with the typed error.
+    if let Some((node, round)) = first_exhausted {
+        return Err(SimError::EnergyExhausted { node, round });
+    }
     if running > 0 {
         return Err(SimError::Stalled {
             running,

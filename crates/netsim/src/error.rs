@@ -53,6 +53,17 @@ pub enum SimError {
         /// The last round that executed.
         round: Round,
     },
+    /// A node spent past its energy budget
+    /// ([`EnergyModel::budget`](crate::EnergyModel::budget)) and was
+    /// forced asleep permanently. Carries the *first* exhaustion of the
+    /// run (earliest round, lowest node id within it) — adjudicated in
+    /// serial node order, so identical across drivers and shard counts.
+    EnergyExhausted {
+        /// The first node to exhaust its budget.
+        node: NodeId,
+        /// The round its ledger went past the budget.
+        round: Round,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +87,10 @@ impl fmt::Display for SimError {
                 f,
                 "protocol stalled after round {round}: {running} nodes asleep forever without halting"
             ),
+            SimError::EnergyExhausted { node, round } => write!(
+                f,
+                "node {node} exhausted its energy budget in round {round} and was forced asleep"
+            ),
         }
     }
 }
@@ -92,6 +107,7 @@ pub const SIM_ERROR_CODES: &[&str] = &[
     "sim.wake-not-in-future",
     "sim.max-rounds-exceeded",
     "sim.stalled",
+    "sim.energy-exhausted",
 ];
 
 /// Resolves a wire code back to its canonical `&'static str` (the exact
@@ -113,6 +129,7 @@ impl SimError {
             SimError::WakeNotInFuture { .. } => "sim.wake-not-in-future",
             SimError::MaxRoundsExceeded { .. } => "sim.max-rounds-exceeded",
             SimError::Stalled { .. } => "sim.stalled",
+            SimError::EnergyExhausted { .. } => "sim.energy-exhausted",
         }
     }
 }
@@ -147,6 +164,10 @@ mod tests {
             SimError::Stalled {
                 running: 2,
                 round: 9,
+            },
+            SimError::EnergyExhausted {
+                node: NodeId::new(4),
+                round: 12,
             },
         ]
     }
@@ -192,5 +213,12 @@ mod tests {
             round: 9,
         };
         assert!(e.to_string().contains("stalled"));
+
+        let e = SimError::EnergyExhausted {
+            node: NodeId::new(4),
+            round: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("v4") && s.contains("12") && s.contains("energy"));
     }
 }

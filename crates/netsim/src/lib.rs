@@ -52,6 +52,7 @@ mod sim;
 mod stats;
 mod trace;
 
+pub mod energy;
 pub mod engine;
 pub mod faults;
 pub mod flood;
@@ -60,6 +61,7 @@ pub mod radio;
 #[cfg(feature = "validate")]
 pub mod validate;
 
+pub use energy::{EnergyModel, WakePolicy};
 pub use engine::{Executor, ExecutorScratch};
 pub use error::{parse_sim_code, SimError, SIM_ERROR_CODES};
 pub use faults::FaultPlan;

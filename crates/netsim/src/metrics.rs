@@ -54,6 +54,12 @@ pub struct RoundReport {
     /// bits routed across that edge in this round) — the round's CONGEST
     /// congestion.
     pub max_edge_bits: u64,
+    /// Nano-joules charged this round under the configured
+    /// [`EnergyModel`](crate::EnergyModel) (round + tx + rx + idle terms;
+    /// 0 without an active model). Summing the column reproduces
+    /// `RunStats::energy_total()` — the energy-conservation proptests
+    /// pin this.
+    pub energy_spent: u64,
 }
 
 /// One maximal run of consecutive active rounds sharing a phase label.
@@ -176,6 +182,13 @@ impl Metrics {
     #[must_use]
     pub fn bits_sent(&self) -> u64 {
         self.per_round.iter().map(|r| r.bits_sent).sum()
+    }
+
+    /// Total nano-joules charged across all recorded rounds (0 without
+    /// an active energy model).
+    #[must_use]
+    pub fn energy_spent(&self) -> u64 {
+        self.per_round.iter().map(|r| r.energy_spent).sum()
     }
 
     /// Largest single-round per-edge congestion of the run.
@@ -318,6 +331,13 @@ impl MetricsRecorder {
         self.current.injected_drops += 1;
     }
 
+    /// Records the round's total energy charge (called at most once per
+    /// round, just before [`MetricsRecorder::finish_round`]).
+    #[inline]
+    pub(crate) fn set_energy(&mut self, nano_joules: u64) {
+        self.current.energy_spent = nano_joules;
+    }
+
     /// Closes the round: resolves the round's max per-edge congestion,
     /// resets the touched scratch, and appends the report.
     pub(crate) fn finish_round(&mut self) {
@@ -382,6 +402,7 @@ mod tests {
         rec.on_send(1, 7);
         rec.on_delivered();
         rec.on_dup_delivered();
+        rec.set_energy(13);
         rec.finish_round();
         let m = rec.into_metrics();
         assert_eq!(m.active_rounds(), 2);
@@ -399,6 +420,8 @@ mod tests {
         assert_eq!(m.messages_lost(), 1);
         assert_eq!(m.bits_sent(), 20);
         assert_eq!(m.per_round[1].dup_deliveries, 1);
+        assert_eq!(m.per_round[0].energy_spent, 0);
+        assert_eq!(m.energy_spent(), 13);
     }
 
     #[test]

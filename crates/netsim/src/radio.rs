@@ -30,16 +30,22 @@ use std::collections::BinaryHeap;
 
 use graphlib::{NodeId, WeightedGraph};
 
-use crate::{NextWake, NodeCtx, Payload, Round, SimError};
+use crate::{EnergyModel, NextWake, NodeCtx, Payload, Round, SimError};
 
 /// What a node does in a round it scheduled itself active for.
+///
+/// Costs are set by the simulator's [`EnergyModel`] (default:
+/// [`EnergyModel::radio_default`], the classic one-unit-per-active-round
+/// pricing with free idling).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RadioAction<M> {
-    /// Broadcast `M` to all neighbors (costs 1 energy).
+    /// Broadcast `M` to all neighbors (costs `round_cost` plus
+    /// `tx_bit_cost` per payload bit).
     Transmit(M),
-    /// Listen to the channel (costs 1 energy).
+    /// Listen to the channel (costs `round_cost`, plus `rx_bit_cost` per
+    /// audible bit at the outcome half-step).
     Listen,
-    /// Do only local computation (free).
+    /// Do only local computation (costs `idle_cost`; free by default).
     Idle,
 }
 
@@ -139,6 +145,12 @@ pub struct RadioSimulator<'g> {
     rule: CollisionRule,
     max_rounds: Round,
     master_seed: u64,
+    /// The charging vocabulary — shared with the CONGEST kernel, so this
+    /// executor carries no private energy constants. Defaults to
+    /// [`EnergyModel::radio_default`] (one unit per transmit/listen
+    /// round, idle free, no budget): the historical pricing this module
+    /// used to hard-code.
+    energy: EnergyModel,
 }
 
 impl<'g> RadioSimulator<'g> {
@@ -149,6 +161,7 @@ impl<'g> RadioSimulator<'g> {
             rule,
             max_rounds: 1 << 40,
             master_seed: 0,
+            energy: EnergyModel::radio_default(),
         }
     }
 
@@ -161,6 +174,15 @@ impl<'g> RadioSimulator<'g> {
     /// Sets the master seed for per-node randomness.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.master_seed = seed;
+        self
+    }
+
+    /// Replaces the default radio pricing with an arbitrary
+    /// [`EnergyModel`]. A model with a budget makes over-spending nodes
+    /// fall silent permanently and the run fail with
+    /// [`SimError::EnergyExhausted`], exactly like the CONGEST kernel.
+    pub fn with_energy(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
         self
     }
 
@@ -237,8 +259,14 @@ impl<'g> RadioSimulator<'g> {
         // Transmission of the round per node (None = not transmitting).
         let mut on_air: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
 
+        // First budget exhaustion of the run, adjudicated in ascending
+        // node order like the CONGEST kernel's.
+        let mut first_exhausted: Option<(NodeId, Round)> = None;
         while let Some(&Reverse((round, _))) = queue.peek() {
             if round > self.max_rounds {
+                if let Some((node, round)) = first_exhausted {
+                    return Err(SimError::EnergyExhausted { node, round });
+                }
                 return Err(SimError::MaxRoundsExceeded {
                     limit: self.max_rounds,
                     running,
@@ -264,18 +292,23 @@ impl<'g> RadioSimulator<'g> {
             stats.rounds = round;
 
             // --- action half-step ---
+            // All charging draws from `self.energy`; under the default
+            // radio pricing this is the classic 1/1/0 schedule.
             for &v in &active_now {
                 match protocols[v as usize].act(&ctxs[v as usize], round) {
                     RadioAction::Transmit(msg) => {
-                        stats.energy_by_node[v as usize] += 1;
+                        stats.energy_by_node[v as usize] += self.energy.round_cost
+                            + self.energy.tx_bit_cost * msg.bit_size() as u64;
                         stats.transmissions += 1;
                         on_air[v as usize] = Some(msg);
                     }
                     RadioAction::Listen => {
-                        stats.energy_by_node[v as usize] += 1;
+                        stats.energy_by_node[v as usize] += self.energy.round_cost;
                         listen_stamp[v as usize] = round;
                     }
-                    RadioAction::Idle => {}
+                    RadioAction::Idle => {
+                        stats.energy_by_node[v as usize] += self.energy.idle_cost;
+                    }
                 }
             }
 
@@ -295,6 +328,19 @@ impl<'g> RadioSimulator<'g> {
                         .filter(|e| on_air[e.neighbor.index()].is_some())
                         .count();
                     stats.receptions += audible as u64;
+                    if self.energy.rx_bit_cost != 0 {
+                        // Receive energy is paid for every audible bit —
+                        // the radio demodulates the channel whether or
+                        // not the collision rule lets it decode.
+                        let audible_bits: u64 = self
+                            .graph
+                            .ports(node)
+                            .iter()
+                            .filter_map(|e| on_air[e.neighbor.index()].as_ref())
+                            .map(|m| m.bit_size() as u64)
+                            .sum();
+                        stats.energy_by_node[v as usize] += self.energy.rx_bit_cost * audible_bits;
+                    }
                     match (self.rule, audible) {
                         (_, 0) => Heard::Silence,
                         (CollisionRule::Local, _) => Heard::All(
@@ -323,7 +369,18 @@ impl<'g> RadioSimulator<'g> {
                 } else {
                     Heard::Idled
                 };
-                match protocols[v as usize].heard(&ctxs[v as usize], round, outcome) {
+                let next = protocols[v as usize].heard(&ctxs[v as usize], round, outcome);
+                // Budget adjudication, same semantics as the CONGEST
+                // kernel: an over-budget node falls silent permanently
+                // and the run fails with the typed error at the end.
+                let exhausted = self
+                    .energy
+                    .budget
+                    .is_some_and(|b| stats.energy_by_node[v as usize] > b);
+                if exhausted && first_exhausted.is_none() {
+                    first_exhausted = Some((node, round));
+                }
+                match next {
                     NextWake::At(r) => {
                         if r <= round {
                             return Err(SimError::WakeNotInFuture {
@@ -332,8 +389,13 @@ impl<'g> RadioSimulator<'g> {
                                 requested: r,
                             });
                         }
-                        next_wake[v as usize] = Some(r);
-                        queue.push(Reverse((r, v)));
+                        if exhausted {
+                            next_wake[v as usize] = None;
+                            running -= 1;
+                        } else {
+                            next_wake[v as usize] = Some(r);
+                            queue.push(Reverse((r, v)));
+                        }
                     }
                     NextWake::Halt => {
                         next_wake[v as usize] = None;
@@ -346,6 +408,9 @@ impl<'g> RadioSimulator<'g> {
             }
         }
 
+        if let Some((node, round)) = first_exhausted {
+            return Err(SimError::EnergyExhausted { node, round });
+        }
         if running > 0 {
             return Err(SimError::Stalled {
                 running,
@@ -527,6 +592,80 @@ mod tests {
         assert_eq!(out.stats.energy_max(), 0);
         assert_eq!(out.stats.rounds, 10);
         assert_eq!(out.stats.energy_avg(), 0.0);
+    }
+
+    /// The unified [`EnergyModel`] charging path: custom per-bit and idle
+    /// pricing replaces the historical hard-coded 1/1/0 schedule.
+    #[test]
+    fn custom_energy_model_prices_bits_and_idling() {
+        // Star: the hub (node 0) transmits its 1-bit external id; leaves
+        // listen. round=10, tx=3/bit, rx=2/bit, idle=7.
+        let g = generators::star(5, 0).unwrap();
+        let model = EnergyModel {
+            round_cost: 10,
+            tx_bit_cost: 3,
+            rx_bit_cost: 2,
+            idle_cost: 7,
+            budget: None,
+        };
+        let out = RadioSimulator::new(&g, CollisionRule::Local)
+            .with_energy(model)
+            .run(|ctx| OneSpeaks {
+                speaker: ctx.node.raw() == 0,
+                heard: None,
+            })
+            .unwrap();
+        // Hub external id is 1 → bit_size 1: transmit = 10 + 3·1.
+        assert_eq!(out.stats.energy_by_node[0], 13);
+        // Each leaf listens (10) and hears the 1-bit message (2·1).
+        assert_eq!(out.stats.energy_by_node[1..], [12, 12, 12, 12]);
+
+        // The default pricing is exactly EnergyModel::radio_default().
+        let classic = RadioSimulator::new(&g, CollisionRule::Local)
+            .run(|ctx| OneSpeaks {
+                speaker: ctx.node.raw() == 0,
+                heard: None,
+            })
+            .unwrap();
+        let explicit = RadioSimulator::new(&g, CollisionRule::Local)
+            .with_energy(EnergyModel::radio_default())
+            .run(|ctx| OneSpeaks {
+                speaker: ctx.node.raw() == 0,
+                heard: None,
+            })
+            .unwrap();
+        assert_eq!(classic.stats, explicit.stats);
+        assert_eq!(classic.stats.energy_by_node, vec![1; 5]);
+    }
+
+    /// A budgeted model makes over-spending nodes fall silent and the
+    /// run fail with the typed error, like the CONGEST kernel.
+    #[test]
+    fn energy_budget_exhaustion_is_typed() {
+        // Everyone transmits in round 1 and would listen in round 2, but
+        // a 1 nJ budget is exhausted by the first transmission (round
+        // cost 1 + 1 bit · 1 nJ = 2 > 1).
+        let g = generators::ring(5, 0).unwrap();
+        let model = EnergyModel::radio_default()
+            .with_tx_bit_cost(1)
+            .with_budget(1);
+        let err = RadioSimulator::new(&g, CollisionRule::Local)
+            .with_energy(model)
+            .run(|_| PingAll {
+                when: 1,
+                heard: None,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::EnergyExhausted {
+                    node,
+                    round: 1,
+                } if node == NodeId::new(0)
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

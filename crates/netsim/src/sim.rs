@@ -5,7 +5,9 @@ use graphlib::WeightedGraph;
 
 use crate::engine::{self, Executor, ExecutorScratch};
 use crate::metrics::Metrics;
-use crate::{FaultPlan, NodeCtx, Protocol, Round, RunStats, SimError, Trace};
+use crate::{
+    EnergyModel, FaultPlan, NodeCtx, Protocol, Round, RunStats, SimError, Trace, WakePolicy,
+};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +42,16 @@ pub struct SimConfig {
     /// proptests pin this); shards trade wall-clock for cores, nothing
     /// else. `0` is treated as `1`.
     pub shards: u32,
+    /// Energy cost model ([`EnergyModel`]). `None` — or an inert model —
+    /// leaves the executors on the exact no-energy path; an active model
+    /// charges a per-node nano-joule ledger inside the kernel, and a
+    /// model with a budget turns exhaustion into
+    /// [`SimError::EnergyExhausted`].
+    pub energy: Option<EnergyModel>,
+    /// Wake policy ([`WakePolicy`]): how requested wake rounds map to the
+    /// rounds nodes actually wake in. The default [`WakePolicy::Block`]
+    /// is the identity (today's block-timeline semantics).
+    pub wake_policy: WakePolicy,
 }
 
 impl Default for SimConfig {
@@ -53,6 +65,8 @@ impl Default for SimConfig {
             faults: None,
             executor: Executor::default(),
             shards: 1,
+            energy: None,
+            wake_policy: WakePolicy::Block,
         }
     }
 }
@@ -103,6 +117,18 @@ impl SimConfig {
     /// Returns the config with the given send-half-step shard count.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns the config with an energy cost model.
+    pub fn with_energy(mut self, model: EnergyModel) -> Self {
+        self.energy = Some(model);
+        self
+    }
+
+    /// Returns the config with a wake policy.
+    pub fn with_wake_policy(mut self, policy: WakePolicy) -> Self {
+        self.wake_policy = policy;
         self
     }
 }

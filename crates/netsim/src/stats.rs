@@ -52,6 +52,23 @@ pub struct RunStats {
     /// Deterministic (a function of the delivery schedule, identical
     /// across drivers and shard counts).
     pub arena_peak_envelopes: u64,
+    /// Nano-joules spent per node under the configured
+    /// [`EnergyModel`](crate::EnergyModel), indexed by node. All zeros
+    /// when no active model is configured. Satisfies the conservation
+    /// identity `sum == awake_total·round_cost + bits_sent·tx_bit_cost +
+    /// bits_received·rx_bit_cost + idle_listen_rounds·idle_cost`, and is
+    /// bit-identical across every driver and shard count.
+    pub energy_spent_by_node: Vec<u64>,
+    /// Nodes that spent past their energy budget and were forced asleep
+    /// permanently (the crash machinery). Nonzero only under a budgeted
+    /// model; any exhaustion also fails the run with
+    /// [`SimError::EnergyExhausted`](crate::SimError).
+    pub exhausted_nodes: u64,
+    /// Awake node-rounds whose delivery half-step handed the node zero
+    /// messages (idle listening) — the quantity
+    /// [`EnergyModel::idle_cost`](crate::EnergyModel::idle_cost) prices.
+    /// Counted whether or not an energy model is active.
+    pub idle_listen_rounds: u64,
 }
 
 impl RunStats {
@@ -69,6 +86,9 @@ impl RunStats {
             crashed_nodes: 0,
             graph_bytes: 0,
             arena_peak_envelopes: 0,
+            energy_spent_by_node: vec![0; n],
+            exhausted_nodes: 0,
+            idle_listen_rounds: 0,
         }
     }
 
@@ -91,6 +111,10 @@ impl RunStats {
         self.crashed_nodes = 0;
         self.graph_bytes = 0;
         self.arena_peak_envelopes = 0;
+        self.energy_spent_by_node.clear();
+        self.energy_spent_by_node.resize(n, 0);
+        self.exhausted_nodes = 0;
+        self.idle_listen_rounds = 0;
     }
 
     /// The paper's awake complexity: the maximum number of awake rounds
@@ -131,6 +155,29 @@ impl RunStats {
         self.messages_delivered + self.messages_lost
     }
 
+    /// Total nano-joules spent across all nodes (0 without an active
+    /// energy model).
+    pub fn energy_total(&self) -> u64 {
+        self.energy_spent_by_node.iter().sum()
+    }
+
+    /// Largest per-node energy spend, in nano-joules — the energy
+    /// analogue of [`RunStats::awake_max`].
+    pub fn energy_max(&self) -> u64 {
+        self.energy_spent_by_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Node-averaged energy spend.
+    // lint:allow(determinism) -- reporting-only average, never fed back into simulation state
+    pub fn energy_avg(&self) -> f64 {
+        if self.energy_spent_by_node.is_empty() {
+            0.0 // lint:allow(determinism) -- reporting-only average
+        } else {
+            // lint:allow(determinism) -- reporting-only average, never fed back into simulation state
+            self.energy_total() as f64 / self.energy_spent_by_node.len() as f64
+        }
+    }
+
     /// The observed CONGEST constant: the smallest `C` with
     /// `max_message_bits ≤ C·⌈log₂ n⌉` for an `n`-node run (0 if no message
     /// was sent). This is the per-algorithm `log n` constant the model
@@ -160,8 +207,14 @@ mod tests {
             crashed_nodes: 0,
             graph_bytes: 0,
             arena_peak_envelopes: 0,
+            energy_spent_by_node: vec![100, 700, 400],
+            exhausted_nodes: 0,
+            idle_listen_rounds: 2,
         };
         assert_eq!(stats.awake_max(), 7);
+        assert_eq!(stats.energy_total(), 1200);
+        assert_eq!(stats.energy_max(), 700);
+        assert!((stats.energy_avg() - 400.0).abs() < 1e-9);
         assert_eq!(stats.awake_total(), 15);
         assert!((stats.awake_avg() - 5.0).abs() < 1e-9);
         assert_eq!(stats.awake_round_product(), 70);

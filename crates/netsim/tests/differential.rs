@@ -19,8 +19,8 @@ use proptest::prelude::*;
 
 use graphlib::{generators, GraphBuilder};
 use netsim::{
-    engine, Envelope, Executor, ExecutorScratch, FaultPlan, NextWake, NodeCtx, Outbox, Protocol,
-    Round, SimConfig, Simulator,
+    engine, EnergyModel, Envelope, Executor, ExecutorScratch, FaultPlan, NextWake, NodeCtx, Outbox,
+    Protocol, Round, SimConfig, SimError, Simulator, WakePolicy,
 };
 
 /// SplitMix64 — the same tiny generator the protocols in `mst-core` use
@@ -548,6 +548,263 @@ fn all_three_drivers_agree_on_a_single_deep_wake() {
         assert_eq!(out.stats, reference.stats, "{executor}");
         assert_eq!(out.trace, reference.trace, "{executor}");
         assert_eq!(out.metrics, reference.metrics, "{executor}");
+    }
+}
+
+/// Like [`assert_all_drivers_agree`], but tolerant of typed failures: a
+/// budgeted energy model can end the run in
+/// [`SimError::EnergyExhausted`], and a non-identity [`WakePolicy`] can
+/// starve a protocol into [`SimError::Stalled`] or the watchdog. All
+/// three drivers must then fail with the *same* typed error — agreement
+/// on failures is as load-bearing as agreement on outcomes.
+fn assert_all_drivers_agree_or_fail_identically(
+    graph: &graphlib::WeightedGraph,
+    base: &SimConfig,
+    wakes: u32,
+    max_gap: u64,
+) -> Result<(), TestCaseError> {
+    let factory = |ctx: &NodeCtx| Chaotic::new(ctx, wakes, max_gap);
+    let reference =
+        Simulator::new(graph, base.clone().with_executor(Executor::Calendar)).run(factory);
+    for executor in [Executor::Sync, Executor::Naive] {
+        let other = Simulator::new(graph, base.clone().with_executor(executor)).run(factory);
+        match (&reference, &other) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.stats, &b.stats, "{} stats", executor);
+                prop_assert_eq!(&a.trace, &b.trace, "{} trace", executor);
+                prop_assert_eq!(&a.metrics, &b.metrics, "{} metrics", executor);
+                for (sa, sb) in a.states.iter().zip(&b.states) {
+                    prop_assert_eq!(&sa.received, &sb.received, "{}", executor);
+                    prop_assert_eq!(sa.digest, sb.digest, "{}", executor);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "{} error", executor),
+            (a, b) => prop_assert!(
+                false,
+                "{executor} diverged on success/failure: calendar={a:?} other={b:?}"
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// Every wake-policy variant the proptests sweep, decoded from raw draws
+/// (the vendored proptest has no combinators). Policies hash their
+/// decisions statelessly like fault plans, so each variant must be
+/// driver-invisible both alone and under a fault plan.
+fn decode_policy(variant: u8, seed: u64, param: u64) -> WakePolicy {
+    match variant % 4 {
+        0 => WakePolicy::Block,
+        1 => WakePolicy::DutyCycle { period: 1 + param },
+        2 => WakePolicy::HeavyTail { seed, cap: param },
+        _ => WakePolicy::AdversarialShift {
+            seed,
+            max_shift: param,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite: every [`WakePolicy`] variant — with and without a
+    /// fault plan layered on top, and with an optional priced energy
+    /// model — is observationally identical across all three drivers.
+    /// The policy rewrites wakes *after* fault jitter, so the stacking
+    /// order is part of the pinned contract.
+    #[test]
+    fn all_three_drivers_agree_under_every_wake_policy(
+        n in 3usize..12,
+        graph_seed in 0u64..500,
+        master_seed in 0u64..500,
+        wakes in 1u32..5,
+        max_gap in 1u64..20,
+        policy_variant in 0u8..4,
+        policy_seed in 0u64..1000,
+        policy_param in 0u64..16,
+        metrics in any::<bool>(),
+        priced in any::<bool>(),
+        faults in proptest::option::of((
+            0u64..1000,
+            0u32..500_000,
+            0u32..400_000,
+            0u64..3,
+        )),
+    ) {
+        let policy = decode_policy(policy_variant, policy_seed, policy_param);
+        let g = generators::random_connected(n, 0.3, graph_seed).unwrap();
+        let mut config = SimConfig::default()
+            .with_seed(master_seed)
+            .with_trace()
+            .with_wake_policy(policy);
+        if metrics {
+            config = config.with_metrics();
+        }
+        if priced {
+            config = config.with_energy(EnergyModel::reference());
+        }
+        if let Some((fault_seed, drop_ppm, sleep_ppm, jitter)) = faults {
+            config = config.with_faults(
+                FaultPlan::seeded(fault_seed)
+                    .with_drop_ppm(drop_ppm)
+                    .with_spurious_sleep_ppm(sleep_ppm)
+                    .with_wake_jitter(jitter),
+            );
+        }
+        assert_all_drivers_agree_or_fail_identically(&g, &config, wakes, max_gap)?;
+    }
+
+    /// Satellite: budgeted runs agree across drivers whether the budget
+    /// suffices or exhausts mid-run — including budgets so tight the
+    /// first awake round already overdraws.
+    #[test]
+    fn all_three_drivers_agree_under_random_budgets(
+        n in 3usize..10,
+        graph_seed in 0u64..300,
+        master_seed in 0u64..300,
+        wakes in 1u32..4,
+        max_gap in 1u64..12,
+        budget in 0u64..40_000,
+    ) {
+        let g = generators::random_connected(n, 0.3, graph_seed).unwrap();
+        let config = SimConfig::default()
+            .with_seed(master_seed)
+            .with_trace()
+            .with_energy(EnergyModel::reference().with_budget(budget));
+        assert_all_drivers_agree_or_fail_identically(&g, &config, wakes, max_gap)?;
+    }
+}
+
+/// Edge case: a zero budget under the reference model is exhausted by
+/// the very first awake round — every driver must type the failure as
+/// [`SimError::EnergyExhausted`] with the identical (node, round), and
+/// the exhausted node is the first waker in serial node order.
+#[test]
+fn zero_budget_exhausts_in_the_first_awake_round_under_every_driver() {
+    #[derive(Debug)]
+    struct WakeOnce;
+    impl Protocol for WakeOnce {
+        type Msg = u64;
+        fn init(&mut self, _: &NodeCtx) -> NextWake {
+            NextWake::At(1)
+        }
+        fn send(&mut self, _: &NodeCtx, _: Round, _: &mut Outbox<u64>) {}
+        fn deliver(&mut self, _: &NodeCtx, _: Round, _: &[Envelope<u64>]) -> NextWake {
+            NextWake::Halt
+        }
+    }
+    let g = generators::ring(5, 1).unwrap();
+    let config = SimConfig::default().with_energy(EnergyModel::reference().with_budget(0));
+    let mut verdicts = Vec::new();
+    for executor in [Executor::Calendar, Executor::Sync, Executor::Naive] {
+        let err = Simulator::new(&g, config.clone().with_executor(executor))
+            .run(|_| WakeOnce)
+            .unwrap_err();
+        let SimError::EnergyExhausted { node, round } = err else {
+            panic!("{executor}: expected exhaustion, got {err}");
+        };
+        assert_eq!(round, 1, "{executor}");
+        assert_eq!(node.raw(), 0, "{executor}: first waker in node order");
+        verdicts.push((node, round));
+    }
+    assert!(verdicts.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// Edge case: every node overdraws in the same wide broadcast round —
+/// the whole network dies mid-broadcast at once. The adjudication runs
+/// in serial node order after the round's deliveries, so the reported
+/// node is node 0 under every driver *and every shard count* (exhaustion
+/// is adjudicated outside the sharded half-step).
+#[test]
+fn whole_network_exhaustion_mid_broadcast_is_identical_across_drivers_and_shards() {
+    let n = 300usize; // past the wide-round gate so shards engage
+    let g = generators::chorded_cycle(n, 2, 7).unwrap();
+    // Two lockstep broadcast rounds fit the budget, the third overdraws
+    // every node in the same round.
+    let model = EnergyModel::default()
+        .with_round_cost(1000)
+        .with_budget(2500);
+    let factory = |_: &NodeCtx| WideWave {
+        left: 10,
+        digest: 0,
+    };
+    let mut verdicts = Vec::new();
+    for executor in [Executor::Calendar, Executor::Sync, Executor::Naive] {
+        for shards in [1u32, 2, 4] {
+            let config = SimConfig::default()
+                .with_energy(model)
+                .with_executor(executor)
+                .with_shards(shards);
+            let err = Simulator::new(&g, config).run(factory).unwrap_err();
+            let SimError::EnergyExhausted { node, round } = err else {
+                panic!("{executor}/shards={shards}: expected exhaustion, got {err}");
+            };
+            assert_eq!(round, 3, "{executor}/shards={shards}");
+            assert_eq!(node.raw(), 0, "{executor}/shards={shards}");
+            verdicts.push((node, round));
+        }
+    }
+    assert!(verdicts.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// Edge case: duty-cycle period 1 is the identity policy (every round is
+/// on-cycle), so it must take the exact no-policy kernel path — bit-
+/// identical stats, trace, metrics, and states versus [`WakePolicy::Block`].
+#[test]
+fn duty_cycle_period_one_is_bit_identical_to_block() {
+    let g = generators::random_connected(10, 0.3, 5).unwrap();
+    let factory = |ctx: &NodeCtx| Chaotic::new(ctx, 4, 9);
+    let base = SimConfig::default()
+        .with_seed(3)
+        .with_trace()
+        .with_metrics();
+    let block = Simulator::new(&g, base.clone()).run(factory).unwrap();
+    for policy in [
+        WakePolicy::DutyCycle { period: 1 },
+        WakePolicy::DutyCycle { period: 0 },
+        WakePolicy::HeavyTail { seed: 9, cap: 0 },
+        WakePolicy::AdversarialShift {
+            seed: 9,
+            max_shift: 0,
+        },
+    ] {
+        assert!(policy.is_identity());
+        let gated = Simulator::new(&g, base.clone().with_wake_policy(policy))
+            .run(factory)
+            .unwrap();
+        assert_eq!(block.stats, gated.stats, "{policy:?}");
+        assert_eq!(block.trace, gated.trace, "{policy:?}");
+        assert_eq!(block.metrics, gated.metrics, "{policy:?}");
+        for (a, b) in block.states.iter().zip(&gated.states) {
+            assert_eq!(a.digest, b.digest, "{policy:?}");
+        }
+    }
+}
+
+/// A duty cycle actually *moves* wakes: under period 5 every surfaced
+/// round is on-cycle under every driver (the policy applies after fault
+/// jitter, inside the one kernel).
+#[test]
+fn duty_cycle_rounds_are_on_cycle_under_every_driver() {
+    let g = generators::ring(8, 2).unwrap();
+    let period = 5u64;
+    let base = SimConfig::default()
+        .with_seed(11)
+        .with_metrics()
+        .with_wake_policy(WakePolicy::DutyCycle { period });
+    for executor in [Executor::Calendar, Executor::Sync, Executor::Naive] {
+        let out = Simulator::new(&g, base.clone().with_executor(executor))
+            .run(|ctx: &NodeCtx| Chaotic::new(ctx, 3, 13))
+            .unwrap();
+        for r in &out.metrics.per_round {
+            assert_eq!(
+                (r.round - 1) % period,
+                0,
+                "{executor}: round {} is off-cycle",
+                r.round
+            );
+        }
+        assert!(out.metrics.active_rounds() > 0, "{executor}");
     }
 }
 

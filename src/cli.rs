@@ -23,7 +23,7 @@ use bench::{chaos, engine_panel, harness, report, serve};
 use graphlib::{generators, mst, traversal, WeightedGraph};
 use mst_core::registry::{self, AlgorithmSpec};
 use mst_core::{ExecOptions, MstOutcome, MstScratch};
-use netsim::{Executor, FaultPlan};
+use netsim::{EnergyModel, Executor, FaultPlan, WakePolicy};
 
 /// Parses an algorithm name against the registry.
 ///
@@ -60,31 +60,47 @@ pub fn run(alg: &AlgorithmSpec, graph: &WeightedGraph, seed: u64) -> Result<MstO
     alg.run(graph, seed).map_err(|e| e.to_string())
 }
 
+/// The optional execution knobs of the `run` subcommand, bundled so the
+/// entry point stays one call: time-driver override (`None` defers to
+/// the registry default, the calendar driver; every driver is
+/// bit-identical), shard count, energy model, and wake policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTuning {
+    pub executor: Option<Executor>,
+    pub shards: Option<u32>,
+    pub energy: Option<EnergyModel>,
+    pub wake_policy: WakePolicy,
+}
+
 /// Runs `alg` on `graph` under a fault plan (inert plans take the plain
 /// path — see [`mst_core::registry::AlgorithmSpec::run_with_faults`])
-/// and an optional time-driver override (`None` defers to the
-/// algorithm's registry default, the calendar driver; every driver is
-/// bit-identical).
+/// and the [`RunTuning`] knobs.
 ///
 /// # Errors
 ///
 /// As [`run`], plus the fault-mode failures: the round-budget watchdog
 /// ([`netsim::SimError::MaxRoundsExceeded`]), captured protocol panics,
-/// and degraded-output detection — all as readable strings.
+/// and degraded-output detection — all as readable strings. An energy
+/// model with a budget adds the typed
+/// [`mst_core::RunError::EnergyExhausted`] failure.
 pub fn run_with_faults(
     alg: &AlgorithmSpec,
     graph: &WeightedGraph,
     seed: u64,
     plan: &FaultPlan,
-    executor: Option<Executor>,
-    shards: Option<u32>,
+    tuning: RunTuning,
 ) -> Result<MstOutcome, String> {
-    let mut opts = ExecOptions::seeded(seed).with_faults(plan.clone());
-    if let Some(executor) = executor {
+    let mut opts = ExecOptions::seeded(seed)
+        .with_faults(plan.clone())
+        .with_wake_policy(tuning.wake_policy);
+    if let Some(executor) = tuning.executor {
         opts = opts.with_executor(executor);
     }
-    if let Some(shards) = shards {
+    if let Some(shards) = tuning.shards {
         opts = opts.with_shards(shards);
+    }
+    if let Some(model) = tuning.energy {
+        opts = opts.with_energy(model);
     }
     alg.run_with_options(graph, &opts, &mut MstScratch::new())
         .map_err(|e| e.to_string())
@@ -191,13 +207,31 @@ pub fn render_text(alg: &AlgorithmSpec, graph: &WeightedGraph, out: &MstOutcome)
 /// fault plan are embedded, so the object is a complete replay recipe:
 /// `run --alg A --graph G --seed S` plus the printed fault fields
 /// reproduce the run bit for bit.
+///
+/// With an active energy model, an `"energy"` object (model spec, ledger
+/// total/max, idle-listen rounds, exhausted-node count) is inserted
+/// between the memory block and the fault plan; plain runs emit exactly
+/// the pre-energy bytes, so existing consumers diff unchanged output.
 pub fn render_json(
     alg: &AlgorithmSpec,
     graph: &WeightedGraph,
     seed: u64,
     plan: &FaultPlan,
+    energy: Option<&EnergyModel>,
     out: &MstOutcome,
 ) -> String {
+    let energy_obj = match energy.filter(|m| !m.is_inert()) {
+        None => String::new(),
+        Some(model) => format!(
+            "\"energy\":{{\"model\":\"{}\",\"total\":{},\"max\":{},\
+             \"idle_listen_rounds\":{},\"exhausted_nodes\":{}}},",
+            model.spec_string(),
+            out.stats.energy_total(),
+            out.stats.energy_max(),
+            out.stats.idle_listen_rounds,
+            out.stats.exhausted_nodes,
+        ),
+    };
     format!(
         "{{\"algorithm\":\"{}\",\"seed\":{},\"nodes\":{},\"edges\":{},\"tree_edges\":{},\
          \"total_weight\":{},\"phases\":{},\"awake_max\":{},\"awake_avg\":{:.3},\
@@ -206,7 +240,7 @@ pub fn render_json(
          \"injected_drops\":{},\"dup_deliveries\":{},\"crashed_nodes\":{},\
          \"memory\":{{\"graph_bytes\":{},\"arena_peak_envelopes\":{},\
          \"peak_rss_bytes\":{}}},\
-         \"fault_plan\":{}}}",
+         {energy_obj}\"fault_plan\":{}}}",
         alg.name,
         seed,
         graph.node_count(),
@@ -345,6 +379,13 @@ pub enum Command {
         /// for every value — `--shards 1` is the byte-equivalence
         /// baseline for any `--shards K` run.
         shards: Option<u32>,
+        /// Energy pricing model (`None` = no charging). A `--budget`
+        /// without `--energy-model` implies the reference model, like
+        /// the serve protocol's bare `"budget"` field.
+        energy: Option<EnergyModel>,
+        /// When scheduled wakes actually land (`block` = today's exact
+        /// timeline).
+        wake_policy: WakePolicy,
     },
     /// `verify`: execute, check against the reference, exit non-zero on
     /// mismatch.
@@ -398,6 +439,9 @@ pub enum Command {
         /// Send-half-step shard count per trial (`None` = serial;
         /// bit-identical for every value).
         shards: Option<u32>,
+        /// Energy pricing model applied to every trial (`None` = no
+        /// charging).
+        energy: Option<EnergyModel>,
     },
     /// `report`: generate the "Table 1, measured" artifact
     /// ([`bench::report`]) — every registry algorithm swept across graph
@@ -420,6 +464,9 @@ pub enum Command {
         out: Option<String>,
         /// Also write the markdown artifact to this file.
         md_out: Option<String>,
+        /// Energy pricing model for the panel's energy columns (`None`
+        /// keeps the spec default, the budget-free reference model).
+        energy: Option<EnergyModel>,
     },
     /// `chaos`: sweep every registry algorithm × graph family × fault
     /// level ([`bench::chaos`]), classify each trial, and print the
@@ -438,6 +485,12 @@ pub enum Command {
         /// Time driver every trial runs under (matrix bytes must not
         /// depend on it).
         executor: Executor,
+        /// Send-half-step shard count per trial (matrix bytes must not
+        /// depend on it either — the CI energy leg `cmp`s legs).
+        shards: Option<u32>,
+        /// Energy pricing model charged on every trial; stamped into the
+        /// matrix header and the per-cell `energy_total` column.
+        energy: Option<EnergyModel>,
     },
     /// `bench-engine`: time the drivers themselves on the sparse-wake
     /// panel ([`bench::engine_panel`]) — few wakes per node, huge gaps —
@@ -536,6 +589,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut shards: Option<Vec<u32>> = None;
     let mut wave_sizes: Option<Vec<usize>> = None;
     let mut faults = FaultPlan::default();
+    let mut energy: Option<EnergyModel> = None;
+    let mut budget: Option<u64> = None;
+    let mut wake_policy = WakePolicy::default();
     let mut socket: Option<String> = None;
     let mut workers = 2usize;
     let mut cache_capacity = 256usize;
@@ -646,6 +702,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 let (node, round) = parse_crash(v)?;
                 faults = faults.with_crash(node, round);
             }
+            "--energy-model" => {
+                let v = it.next().ok_or("--energy-model needs a spec")?;
+                energy = Some(EnergyModel::parse(v).ok_or_else(|| {
+                    format!(
+                        "unknown energy model '{v}' (expected 'reference', 'radio', or a \
+                         comma list of round:R,tx:T,rx:X,idle:I,budget:B)"
+                    )
+                })?);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("'{v}' is not an energy budget"))?,
+                );
+            }
+            "--wake-policy" => {
+                let v = it.next().ok_or("--wake-policy needs a spec")?;
+                wake_policy = WakePolicy::parse(v).ok_or_else(|| {
+                    format!(
+                        "unknown wake policy '{v}' (expected block, duty:P, \
+                         heavytail:SEED:CAP, or shift:SEED:MAX)"
+                    )
+                })?;
+            }
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
@@ -676,6 +757,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    // A bare --budget prices the run under the reference model, exactly
+    // like the serve protocol's bare "budget" field.
+    let energy = match budget {
+        Some(b) => Some(energy.unwrap_or_else(EnergyModel::reference).with_budget(b)),
+        None => energy,
+    };
     let single_shards = |shards: &Option<Vec<u32>>| -> Result<Option<u32>, String> {
         match shards.as_deref() {
             None => Ok(None),
@@ -697,6 +784,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             json,
             out,
             md_out,
+            energy,
         });
     }
     if cmd == "chaos" {
@@ -707,6 +795,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             json,
             out,
             executor: executor.unwrap_or_default(),
+            shards: single_shards(&shards)?,
+            energy,
         });
     }
     if cmd == "bench-engine" {
@@ -747,6 +837,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             faults,
             executor,
             shards: single_shards(&shards)?,
+            energy,
+            wake_policy,
         }),
         "verify" => Ok(Command::Verify {
             alg: single_alg(&algs)?,
@@ -775,6 +867,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 bench_out,
                 executor,
                 shards: single_shards(&shards)?,
+                energy,
             })
         }
         other => Err(format!(
@@ -797,6 +890,7 @@ sleeping-mst — distributed MST in the sleeping model (PODC 2022 reproduction)
 USAGE:
     sleeping-mst run    --alg <ALG> --graph <SPEC> [--seed S] [--json]
                         [--executor sync|calendar|naive] [--shards K]
+                        [--energy-model M] [--budget B] [--wake-policy P]
                         [--fault-seed S] [--drop-ppm P] [--dup-ppm P]
                         [--sleep-ppm P] [--jitter J] [--crash NODE@ROUND]…
     sleeping-mst verify --alg <ALG> --graph <SPEC> [--seed S]
@@ -805,12 +899,14 @@ USAGE:
     sleeping-mst sweep  --alg <ALG[,ALG…]> --graph <TEMPLATE with {{n}}>
                         --sizes <N,N,…> [--seeds A..B|A,B,…] [--threads T] [--json]
                         [--bench-out FILE] [--executor sync|calendar|naive]
-                        [--shards K]
+                        [--shards K] [--energy-model M] [--budget B]
     sleeping-mst report [--sizes N,N,…] [--seeds A..B|A,B,…] [--naive]
                         [--executor sync|calendar|naive]
+                        [--energy-model M] [--budget B]
                         [--json] [--out FILE] [--md-out FILE]
     sleeping-mst chaos  [--seed S] [--sizes N,N,…] [--trials K] [--json]
                         [--out FILE] [--executor sync|calendar|naive]
+                        [--shards K] [--energy-model M] [--budget B]
     sleeping-mst bench-engine [--sizes N,N,…] [--seed S] [--out FILE]
                         [--executors calendar,sync[,naive]]
                         [--wave-sizes N,N,…] [--shards K,K,…]
@@ -871,6 +967,22 @@ CHAOS:
     byte-identical across runs. Exits non-zero if any trial produced a
     wrong output — fault injection must degrade runs legibly, never
     silently corrupt them.
+
+ENERGY (run, sweep, report, chaos; serve takes it per request):
+    --energy-model prices every simulated action in integer energy units:
+    `reference` (round:1000,tx:8,rx:4,idle:50), `radio` (1 unit per awake
+    round), or a comma list like round:R,tx:T,rx:X,idle:I[,budget:B].
+    Charging happens inside the one execution kernel, so per-node ledgers
+    are bit-identical across executors and shard counts. --budget B caps
+    every node at B units (implying the reference model if no
+    --energy-model is given); a node that overspends is forced asleep
+    permanently and the run fails with the typed error
+    `run.energy-exhausted` rather than passing off a partial forest.
+    --wake-policy (run only) reschedules wakes deterministically: `block`
+    (exact timeline, the default), `duty:P` (wakes snap up to rounds
+    1, 1+P, 1+2P, …), `heavytail:SEED:CAP` (seeded geometric slip), or
+    `shift:SEED:MAX` (seeded constant per-node phase offset). Policies
+    hash like fault decisions, so all drivers and the naive oracle agree.
 
 EXECUTORS:
     Execution is one generic kernel parameterized by a time driver:
@@ -974,13 +1086,26 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             faults,
             executor,
             shards,
+            energy,
+            wake_policy,
         } => match build_graph(graph, *seed) {
             Err(e) => (2, format!("error: {e}\n")),
-            Ok(g) => match run_with_faults(alg, &g, *seed, faults, *executor, *shards) {
+            Ok(g) => match run_with_faults(
+                alg,
+                &g,
+                *seed,
+                faults,
+                RunTuning {
+                    executor: *executor,
+                    shards: *shards,
+                    energy: *energy,
+                    wake_policy: *wake_policy,
+                },
+            ) {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(out) => {
                     let text = if *json {
-                        render_json(alg, &g, *seed, faults, &out) + "\n"
+                        render_json(alg, &g, *seed, faults, energy.as_ref(), &out) + "\n"
                     } else {
                         let mut text = render_text(alg, &g, &out);
                         if !faults.is_inert() {
@@ -989,6 +1114,14 @@ pub fn execute(cmd: &Command) -> (i32, String) {
                                 out.stats.injected_drops,
                                 out.stats.dup_deliveries,
                                 out.stats.crashed_nodes,
+                            ));
+                        }
+                        if let Some(model) = energy.filter(|m| !m.is_inert()) {
+                            text.push_str(&format!(
+                                "energy           : {} total, {} max/node ({})\n",
+                                out.stats.energy_total(),
+                                out.stats.energy_max(),
+                                model.spec_string(),
                             ));
                         }
                         text
@@ -1004,12 +1137,17 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             json,
             out,
             md_out,
+            energy,
         } => {
-            let spec = report::ReportSpec {
+            let mut spec = report::ReportSpec {
                 sizes: sizes.clone(),
                 seeds: seeds.clone(),
                 executor: *executor,
+                ..report::ReportSpec::default()
             };
+            if let Some(model) = energy {
+                spec.energy = *model;
+            }
             match report::generate(&spec) {
                 Err(e) => (1, format!("error: {e}\n")),
                 Ok(rep) => {
@@ -1039,12 +1177,16 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             json,
             out,
             executor,
+            shards,
+            energy,
         } => {
             let spec = chaos::ChaosSpec {
                 seed: *seed,
                 sizes: sizes.clone(),
                 trials: *trials,
                 executor: *executor,
+                shards: *shards,
+                energy: *energy,
             };
             let report = chaos::run_chaos(&spec);
             let mut text = if *json {
@@ -1133,6 +1275,7 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             bench_out,
             executor,
             shards,
+            energy,
         } => {
             let family =
                 |n: usize, seed: u64| build_graph(&template.replace("{n}", &n.to_string()), seed);
@@ -1145,6 +1288,9 @@ pub fn execute(cmd: &Command) -> (i32, String) {
             }
             if let Some(shards) = shards {
                 sweep = sweep.shards(*shards);
+            }
+            if let Some(model) = energy {
+                sweep = sweep.energy(*model);
             }
             for &alg in algs {
                 sweep = sweep.algorithm(alg);
@@ -1249,8 +1395,122 @@ mod tests {
                 faults: FaultPlan::default(),
                 executor: None,
                 shards: None,
+                energy: None,
+                wake_policy: WakePolicy::Block,
             }
         );
+    }
+
+    #[test]
+    fn parses_energy_and_wake_policy_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "randomized",
+            "--graph",
+            "ring:16",
+            "--energy-model",
+            "reference",
+            "--budget",
+            "500000",
+            "--wake-policy",
+            "duty:4",
+        ]))
+        .unwrap();
+        let Command::Run {
+            energy,
+            wake_policy,
+            ..
+        } = cmd
+        else {
+            unreachable!("expected run command");
+        };
+        assert_eq!(energy, Some(EnergyModel::reference().with_budget(500_000)));
+        assert_eq!(wake_policy, WakePolicy::DutyCycle { period: 4 });
+
+        // A bare --budget implies the reference model.
+        let cmd = parse_args(&args(&[
+            "run", "--alg", "prim", "--graph", "ring:8", "--budget", "9",
+        ]))
+        .unwrap();
+        let Command::Run { energy, .. } = cmd else {
+            unreachable!("expected run command");
+        };
+        assert_eq!(energy, Some(EnergyModel::reference().with_budget(9)));
+
+        // Custom comma-list models parse, and bad specs are rejected.
+        let cmd = parse_args(&args(&[
+            "run",
+            "--alg",
+            "prim",
+            "--graph",
+            "ring:8",
+            "--energy-model",
+            "round:2,tx:1",
+        ]))
+        .unwrap();
+        let Command::Run { energy, .. } = cmd else {
+            unreachable!("expected run command");
+        };
+        assert_eq!(
+            energy,
+            Some(
+                EnergyModel::default()
+                    .with_round_cost(2)
+                    .with_tx_bit_cost(1)
+            )
+        );
+        assert!(parse_args(&args(&[
+            "run",
+            "--alg",
+            "prim",
+            "--graph",
+            "ring:8",
+            "--energy-model",
+            "solar"
+        ]))
+        .unwrap_err()
+        .contains("unknown energy model"));
+        assert!(parse_args(&args(&[
+            "run",
+            "--alg",
+            "prim",
+            "--graph",
+            "ring:8",
+            "--wake-policy",
+            "lazy"
+        ]))
+        .unwrap_err()
+        .contains("unknown wake policy"));
+
+        // The knobs ride along on sweep, chaos, and report too.
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "--alg",
+            "prim",
+            "--graph",
+            "ring:{n}",
+            "--sizes",
+            "8",
+            "--energy-model",
+            "radio",
+        ]))
+        .unwrap();
+        let Command::Sweep { energy, .. } = cmd else {
+            unreachable!("expected sweep command");
+        };
+        assert_eq!(energy, Some(EnergyModel::radio_default()));
+        let cmd = parse_args(&args(&["chaos", "--budget", "7", "--shards", "2"])).unwrap();
+        let Command::Chaos { energy, shards, .. } = cmd else {
+            unreachable!("expected chaos command");
+        };
+        assert_eq!(energy, Some(EnergyModel::reference().with_budget(7)));
+        assert_eq!(shards, Some(2));
+        let cmd = parse_args(&args(&["report", "--energy-model", "radio"])).unwrap();
+        let Command::Report { energy, .. } = cmd else {
+            unreachable!("expected report command");
+        };
+        assert_eq!(energy, Some(EnergyModel::radio_default()));
     }
 
     #[test]
@@ -1423,6 +1683,7 @@ mod tests {
                 bench_out: None,
                 executor: None,
                 shards: None,
+                energy: None,
             }
         );
         assert!(parse_args(&args(&[
@@ -1492,7 +1753,7 @@ mod tests {
         let g = build_graph("ring:8", 1).unwrap();
         let alg = registry::find("randomized").unwrap();
         let out = run(alg, &g, 1).unwrap();
-        let json = render_json(alg, &g, 1, &FaultPlan::default(), &out);
+        let json = render_json(alg, &g, 1, &FaultPlan::default(), None, &out);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"awake_max\":"));
         assert!(json.contains("\"max_message_bits\":"));
@@ -1631,6 +1892,8 @@ mod tests {
                 json: false,
                 out: Some(path_str.clone()),
                 executor: Executor::Calendar,
+                shards: None,
+                energy: None,
             }
         );
         let (code_a, text_a) = execute(&cmd);
@@ -1657,6 +1920,7 @@ mod tests {
                 json: false,
                 out: None,
                 md_out: None,
+                energy: None,
             }
         );
         let cmd = parse_args(&args(&[
@@ -1672,6 +1936,7 @@ mod tests {
                 json: true,
                 out: None,
                 md_out: None,
+                energy: None,
             }
         );
     }
@@ -1759,6 +2024,7 @@ mod tests {
             bench_out: None,
             executor: None,
             shards: None,
+            energy: None,
         };
         let (code, text) = execute(&cmd);
         assert_eq!(code, 0, "{text}");
@@ -1774,6 +2040,7 @@ mod tests {
             bench_out: None,
             executor: None,
             shards: None,
+            energy: None,
         };
         let (code, text) = execute(&cmd_json);
         assert_eq!(code, 0, "{text}");
@@ -1900,6 +2167,55 @@ mod tests {
         assert!(serial.contains("\"memory\":{\"graph_bytes\":"), "{serial}");
         assert!(serial.contains("\"arena_peak_envelopes\":"), "{serial}");
         assert!(serial.contains("\"peak_rss_bytes\":0"), "{serial}");
+    }
+
+    #[test]
+    fn energy_run_json_is_bit_identical_across_executors_and_typed_on_exhaustion() {
+        let render = |executor: &str| {
+            let (code, text) = execute(
+                &parse_args(&args(&[
+                    "run",
+                    "--alg",
+                    "randomized",
+                    "--graph",
+                    "random:14:0.2",
+                    "--seed",
+                    "6",
+                    "--energy-model",
+                    "reference",
+                    "--executor",
+                    executor,
+                    "--json",
+                ]))
+                .unwrap(),
+            );
+            assert_eq!(code, 0, "{executor}: {text}");
+            scrub_rss(&text)
+        };
+        let calendar = render("calendar");
+        assert!(
+            calendar.contains("\"energy\":{\"model\":\"round:1000,tx:8,rx:4,idle:50\",\"total\":"),
+            "{calendar}"
+        );
+        assert_eq!(calendar, render("sync"));
+        assert_eq!(calendar, render("naive"));
+
+        // A starvation budget fails with the typed exhaustion error
+        // instead of passing off a partial forest.
+        let (code, text) = execute(
+            &parse_args(&args(&[
+                "run",
+                "--alg",
+                "randomized",
+                "--graph",
+                "ring:12",
+                "--budget",
+                "1500",
+            ]))
+            .unwrap(),
+        );
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("exhausted its energy budget"), "{text}");
     }
 
     #[test]

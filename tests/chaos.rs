@@ -167,6 +167,7 @@ fn chaos_report_is_byte_deterministic() {
         sizes: vec![6],
         trials: 1,
         executor: sleeping_mst::netsim::Executor::Calendar,
+        ..ChaosSpec::default()
     };
     let first = run_chaos(&spec);
     let second = run_chaos(&spec);

@@ -8,10 +8,10 @@ use proptest::prelude::*;
 
 use sleeping_mst::graphlib::generators;
 use sleeping_mst::mst_core::registry;
-use sleeping_mst::mst_core::{MstScratch, RunError};
+use sleeping_mst::mst_core::{ExecOptions, MstScratch, RunError};
 use sleeping_mst::netsim::{
-    audit, Envelope, FaultPlan, ModelRule, NextWake, NodeCtx, Outbox, Protocol, Round, SimConfig,
-    ValidatingExecutor,
+    audit, EnergyModel, Envelope, FaultPlan, ModelRule, NextWake, NodeCtx, Outbox, Protocol, Round,
+    SimConfig, ValidatingExecutor,
 };
 
 proptest! {
@@ -168,6 +168,92 @@ fn crashed_stale_wake_does_not_inflate_rounds_past_the_metrics_stream() {
             "{executor}"
         );
         assert_eq!(out.stats.rounds, out.metrics.last_round(), "{executor}");
+    }
+}
+
+/// Satellite: energy-plane golden fingerprints. Each registry algorithm
+/// runs under two energy configurations on the same panel graph as
+/// `execution_fingerprints_are_pinned`:
+///
+/// * the unbudgeted reference model — the run completes and its full
+///   ledger (total, per-node max, idle-listen rounds) is pinned;
+/// * the reference model with a 5 000-unit per-node budget — far below
+///   the ~100 awake rounds the cheapest algorithm needs, so every run
+///   fails with a typed [`RunError::EnergyExhausted`], and the exhausted
+///   `(node, round)` pair is pinned.
+///
+/// Charging happens inside the one kernel, so these fingerprints are
+/// also what every other driver and shard count must produce (the
+/// differential suites prove that identity; this test pins the values).
+#[test]
+fn energy_fingerprints_are_pinned() {
+    fn fingerprint(
+        spec: &registry::AlgorithmSpec,
+        g: &sleeping_mst::graphlib::WeightedGraph,
+        model: EnergyModel,
+        scratch: &mut MstScratch,
+    ) -> String {
+        match spec.run_with_options(g, &ExecOptions::seeded(7).with_energy(model), scratch) {
+            Ok(out) => format!(
+                "ok energy={} max={} idle={} exhausted={}",
+                out.stats.energy_total(),
+                out.stats.energy_max(),
+                out.stats.idle_listen_rounds,
+                out.stats.exhausted_nodes
+            ),
+            Err(RunError::EnergyExhausted { node, round }) => {
+                format!("err exhausted node={} round={}", node.raw(), round)
+            }
+            Err(other) => format!("err {other}"),
+        }
+    }
+
+    let g = generators::random_connected(16, 0.25, 11).unwrap();
+    let complete = EnergyModel::reference();
+    let exhaust = EnergyModel::reference().with_budget(5_000);
+    let golden: &[(&str, EnergyModel, &str)] = &[
+        (
+            "randomized",
+            complete,
+            "ok energy=1492108 max=127964 idle=446 exhausted=0",
+        ),
+        (
+            "deterministic",
+            complete,
+            "ok energy=1388722 max=125010 idle=481 exhausted=0",
+        ),
+        (
+            "logstar",
+            complete,
+            "ok energy=2619920 max=233594 idle=970 exhausted=0",
+        ),
+        (
+            "prim",
+            complete,
+            "ok energy=1244384 max=116774 idle=194 exhausted=0",
+        ),
+        (
+            "spanning-tree",
+            complete,
+            "ok energy=1296152 max=113978 idle=384 exhausted=0",
+        ),
+        (
+            "always-awake",
+            complete,
+            "ok energy=45792658 max=2870778 idle=42637 exhausted=0",
+        ),
+        ("randomized", exhaust, "err exhausted node=0 round=149"),
+        ("deterministic", exhaust, "err exhausted node=0 round=166"),
+        ("logstar", exhaust, "err exhausted node=0 round=166"),
+        ("prim", exhaust, "err exhausted node=0 round=149"),
+        ("spanning-tree", exhaust, "err exhausted node=0 round=149"),
+        ("always-awake", exhaust, "err exhausted node=0 round=5"),
+    ];
+    let mut scratch = MstScratch::new();
+    for &(name, model, expected) in golden {
+        let spec = registry::find(name).unwrap();
+        let got = fingerprint(spec, &g, model, &mut scratch);
+        assert_eq!(got, expected, "{name} under {}", model.spec_string());
     }
 }
 

@@ -157,7 +157,14 @@ fn cold_run(run: &CanonicalRun, scratch: &mut MstScratch) -> (bool, String) {
         {
             Ok(out) => (
                 true,
-                render_run_result(run.alg, &graph, run.seed, run.faults.as_ref(), &out),
+                render_run_result(
+                    run.alg,
+                    &graph,
+                    run.seed,
+                    run.faults.as_ref(),
+                    run.energy.as_ref(),
+                    &out,
+                ),
             ),
             Err(e) => (false, render_error_body(e.to_json_code(), &e.to_string())),
         },
@@ -195,6 +202,7 @@ fn canonical((a, g, seed, faulty, _): (usize, usize, u64, bool, usize)) -> Canon
         } else {
             FaultPlan::default()
         },
+        energy: None,
     }
     .canonicalize()
     .expect("pool algorithms are registered")
